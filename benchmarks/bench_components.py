@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the library's own performance-critical components.
+
+Not paper artifacts — these track the cost of the simulator substrate
+itself (DES kernel throughput, placement algorithm runtime, request
+simulation rate) so regressions in the reproduction tooling are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment, Resource
+from repro.experiments import default_settings, paper_workload
+from repro.placement import (
+    ClusterProbabilityPlacement,
+    ObjectProbabilityPlacement,
+    ParallelBatchPlacement,
+    cluster_objects,
+)
+from repro.sim import SimulationSession
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return paper_workload(default_settings())
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return default_settings().spec()
+
+
+def test_des_kernel_event_throughput(benchmark):
+    """Schedule-and-run 20k timeout events through the kernel."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(20_000):
+                yield env.timeout(1)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 20_000
+
+
+def test_des_resource_contention_throughput(benchmark):
+    """1 000 users through a capacity-2 resource."""
+
+    def run():
+        env = Environment()
+        res = Resource(env, 2)
+        done = []
+
+        def user():
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+            done.append(env.now)
+
+        for _ in range(1000):
+            env.process(user())
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 1000
+
+
+@pytest.mark.parametrize(
+    "scheme_cls",
+    [ParallelBatchPlacement, ObjectProbabilityPlacement, ClusterProbabilityPlacement],
+    ids=lambda c: c.name,
+)
+def test_placement_runtime(benchmark, workload, spec, scheme_cls):
+    """Placing the full 30k-object workload."""
+    scheme = scheme_cls()
+    result = benchmark.pedantic(scheme.place, args=(workload, spec), rounds=3, iterations=1)
+    assert result.objects_placed() == workload.num_objects
+
+
+def test_clustering_runtime(benchmark, workload):
+    clustering = benchmark.pedantic(
+        cluster_objects, args=(workload,), kwargs={"detach_shared": True},
+        rounds=3, iterations=1,
+    )
+    assert clustering.num_objects == workload.num_objects
+
+
+def test_request_simulation_rate(benchmark, workload, spec):
+    """Serving 50 sampled requests end to end (after placement)."""
+    session = SimulationSession(workload, spec, scheme=ParallelBatchPlacement())
+
+    def serve_batch():
+        session.reset()
+        rng = np.random.default_rng(0)
+        total = 0.0
+        for request in workload.requests.sample(rng, 50):
+            total += session.serve(request).response_s
+        return total
+
+    total = benchmark.pedantic(serve_batch, rounds=3, iterations=1)
+    assert total > 0

@@ -1,0 +1,36 @@
+"""E1 — Sec. 6 prose: the all-mounted extreme case.
+
+Object sizes are reduced until the n×d initially mounted tapes hold every
+object, so no request ever pays a switch.  Paper: object probability gets
+the lowest response (lowest seek); cluster probability's response is
+transfer-dominated (~62%, serial reads) while parallel batch's is not
+(~19%, maximally spread reads).
+"""
+
+from repro.experiments import extreme_case
+
+
+def test_extreme_all_mounted(run_once, settings):
+    table = run_once(extreme_case, settings)
+    print()
+    print(table.format())
+
+    stats = table.data["stats"]
+    pb = stats["parallel_batch"]
+    op = stats["object_probability"]
+    cp = stats["cluster_probability"]
+
+    # Nobody switches: the whole working set is mounted.
+    for s in stats.values():
+        assert s["switches"] == 0
+        assert abs(s["switch"]) < 1.0
+
+    # Object probability: lowest response via lowest seek.
+    assert op["response"] <= pb["response"]
+    assert op["response"] <= cp["response"]
+    assert op["seek"] <= pb["seek"]
+    assert op["seek"] <= cp["seek"]
+
+    # Transfer-boundedness contrast: cluster probability reads serially,
+    # parallel batch spreads reads wide (paper: 62% vs 19%).
+    assert cp["transfer_fraction"] > pb["transfer_fraction"]

@@ -1,0 +1,43 @@
+"""F5 — Figure 5: effective bandwidth vs number of switch drives m.
+
+Paper's shape: a jump from m=1 to m=2 (a single switch drive serializes all
+switching), a maximum at moderate m (the exact peak depends on alpha), and
+decline once the always-mounted batch becomes too small; bandwidth rises
+with alpha.
+"""
+
+import numpy as np
+
+from repro.experiments import figure5
+
+
+def test_fig5_bandwidth_vs_switch_drives(run_once, settings):
+    table = run_once(figure5, settings)
+    print()
+    print(table.format())
+
+    series = table.data["series"]
+    m_values = table.data["m_values"]
+
+    for alpha, bandwidths in series.items():
+        bw = dict(zip(m_values, bandwidths))
+        # The m=1 -> m=2 jump (paper: "there is a jump").
+        assert bw[2] > 1.15 * bw[1], f"alpha={alpha}: no m=1->2 jump"
+        # m=1 is the global minimum.
+        assert min(bw, key=bw.get) == 1, f"alpha={alpha}: m=1 not worst"
+        # A moderate-m region beats or matches the extremes: the best m is
+        # strictly inside [2, d-1) for at least the skewed curves.
+        best_m = max(bw, key=bw.get)
+        assert best_m >= 2
+
+    # Bandwidth (at the paper's chosen m=4) increases with alpha.
+    alphas = sorted(series)
+    at_m4 = [series[a][m_values.index(4)] for a in alphas]
+    assert at_m4[-1] > at_m4[0], "skew should raise bandwidth at m=4"
+
+    # The decline past the peak appears for the most skewed curve
+    # (paper: "after m goes beyond 4, the bandwidth decreases"; in our
+    # reproduction the peak sits at m in 4..6 depending on alpha).
+    steep = series[max(alphas)]
+    peak_idx = int(np.argmax(steep))
+    assert peak_idx < len(m_values) - 1, "no decline after the peak at high alpha"

@@ -1,0 +1,37 @@
+"""F6 — Figure 6: effective bandwidth vs request popularity skew alpha.
+
+Paper's shape: parallel batch on top at every alpha; parallel batch and
+object probability improve as popularity skews (fewer tapes accumulate more
+probability); cluster probability does not benefit from skew.
+"""
+
+from repro.experiments import figure6
+
+
+def test_fig6_bandwidth_vs_alpha(run_once, settings):
+    table = run_once(figure6, settings)
+    print()
+    print(table.format())
+
+    series = table.data["series"]
+    alphas = table.data["alphas"]
+    pb = series["parallel_batch"]
+    op = series["object_probability"]
+    cp = series["cluster_probability"]
+
+    # Parallel batch outperforms both baselines at every alpha (2% slack
+    # for sampling noise where the curves converge at extreme skew).
+    for i, a in enumerate(alphas):
+        assert pb[i] >= 0.98 * op[i], f"alpha={a}: parallel batch loses to object prob"
+        assert pb[i] >= 0.98 * cp[i], f"alpha={a}: parallel batch loses to cluster prob"
+
+    # Skew helps the two probability-driven schemes...
+    assert pb[-1] > pb[0]
+    assert op[-1] > 1.1 * op[0]
+    # ...but not cluster probability (paper: "does not have a big impact").
+    assert cp[-1] < 1.1 * cp[0]
+
+    # At the paper's operating point (alpha = 0.3) the win is strict.
+    i03 = alphas.index(0.3)
+    assert pb[i03] > op[i03]
+    assert pb[i03] > cp[i03]

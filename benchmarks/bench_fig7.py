@@ -1,0 +1,34 @@
+"""F7 — Figure 7: effective bandwidth vs average request size.
+
+Paper's shape: bandwidth increases (but not dramatically) as requests grow —
+transfer time accounts for a larger share while switch/seek stay roughly
+constant; parallel batch remains on top across the tested range.
+"""
+
+from repro.experiments import figure7
+
+
+def test_fig7_bandwidth_vs_request_size(run_once, settings):
+    table = run_once(figure7, settings)
+    print()
+    print(table.format())
+
+    series = table.data["series"]
+    sizes = table.data["request_sizes_gb"]
+    pb = series["parallel_batch"]
+
+    # Monotone-ish increase for the proposed scheme: largest point clearly
+    # above the smallest, and no catastrophic dips in between.
+    assert pb[-1] > 1.15 * pb[0]
+    for a, b in zip(pb, pb[1:]):
+        assert b > 0.85 * a
+
+    # "not dramatically": sub-linear in request size.
+    growth = pb[-1] / pb[0]
+    size_growth = sizes[-1] / sizes[0]
+    assert growth < size_growth
+
+    # Parallel batch stays on top across the tested range (2% noise slack).
+    for i in range(len(sizes)):
+        assert pb[i] >= 0.98 * series["object_probability"][i]
+        assert pb[i] >= 0.98 * series["cluster_probability"][i]

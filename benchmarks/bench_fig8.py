@@ -1,0 +1,40 @@
+"""F8 — Figure 8: effective bandwidth vs number of tape libraries.
+
+Paper's shape: parallel batch and object probability scale well with the
+library count; cluster probability improves from 1 to ~3 libraries (reduced
+robot contention) but does not scale beyond — it has no transfer
+parallelism.  Parallel batch is consistently best.
+"""
+
+from repro.experiments import figure8
+
+
+def test_fig8_bandwidth_vs_libraries(run_once, settings):
+    table = run_once(figure8, settings)
+    print()
+    print(table.format())
+
+    series = table.data["series"]
+    counts = table.data["library_counts"]
+    pb = series["parallel_batch"]
+    op = series["object_probability"]
+    cp = series["cluster_probability"]
+
+    i1, i3, ilast = counts.index(1), counts.index(3), len(counts) - 1
+
+    # The two parallel schemes scale substantially 1 -> max libraries.
+    assert pb[ilast] > 2.0 * pb[i1]
+    assert op[ilast] > 2.0 * op[i1]
+
+    # Cluster probability gains early (robot relief) then flattens: the
+    # total 3 -> max gain is small compared to the parallel schemes'.
+    assert cp[i3] > cp[i1]
+    cp_tail_gain = cp[ilast] / cp[i3]
+    pb_tail_gain = pb[ilast] / pb[i3]
+    assert cp_tail_gain < pb_tail_gain
+    assert cp_tail_gain < 1.35
+
+    # Parallel batch consistently best (2% noise slack).
+    for i in range(len(counts)):
+        assert pb[i] >= 0.98 * op[i]
+        assert pb[i] >= 0.98 * cp[i]

@@ -1,0 +1,44 @@
+"""F9 — Figure 9: response-time component comparison (~160 GB requests).
+
+Paper's shape: object probability pays the longest switch time (no
+relationship awareness -> most switches) and it dominates its response;
+object probability has the best transfer time; seek time is secondary for
+all three; parallel batch balances the components and achieves the best
+response time.
+"""
+
+from repro.experiments import figure9
+
+
+def test_fig9_response_components(run_once, settings):
+    table = run_once(figure9, settings)
+    print()
+    print(table.format())
+
+    c = table.data["components"]
+    pb, op, cp = c["parallel_batch"], c["object_probability"], c["cluster_probability"]
+
+    # Components add up to the response (metric definition).
+    for comp in c.values():
+        total = comp["switch"] + comp["seek"] + comp["transfer"]
+        assert abs(total - comp["response"]) < 1e-6 * comp["response"]
+
+    # Object probability: worst switch time, and it dominates its response.
+    assert op["switch"] > pb["switch"]
+    assert op["switch"] > cp["switch"]
+    assert op["switch"] > op["seek"] + op["transfer"] * 0.5
+
+    # Object probability: best transfer time (maximum spread).
+    assert op["transfer"] <= pb["transfer"]
+    assert op["transfer"] < cp["transfer"]
+
+    # Cluster probability: transfer-dominated (no parallelism).
+    assert cp["transfer"] > 0.5 * cp["response"]
+
+    # Seek is secondary: never the largest component.
+    for comp in c.values():
+        assert comp["seek"] < max(comp["switch"], comp["transfer"])
+
+    # Parallel batch: best response time.
+    assert pb["response"] < op["response"]
+    assert pb["response"] < cp["response"]

@@ -1,0 +1,33 @@
+"""A3 — queueing extension: placement quality under offered load.
+
+The paper evaluates isolated requests (queueing time zero).  With a Poisson
+restore stream served FCFS, a scheme's service-time advantage compounds:
+shorter services drain the queue, so near saturation the *sojourn-time* gap
+between schemes exceeds the bare response-time gap.
+"""
+
+from repro.experiments import queueing
+
+
+def test_queueing_under_load(run_once, settings):
+    table = run_once(queueing, settings)
+    print()
+    print(table.format())
+
+    series = table.data["series"]
+    service = table.data["mean_service_s"]
+    pb, op = series["parallel_batch"], series["object_probability"]
+
+    # Sojourn grows with load for every scheme.
+    for name, values in series.items():
+        assert values[-1] > values[0], f"{name}: no queueing growth"
+
+    # Parallel batch (faster service) has shorter sojourns at every rate.
+    for i in range(len(pb)):
+        assert pb[i] <= op[i] * 1.02
+
+    # Amplification: at the highest rate the sojourn gap is at least as
+    # large as the bare service-time gap.
+    service_gap = service["object_probability"] / service["parallel_batch"]
+    sojourn_gap = op[-1] / pb[-1]
+    assert sojourn_gap >= 0.9 * service_gap

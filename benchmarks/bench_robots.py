@@ -1,0 +1,31 @@
+"""A6 — what-if: more robot arms per library (assumption 5 relaxed).
+
+The single arm serializes every mount/unmount within a library; it is the
+reason Figure 5 has a trade-off at all.  Doubling the arms should help the
+switch-heavy schemes most and leave switch-free service untouched.
+"""
+
+from repro.experiments import robots
+
+
+def test_multi_robot_whatif(run_once, settings):
+    table = run_once(robots, settings)
+    print()
+    print(table.format())
+
+    series = table.data["series"]
+    counts = table.data["robot_counts"]
+    i1, ilast = counts.index(1), len(counts) - 1
+
+    # More arms never hurt (1.5% noise slack).
+    for name, values in series.items():
+        for a, b in zip(values, values[1:]):
+            assert b >= 0.985 * a, f"{name}: extra robot reduced bandwidth"
+
+    # The switch-heaviest scheme (object probability, cf. Figure 9) gains
+    # the largest relative improvement from a second arm.
+    gains = {
+        name: values[ilast] / values[i1] for name, values in series.items()
+    }
+    assert gains["object_probability"] >= gains["parallel_batch"] - 0.02
+    assert gains["object_probability"] > 1.05  # a real gain, not noise

@@ -1,0 +1,23 @@
+"""A9 — robustness of the conclusions to the positioning model.
+
+The paper computes seeks with a pure linear model; real drives also pay a
+per-positioning startup cost (Johnson & Miller).  Adding an affine startup
+penalizes seek-heavy layouts, so if the paper's conclusions depended on the
+zero-startup assumption, the ranking would flip here.  It does not.
+"""
+
+from repro.experiments import seek_model
+
+
+def test_seek_model_robustness(run_once, settings):
+    table = run_once(seek_model, settings)
+    print()
+    print(table.format())
+
+    # The winner is parallel batch under every positioning model.
+    assert set(table.data["winners"]) == {"parallel_batch"}
+
+    # Startup cost hurts everyone monotonically (2% noise slack).
+    for name, values in table.data["series"].items():
+        for a, b in zip(values, values[1:]):
+            assert b <= a * 1.02, f"{name}: bandwidth rose with extra seek cost"

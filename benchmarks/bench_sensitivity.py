@@ -1,0 +1,17 @@
+"""E3 — Sec. 6 prose: workload-scale sensitivity.
+
+"We have varied the total number of objects, the number of pre-defined
+requests and the number of simulated requests, and found they do not change
+the relative performance of the three schemes."
+"""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_ranking_stable(run_once, settings):
+    table = run_once(sensitivity, settings)
+    print()
+    print(table.format())
+
+    # The proposed scheme wins under every variation.
+    assert set(table.data["winners"]) == {"parallel_batch"}

@@ -1,0 +1,40 @@
+"""A5 — striping: measuring the related-work claim the paper relies on.
+
+Sec. 2: "striping on sequential-accessed tapes suffers from long
+synchronization latencies … The striping system may perform worse than
+non-striping system [9, 13, 19, 10].  Thus, in our proposed scheme, we do
+not consider object striping."
+
+We sweep the striping width and compare against the non-striped
+object-probability layout (same rank-group structure, striping isolated)
+and against parallel batch placement.
+"""
+
+from repro.experiments import striping
+
+STRIPE_WIDTHS = (2, 4, 8)
+
+
+def test_striping_tradeoff(run_once, settings):
+    table = run_once(striping, settings, stripe_widths=STRIPE_WIDTHS)
+    print()
+    print(table.format())
+
+    rows = table.data["rows"]
+    base = rows["non-striped (object probability)"]
+    # Striping always buys raw transfer time, more with width...
+    transfers = [rows[f"striped, width {w}"]["transfer"] for w in STRIPE_WIDTHS]
+    assert all(t < base["transfer"] for t in transfers)
+    assert transfers == sorted(transfers, reverse=True)
+    # ...while the switch cost grows with width and overtakes the
+    # non-striped layout (the synchronization/switch penalty of [15]).
+    switches = [rows[f"striped, width {w}"]["switches"] for w in STRIPE_WIDTHS]
+    assert switches[-1] > switches[0]
+    assert switches[-1] > base["switches"]
+    # The related-work conclusion: "the optimal striping width depends on
+    # the workload" (narrow striping may pay off) but wide striping is
+    # net-negative, and no width approaches the proposed scheme.
+    assert rows["striped, width 8"]["bandwidth"] < base["bandwidth"] * 1.02
+    assert rows["striped, width 8"]["bandwidth"] < rows["striped, width 2"]["bandwidth"]
+    for w in STRIPE_WIDTHS:
+        assert rows[f"striped, width {w}"]["bandwidth"] < rows["parallel batch"]["bandwidth"]

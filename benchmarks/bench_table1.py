@@ -1,0 +1,18 @@
+"""T1 — Table 1: configuration constants and derived timing validation."""
+
+from repro.experiments import table1
+
+
+def test_table1_specifications(run_once):
+    table = run_once(table1)
+    print()
+    print(table.format())
+
+    # Derived quantities of the linear positioning model stay within 10% of
+    # the vendor-quoted figures (49 s average rewind exact; 68 s vs 72 s
+    # first-file access).
+    assert table.data["worst_derived_error"] < 0.10
+
+    values = dict(zip(table.column("parameter"), table.column("value")))
+    assert values["Average rewind time (s)"] == 49.0
+    assert abs(values["Average file access time, first file (s)"] - 72.0) <= 5.0

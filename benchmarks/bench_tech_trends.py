@@ -1,0 +1,36 @@
+"""E2 — Sec. 6 prose: improved tape technology.
+
+The paper omits this figure "due to page limitations" but states: "In
+general, our scheme improves more than the other two schemes for these
+cases" (increased data transfer speed and tape capacity).
+"""
+
+from repro.experiments import tech_trends
+
+
+def test_tech_trends(run_once, settings):
+    table = run_once(tech_trends, settings)
+    print()
+    print(table.format())
+
+    series = table.data["series"]
+    configs = table.data["configs"]
+    base = configs.index((1.0, 1.0))
+    fastest = configs.index((4.0, 1.0))
+
+    # Faster drives raise everyone's bandwidth.
+    for name, bws in series.items():
+        assert bws[fastest] > bws[base], f"{name} did not benefit from 4x drives"
+
+    # Parallel batch gains at least as much as the baselines from the
+    # 4x-rate upgrade (paper: "our scheme improves more").
+    pb_gain = series["parallel_batch"][fastest] / series["parallel_batch"][base]
+    op_gain = series["object_probability"][fastest] / series["object_probability"][base]
+    cp_gain = series["cluster_probability"][fastest] / series["cluster_probability"][base]
+    assert pb_gain >= 0.95 * op_gain
+    assert pb_gain >= 0.95 * cp_gain
+
+    # Parallel batch keeps the absolute lead in every configuration.
+    for i in range(len(configs)):
+        assert series["parallel_batch"][i] >= 0.98 * series["object_probability"][i]
+        assert series["parallel_batch"][i] >= 0.98 * series["cluster_probability"][i]

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run the paper-scale experiments (30 000 objects, Table-1 system,
+200 sampled requests) unless overridden:
+
+* ``REPRO_SCALE=small`` — ~10x smaller workload and tapes;
+* ``REPRO_SAMPLES=N``  — sampled requests per configuration.
+
+Each ``bench_*`` file regenerates one row of DESIGN.md §3's experiment
+index, prints the table the paper's figure reports, and asserts the
+reproduced *shape* (who wins, where curves peak, which component dominates).
+"""
+
+import pytest
+
+from repro.experiments import default_settings
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return default_settings()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiment drivers are deterministic and expensive; one timed round is
+    both the measurement and the result used for shape assertions.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Capacity planning: how many switch drives and libraries do we need?
+
+Uses the experiment API to answer a procurement question: given the
+workload, sweep the number of switch drives (m) and the number of
+libraries, and report the smallest configuration meeting a restore
+bandwidth target.  This is Figures 5 + 8 of the paper turned into a
+planning tool.
+
+Usage::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import ParallelBatchPlacement, PlacementError, SimulationSession
+from repro.experiments import default_settings, paper_workload
+
+BANDWIDTH_TARGET_MB_S = 150.0
+
+
+def main() -> None:
+    settings = default_settings(scale="small", num_samples=30)
+    workload = paper_workload(settings)
+    print(f"workload: {workload!r}")
+    print(f"target:   >= {BANDWIDTH_TARGET_MB_S:.0f} MB/s effective restore bandwidth\n")
+
+    print("step 1 — pick m (switch drives per library) on the full system:")
+    spec = settings.spec()
+    best_m, best_bw = None, 0.0
+    for m in range(1, spec.library.num_drives):
+        session = SimulationSession(workload, spec, scheme=ParallelBatchPlacement(m=m))
+        bw = session.evaluate(num_samples=settings.samples, seed=4).avg_bandwidth_mb_s
+        marker = ""
+        if bw > best_bw:
+            best_m, best_bw, marker = m, bw, "  <- best so far"
+        print(f"  m={m}: {bw:7.1f} MB/s{marker}")
+    print(f"  chosen m = {best_m}\n")
+
+    print("step 2 — smallest library count meeting the target:")
+    chosen = None
+    for n in range(1, 7):
+        spec_n = settings.spec(num_libraries=n)
+        try:
+            session = SimulationSession(
+                workload, spec_n, scheme=ParallelBatchPlacement(m=best_m)
+            )
+        except PlacementError:
+            print(f"  {n} libraries: workload does not fit ({workload.total_size_mb / 1e6:.1f} TB)")
+            continue
+        bw = session.evaluate(num_samples=settings.samples, seed=4).avg_bandwidth_mb_s
+        ok = bw >= BANDWIDTH_TARGET_MB_S
+        print(f"  {n} libraries: {bw:7.1f} MB/s {'MEETS TARGET' if ok else ''}")
+        if ok and chosen is None:
+            chosen = n
+    if chosen is None:
+        print("\nno tested configuration meets the target; add libraries or faster drives")
+    else:
+        print(f"\nrecommendation: {chosen} libraries with m={best_m} switch drives each")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Writing your own placement scheme against the public API.
+
+Implements a deliberately simple strategy — *size-tiered placement*: small
+objects (cheap to seek past, likely metadata) go to a hot always-available
+tier, large objects fill the remaining tapes round-robin — registers it in
+the scheme registry, and benchmarks it against the paper's three schemes.
+
+The point is the API surface: a scheme only needs to produce a
+:class:`PlacementResult` (layouts + initial mounts + tape priorities); the
+simulator, metrics, and experiment tooling then work unchanged.
+
+Usage::
+
+    python examples/custom_placement_plugin.py
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro import (
+    ObjectExtent,
+    PlacementResult,
+    PlacementScheme,
+    SimulationSession,
+    SystemSpec,
+    TapeId,
+    Workload,
+    make_scheme,
+    register_scheme,
+)
+from repro.experiments import default_settings, default_schemes, paper_workload
+from repro.placement import organ_pipe_extents
+
+
+@dataclass
+class SizeTieredPlacement(PlacementScheme):
+    """Small objects on a hot tier, big objects round-robin elsewhere."""
+
+    #: Objects below this size go to the hot tier.
+    small_threshold_mb: float = 1000.0
+    k: float = 0.9
+
+    name = "size_tiered"
+
+    def place(self, workload: Workload, spec: SystemSpec) -> PlacementResult:
+        catalog = workload.catalog
+        n, d, t = spec.num_libraries, spec.library.num_drives, spec.library.num_tapes
+        fill = self.k * spec.library.tape.capacity_mb
+
+        sizes = np.asarray(catalog.sizes_mb)
+        small_first = np.lexsort((np.arange(len(catalog)), sizes))  # smallest first
+
+        # Tapes interleaved across libraries; the first n*d tapes form the
+        # hot tier and are mounted at startup.
+        tape_order = [
+            TapeId(lib, slot) for slot in range(t) for lib in range(n)
+        ]
+        assignment: Dict[TapeId, List[int]] = {tid: [] for tid in tape_order}
+        used = {tid: 0.0 for tid in tape_order}
+
+        cursor = 0
+        for object_id in small_first:
+            object_id = int(object_id)
+            size = catalog.size_of(object_id)
+            for attempt in range(len(tape_order)):
+                tid = tape_order[(cursor + attempt) % len(tape_order)]
+                if used[tid] + size <= fill + 1e-9:
+                    assignment[tid].append(object_id)
+                    used[tid] += size
+                    cursor = (cursor + attempt + 1) % len(tape_order)
+                    break
+            else:
+                raise RuntimeError("capacity exhausted")
+
+        layouts = {
+            tid: organ_pipe_extents(objs, catalog)
+            for tid, objs in assignment.items()
+            if objs
+        }
+        priority = {
+            tid: self.total_priority(extents, catalog) for tid, extents in layouts.items()
+        }
+        mounts = self.default_initial_mounts(layouts, priority, spec)
+        return PlacementResult(
+            scheme=self.name,
+            layouts=layouts,
+            initial_mounts=mounts,
+            tape_priority=priority,
+        )
+
+
+def main() -> None:
+    register_scheme(SizeTieredPlacement.name, SizeTieredPlacement)
+    print("registered custom scheme:", make_scheme("size_tiered"))
+
+    settings = default_settings(scale="small", num_samples=40)
+    workload = paper_workload(settings)
+    spec = settings.spec()
+
+    print(f"\n{'scheme':<22} {'bandwidth':>12} {'switches/req':>13}")
+    for scheme in default_schemes() + [SizeTieredPlacement()]:
+        session = SimulationSession(workload, spec, scheme=scheme)
+        result = session.evaluate(num_samples=settings.samples, seed=5)
+        print(
+            f"{scheme.name:<22} {result.avg_bandwidth_mb_s:>8.1f} MB/s"
+            f" {result.avg_switches_per_request:>12.1f}"
+        )
+
+    print(
+        "\nsize-tiering ignores co-access structure, so it pays many switches — "
+        "the same lesson the paper's object-probability baseline teaches."
+    )
+
+
+if __name__ == "__main__":
+    main()

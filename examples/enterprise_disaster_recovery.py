@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Enterprise disaster recovery: restore-time SLAs from a tape archive.
+
+The paper's second motivating scenario: a data center periodically backs up
+departmental data sets to tape; after a loss, "the total restore time has to
+be minimized to reduce enterprise financial losses."  Here we ask the
+operational question the paper's metrics support: *what restore time can we
+promise per department (p50 / p95), and does the placement scheme change
+which SLA we can sign?*
+
+Departments have heterogeneous footprints (a few huge databases, many small
+file shares) and correlated restores (an application restore pulls its
+database plus its file shares).
+
+Usage::
+
+    python examples/enterprise_disaster_recovery.py
+"""
+
+import numpy as np
+
+from repro import (
+    ClusterProbabilityPlacement,
+    ObjectCatalog,
+    ObjectProbabilityPlacement,
+    ParallelBatchPlacement,
+    Request,
+    RequestSet,
+    SimulationSession,
+    Workload,
+)
+from repro.experiments import default_settings
+from repro.workload import bounded_pareto
+
+NUM_DEPARTMENTS = 30
+SEED = 11
+
+
+def build_workload() -> Workload:
+    rng = np.random.default_rng(SEED)
+    sizes_list = []
+    requests = []
+    next_id = 0
+    for dept in range(NUM_DEPARTMENTS):
+        # Footprint mix: 1-3 databases (big) + 10-30 file shares (small).
+        n_db = int(rng.integers(1, 4))
+        n_fs = int(rng.integers(10, 31))
+        db_sizes = rng.uniform(5_000.0, 25_000.0, n_db)  # 5-25 GB
+        fs_sizes = bounded_pareto(rng, n_fs, 50.0, 3_000.0, shape=1.1)
+        members = tuple(range(next_id, next_id + n_db + n_fs))
+        next_id += n_db + n_fs
+        sizes_list.append(np.concatenate([db_sizes, fs_sizes]))
+        # Restore likelihood ~ how often the department's apps churn.
+        requests.append(Request(dept, members, float(rng.uniform(0.5, 2.0))))
+    catalog = ObjectCatalog(np.concatenate(sizes_list))
+    return Workload(catalog, RequestSet(requests))
+
+
+def percentile_report(name: str, responses: np.ndarray) -> str:
+    p50, p95, worst = np.percentile(responses, [50, 95, 100])
+    return (
+        f"{name:<22} p50 {p50 / 60:>6.1f} min   p95 {p95 / 60:>6.1f} min   "
+        f"worst {worst / 60:>6.1f} min"
+    )
+
+
+def main() -> None:
+    workload = build_workload()
+    spec = default_settings(scale="small").spec()
+    print(f"enterprise archive: {workload!r}")
+    print(f"average department restore: {workload.average_request_size_mb / 1e3:.1f} GB\n")
+
+    print("department-restore SLA analysis (over 90 sampled restores):")
+    for scheme in (
+        ParallelBatchPlacement(m=4),
+        ObjectProbabilityPlacement(),
+        ClusterProbabilityPlacement(),
+    ):
+        session = SimulationSession(workload, spec, scheme=scheme)
+        result = session.evaluate(num_samples=90, seed=3)
+        responses = np.array([m.response_s for m in result.samples])
+        print("  " + percentile_report(scheme.name, responses))
+
+    print(
+        "\nthe p95 (not the mean) is what an SLA is signed against — tail "
+        "restores are dominated by tape switches, which is exactly what the "
+        "parallel batch placement attacks."
+    )
+
+
+if __name__ == "__main__":
+    main()

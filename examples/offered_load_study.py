@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Offered-load study: when does the archive saturate, and does placement
+buy real headroom?
+
+The paper evaluates isolated restores.  An operator cares about the
+*stream*: restores arrive all day, and the question is how many per hour
+the system absorbs before the queue explodes — and whether a better
+placement scheme moves that knee.  Uses the FCFS queueing layer plus the
+paired-comparison statistics.
+
+Usage::
+
+    python examples/offered_load_study.py
+"""
+
+from repro import ParallelBatchPlacement, ObjectProbabilityPlacement, SimulationSession
+from repro.analysis import compare_paired
+from repro.experiments import default_settings, paper_workload
+from repro.sim import simulate_fcfs_queue
+
+RATES_PER_HOUR = (2.0, 5.0, 10.0, 20.0, 40.0)
+NUM_ARRIVALS = 50
+
+
+def main() -> None:
+    settings = default_settings(scale="small")
+    workload = paper_workload(settings)
+    spec = settings.spec()
+
+    sessions = {
+        "parallel_batch": SimulationSession(
+            workload, spec, scheme=ParallelBatchPlacement(m=4)
+        ),
+        "object_probability": SimulationSession(
+            workload, spec, scheme=ObjectProbabilityPlacement()
+        ),
+    }
+
+    print("mean sojourn time (minutes) per restore vs arrival rate:\n")
+    print(f"{'arrivals/h':>10} | {'parallel batch':>15} | {'object prob':>12} | {'pb util':>8}")
+    knee = {}
+    for rate in RATES_PER_HOUR:
+        row = []
+        util = 0.0
+        for name, session in sessions.items():
+            result = simulate_fcfs_queue(session, rate, num_arrivals=NUM_ARRIVALS, seed=9)
+            row.append(result.mean_sojourn_s / 60.0)
+            if name == "parallel_batch":
+                util = result.utilization
+                if util > 0.8 and "parallel_batch" not in knee:
+                    knee["parallel_batch"] = rate
+        print(f"{rate:>10.0f} | {row[0]:>15.1f} | {row[1]:>12.1f} | {util:>8.2f}")
+
+    # Statistical comparison of the underlying service times.
+    a = sessions["parallel_batch"].evaluate(num_samples=40, seed=3)
+    b = sessions["object_probability"].evaluate(num_samples=40, seed=3)
+    comparison = compare_paired(a, b, metric="response_s")
+    print(f"\nservice-time comparison: {comparison}")
+    print(
+        "\nthe sojourn gap at high load is larger than this service gap — a "
+        "faster scheme drains the queue, so its advantage compounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Statistical helpers for simulation results.
+
+The paper reports single averages over 200 sampled requests.  For a
+credible comparison a user also wants uncertainty: bootstrap confidence
+intervals on any metric, and a *paired* scheme comparison (both schemes are
+evaluated on the identical sampled request stream, so pairing by sample
+index removes most workload noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from .sim.metrics import EvaluationResult
+
+__all__ = ["bootstrap_ci", "metric_ci", "PairedComparison", "compare_paired"]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    stat: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``stat`` over ``values``."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if data.size == 1:
+        v = float(stat(data))
+        return (v, v)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, data.size, size=(n_boot, data.size))
+    replicates = np.apply_along_axis(stat, 1, data[idx])
+    lo = (1 - confidence) / 2 * 100
+    return (
+        float(np.percentile(replicates, lo)),
+        float(np.percentile(replicates, 100 - lo)),
+    )
+
+
+def metric_ci(
+    result: EvaluationResult,
+    metric: str = "bandwidth_mb_s",
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """CI of the mean of a per-request metric (``bandwidth_mb_s``,
+    ``response_s``, ``switch_s``, ``seek_s``, ``transfer_s``, …)."""
+    values = [getattr(m, metric) for m in result.samples]
+    return bootstrap_ci(values, confidence=confidence, n_boot=n_boot, seed=seed)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired scheme comparison on one metric."""
+
+    metric: str
+    scheme_a: str
+    scheme_b: str
+    mean_a: float
+    mean_b: float
+    #: Mean of per-sample differences (a − b).
+    mean_diff: float
+    #: Bootstrap CI of the mean difference.
+    diff_ci: Tuple[float, float]
+    #: Fraction of samples where a's value is strictly smaller than b's.
+    frac_a_lower: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI of the difference excludes zero."""
+        lo, hi = self.diff_ci
+        return lo > 0 or hi < 0
+
+    def __str__(self) -> str:
+        verdict = "significant" if self.significant else "not significant"
+        return (
+            f"{self.metric}: {self.scheme_a} {self.mean_a:.1f} vs "
+            f"{self.scheme_b} {self.mean_b:.1f} "
+            f"(diff {self.mean_diff:+.1f}, 95% CI [{self.diff_ci[0]:.1f}, "
+            f"{self.diff_ci[1]:.1f}], {verdict})"
+        )
+
+
+def compare_paired(
+    a: EvaluationResult,
+    b: EvaluationResult,
+    metric: str = "response_s",
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> PairedComparison:
+    """Paired comparison of two evaluations on the same sample stream.
+
+    Both results must come from ``evaluate()`` with the same ``num_samples``
+    and ``seed`` (the runner guarantees this for ``run_comparison``); the
+    per-index request ids are checked.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"sample counts differ: {len(a)} vs {len(b)}")
+    ids_a = [m.request_id for m in a.samples]
+    ids_b = [m.request_id for m in b.samples]
+    if ids_a != ids_b:
+        raise ValueError(
+            "evaluations were not run on the same sampled request stream; "
+            "use the same evaluation seed"
+        )
+    va = np.array([getattr(m, metric) for m in a.samples])
+    vb = np.array([getattr(m, metric) for m in b.samples])
+    diffs = va - vb
+    ci = bootstrap_ci(diffs, confidence=confidence, n_boot=n_boot, seed=seed)
+    return PairedComparison(
+        metric=metric,
+        scheme_a=a.scheme,
+        scheme_b=b.scheme,
+        mean_a=float(va.mean()),
+        mean_b=float(vb.mean()),
+        mean_diff=float(diffs.mean()),
+        diff_ci=ci,
+        frac_a_lower=float(np.mean(va < vb)),
+    )

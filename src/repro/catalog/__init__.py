@@ -1,0 +1,7 @@
+"""Object catalog, request model, and the object-location index."""
+
+from .index import LocationIndex
+from .objects import ObjectCatalog, StorageObject
+from .requests import Request, RequestSet
+
+__all__ = ["StorageObject", "ObjectCatalog", "Request", "RequestSet", "LocationIndex"]

@@ -1,0 +1,109 @@
+"""The object-location indexing database of Sec. 6.
+
+"Integrated with the simulator is an indexing database that stores object
+locations as well as other object properties" — given a request, the
+simulator resolves each object to its (tape, extent) here.
+
+Whole objects occupy exactly one extent (the paper's model); the striping
+baseline registers several *fragments* per object, each on a different
+tape.  :meth:`group_by_tape` expands a request to every fragment involved,
+so the simulator transparently reads striped objects from multiple drives
+and the request completes only when the last fragment lands — striping's
+synchronization latency needs no special-casing in the engine.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..hardware.system import TapeSystem
+from ..hardware.tape import ObjectExtent, TapeId
+
+__all__ = ["LocationIndex"]
+
+
+class LocationIndex:
+    """Maps every placed object id to its tape(s) and extent(s)."""
+
+    def __init__(self) -> None:
+        self._locations: Dict[int, List[Tuple[TapeId, ObjectExtent]]] = {}
+
+    @classmethod
+    def from_system(cls, system: TapeSystem) -> "LocationIndex":
+        """Build the index by scanning all tape layouts."""
+        index = cls()
+        for tape in system.all_tapes():
+            for extent in tape:
+                index.add(extent.object_id, tape.id, extent)
+        return index
+
+    def add(self, object_id: int, tape_id: TapeId, extent: ObjectExtent) -> None:
+        entries = self._locations.setdefault(object_id, [])
+        if entries:
+            first = entries[0][1]
+            if extent.parts == 1 or first.parts == 1:
+                raise ValueError(
+                    f"object {object_id} already indexed on {entries[0][0]}; whole "
+                    "objects are not replicated (no striping without fragments)"
+                )
+            if extent.parts != first.parts:
+                raise ValueError(
+                    f"object {object_id}: inconsistent fragment counts "
+                    f"({extent.parts} vs {first.parts})"
+                )
+            if any(e.part == extent.part for _, e in entries):
+                raise ValueError(
+                    f"object {object_id}: fragment {extent.part} indexed twice"
+                )
+        entries.append((tape_id, extent))
+
+    # -- whole-object queries ----------------------------------------------
+    def locate(self, object_id: int) -> Tuple[TapeId, ObjectExtent]:
+        """Location of a *whole* object (raises for striped objects)."""
+        entries = self._entries(object_id)
+        if len(entries) > 1 or entries[0][1].parts > 1:
+            raise ValueError(
+                f"object {object_id} is striped over {entries[0][1].parts} fragments; "
+                "use locate_all()"
+            )
+        return entries[0]
+
+    def locate_all(self, object_id: int) -> List[Tuple[TapeId, ObjectExtent]]:
+        """All fragments of an object, in part order."""
+        return sorted(self._entries(object_id), key=lambda te: te[1].part)
+
+    def tape_of(self, object_id: int) -> TapeId:
+        return self.locate(object_id)[0]
+
+    def is_complete(self, object_id: int) -> bool:
+        """All declared fragments of the object are present."""
+        entries = self._locations.get(object_id, [])
+        if not entries:
+            return False
+        return len(entries) == entries[0][1].parts
+
+    def group_by_tape(self, object_ids: Iterable[int]) -> Mapping[TapeId, List[ObjectExtent]]:
+        """Resolve a request's objects (all fragments) into per-tape lists.
+
+        This is the first step of serving a request: "Given a request, the
+        corresponding tapes are identified based on the object indexing
+        database."
+        """
+        groups: Dict[TapeId, List[ObjectExtent]] = defaultdict(list)
+        for object_id in object_ids:
+            for tape_id, extent in self._entries(object_id):
+                groups[tape_id].append(extent)
+        return dict(groups)
+
+    def _entries(self, object_id: int) -> List[Tuple[TapeId, ObjectExtent]]:
+        try:
+            return self._locations[object_id]
+        except KeyError:
+            raise KeyError(f"object {object_id} has not been placed") from None
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._locations
+
+    def __len__(self) -> int:
+        return len(self._locations)

@@ -1,0 +1,101 @@
+"""Requests and request sets.
+
+A request asks for one or more whole objects (paper assumptions 2–4); a
+request set carries the Zipf popularity distribution that both placement
+(object probabilities, Step 1) and evaluation (sampling 200 requests) use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from .objects import ObjectCatalog
+
+__all__ = ["Request", "RequestSet"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One pre-defined request: a set of object ids plus its popularity."""
+
+    id: int
+    object_ids: tuple
+    probability: float
+
+    def __post_init__(self) -> None:
+        if len(self.object_ids) == 0:
+            raise ValueError(f"request {self.id} asks for no objects")
+        if len(set(self.object_ids)) != len(self.object_ids):
+            raise ValueError(f"request {self.id} lists an object twice")
+        if self.probability < 0:
+            raise ValueError(f"request {self.id} has negative probability")
+
+    def total_size_mb(self, catalog: ObjectCatalog) -> float:
+        return catalog.total_size_mb(self.object_ids)
+
+    def __len__(self) -> int:
+        return len(self.object_ids)
+
+
+class RequestSet:
+    """The N_req pre-defined requests with a normalized popularity vector."""
+
+    def __init__(self, requests: Sequence[Request]):
+        if not requests:
+            raise ValueError("request set must contain at least one request")
+        self._requests: List[Request] = list(requests)
+        probs = np.array([r.probability for r in self._requests], dtype=np.float64)
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("request probabilities must sum to a positive value")
+        self._probs = probs / total
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Normalized popularity vector (sums to 1)."""
+        view = self._probs.view()
+        view.flags.writeable = False
+        return view
+
+    def object_probabilities(self, num_objects: int) -> np.ndarray:
+        """Per-object access probability: P(O) = Σ_{O ∈ R} P(R) (Step 1).
+
+        Note these are *not* normalized — the same object may appear in
+        several requests, exactly as the paper defines.
+        """
+        probs = np.zeros(num_objects, dtype=np.float64)
+        for request, p in zip(self._requests, self._probs):
+            ids = np.asarray(request.object_ids, dtype=np.intp)
+            if ids.size and (ids.min() < 0 or ids.max() >= num_objects):
+                raise ValueError(
+                    f"request {request.id} references objects outside 0..{num_objects - 1}"
+                )
+            probs[ids] += p
+        return probs
+
+    def sample(self, rng: np.random.Generator, size: int) -> List[Request]:
+        """Draw ``size`` requests (with replacement) per the popularity."""
+        idx = rng.choice(len(self._requests), size=size, p=self._probs)
+        return [self._requests[i] for i in idx]
+
+    def average_request_size_mb(self, catalog: ObjectCatalog) -> float:
+        """Popularity-weighted mean request size (the paper's "average
+        request size" knob in Figures 6–9)."""
+        sizes = np.array([r.total_size_mb(catalog) for r in self._requests])
+        return float(np.dot(sizes, self._probs))
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __getitem__(self, index: int) -> Request:
+        return self._requests[index]
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __repr__(self) -> str:
+        mean_len = np.mean([len(r) for r in self._requests])
+        return f"<RequestSet {len(self)} requests, mean {mean_len:.1f} objects/request>"

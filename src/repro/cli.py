@@ -1,0 +1,249 @@
+"""Command-line interface: ``repro-tape`` / ``python -m repro``.
+
+Subcommands
+-----------
+``experiment <id>``  run one of the paper's experiments (T1, F5–F9, E1–E3, A1)
+``run``              evaluate one scheme on one configuration
+``schemes``          list registered placement schemes
+``workload``         generate and dump/inspect a workload trace
+
+Examples::
+
+    repro-tape experiment fig6 --scale small
+    repro-tape run --scheme parallel_batch --m 4 --alpha 0.3 --samples 200
+    repro-tape workload --out trace.json --alpha 0.6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import ALL_EXPERIMENTS, ExperimentSettings, chart_table, default_settings
+from .placement import available_schemes, make_scheme
+from .sim import SimulationSession
+from .workload import dump_workload, generate_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tape",
+        description=(
+            "Reproduction of 'Object Placement in Parallel Tape Storage "
+            "Systems' (ICPP 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment and print its table")
+    exp.add_argument(
+        "id",
+        choices=sorted(ALL_EXPERIMENTS),
+        help="experiment id (see DESIGN.md §3)",
+    )
+    exp.add_argument(
+        "--chart", action="store_true", help="also draw the series as a terminal chart"
+    )
+    exp.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    _add_settings_args(exp)
+
+    run = sub.add_parser("run", help="evaluate one scheme on one configuration")
+    run.add_argument("--scheme", default="parallel_batch", choices=sorted(available_schemes()))
+    run.add_argument("--m", type=int, default=4, help="switch drives per library (parallel_batch)")
+    run.add_argument("--alpha", type=float, default=0.3, help="Zipf popularity skew")
+    run.add_argument("--libraries", type=int, default=3)
+    run.add_argument("--samples", type=int, default=200)
+    run.add_argument("--seed", type=int, default=0, help="evaluation sampling seed")
+    run.add_argument("--workload-seed", type=int, default=20060814)
+    _add_settings_args(run)
+
+    cmp_p = sub.add_parser(
+        "compare", help="paired statistical comparison of two schemes"
+    )
+    cmp_p.add_argument("scheme_a", choices=sorted(available_schemes()))
+    cmp_p.add_argument("scheme_b", choices=sorted(available_schemes()))
+    cmp_p.add_argument("--metric", default="response_s",
+                       choices=["response_s", "bandwidth_mb_s", "switch_s", "seek_s", "transfer_s"])
+    cmp_p.add_argument("--alpha", type=float, default=0.3)
+    cmp_p.add_argument("--samples", type=int, default=200)
+    cmp_p.add_argument("--seed", type=int, default=0)
+    _add_settings_args(cmp_p)
+
+    rep = sub.add_parser(
+        "reproduce",
+        help="run every experiment (T1, F5-F9, E1-E3, A1-A8) and write a results directory",
+    )
+    rep.add_argument("--out", default="results", help="output directory (default: results/)")
+    rep.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(ALL_EXPERIMENTS),
+        help="restrict to these experiment ids",
+    )
+    _add_settings_args(rep)
+
+    sub.add_parser("schemes", help="list registered placement schemes")
+
+    wl = sub.add_parser("workload", help="generate a workload; print stats or dump JSON")
+    wl.add_argument("--out", help="path for the JSON trace (omit to just print stats)")
+    wl.add_argument("--alpha", type=float, default=0.3)
+    wl.add_argument("--seed", type=int, default=20060814)
+    _add_settings_args(wl)
+
+    return parser
+
+
+def _add_settings_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=["paper", "small"],
+        default=None,
+        help="paper = 30k objects / Table-1 system; small = ~10x smaller",
+    )
+    parser.add_argument(
+        "--num-samples",
+        type=int,
+        default=None,
+        help="sampled requests per configuration (paper uses 200)",
+    )
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    overrides = {}
+    if getattr(args, "scale", None):
+        overrides["scale"] = args.scale
+    if getattr(args, "num_samples", None):
+        overrides["num_samples"] = args.num_samples
+    return default_settings(**overrides)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    table = ALL_EXPERIMENTS[args.id](settings)
+    print(table.format())
+    if getattr(args, "chart", False):
+        chart = chart_table(table)
+        print()
+        print(chart if chart else "(no numeric series to chart)")
+    if getattr(args, "csv", None):
+        from pathlib import Path
+
+        Path(args.csv).write_text(table.to_csv())
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    params = settings.workload_params
+    workload = generate_workload(params, seed=args.workload_seed, zipf_alpha=args.alpha)
+    spec = settings.spec(num_libraries=args.libraries)
+    kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
+    scheme = make_scheme(args.scheme, **kwargs)
+    session = SimulationSession(workload, spec, scheme=scheme)
+    result = session.evaluate(num_samples=args.samples, seed=args.seed)
+    print(f"scheme:            {args.scheme}")
+    print(f"workload:          {workload!r}")
+    print(f"system:            {spec!r}")
+    print(f"samples:           {len(result)}")
+    print(f"avg bandwidth:     {result.avg_bandwidth_mb_s:10.1f} MB/s")
+    print(f"avg response:      {result.avg_response_s:10.1f} s")
+    print(f"  avg switch:      {result.avg_switch_s:10.1f} s")
+    print(f"  avg seek:        {result.avg_seek_s:10.1f} s")
+    print(f"  avg transfer:    {result.avg_transfer_s:10.1f} s")
+    print(f"avg switches/req:  {result.avg_switches_per_request:10.1f}")
+    print(f"avg drives/req:    {result.avg_drives_per_request:10.1f}")
+    return 0
+
+
+def _cmd_schemes(_args: argparse.Namespace) -> int:
+    for name in available_schemes():
+        print(name)
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    workload = generate_workload(
+        settings.workload_params, seed=args.seed, zipf_alpha=args.alpha
+    )
+    print(repr(workload))
+    print(f"total size:        {workload.total_size_mb / 1e6:.2f} TB")
+    print(f"avg request size:  {workload.average_request_size_mb / 1e3:.1f} GB")
+    print(f"max request size:  {workload.max_request_size_mb / 1e3:.1f} GB")
+    if args.out:
+        dump_workload(workload, args.out)
+        print(f"trace written to {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import compare_paired
+    from .experiments import paper_workload
+
+    settings = _settings(args)
+    workload = paper_workload(settings, alpha=args.alpha)
+    spec = settings.spec()
+    results = []
+    for name in (args.scheme_a, args.scheme_b):
+        session = SimulationSession(workload, spec, scheme=make_scheme(name))
+        results.append(session.evaluate(num_samples=args.samples, seed=args.seed))
+    comparison = compare_paired(results[0], results[1], metric=args.metric)
+    print(comparison)
+    print(
+        f"{args.scheme_a} had the lower {args.metric} in "
+        f"{comparison.frac_a_lower:.0%} of {args.samples} paired samples"
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    settings = _settings(args)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    ids = args.only or sorted(ALL_EXPERIMENTS)
+    index_lines = [
+        "# Reproduction results",
+        "",
+        f"scale: {settings.scale}, samples: {settings.samples}, "
+        f"workload seed: {settings.workload_seed}, eval seed: {settings.eval_seed}",
+        "",
+    ]
+    for exp_id in ids:
+        print(f"[{exp_id}] running ...", flush=True)
+        table = ALL_EXPERIMENTS[exp_id](settings)
+        (out / f"{exp_id}.txt").write_text(table.format() + "\n")
+        (out / f"{exp_id}.csv").write_text(table.to_csv())
+        chart = chart_table(table)
+        if chart:
+            (out / f"{exp_id}.chart.txt").write_text(chart + "\n")
+        index_lines.append(f"- **{table.experiment_id}** ({exp_id}): {table.title}")
+        print(table.format())
+        print()
+    (out / "INDEX.md").write_text("\n".join(index_lines) + "\n")
+    print(f"results written to {out}/")
+    return 0
+
+
+_COMMANDS = {
+    "experiment": _cmd_experiment,
+    "reproduce": _cmd_reproduce,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "schemes": _cmd_schemes,
+    "workload": _cmd_workload,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

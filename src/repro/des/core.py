@@ -1,0 +1,172 @@
+"""The discrete-event simulation environment.
+
+The :class:`Environment` owns the simulation clock and the event heap and
+offers factory helpers (``timeout``, ``process``, ``event`` …) so that
+simulation code rarely needs to import the event classes directly.
+
+Example
+-------
+>>> from repro.des import Environment
+>>> env = Environment()
+>>> log = []
+>>> def clock(env, name, tick):
+...     while True:
+...         log.append((name, env.now))
+...         yield env.timeout(tick)
+>>> _ = env.process(clock(env, "fast", 1))
+>>> _ = env.process(clock(env, "slow", 2))
+>>> env.run(until=4)
+>>> log
+[('fast', 0.0), ('slow', 0.0), ('fast', 1.0), ('slow', 2.0), ('fast', 2.0), ('fast', 3.0)]
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, List, Optional, Tuple
+
+from .events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
+from .exceptions import EmptySchedule, SimulationError, StopSimulation
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment", "Infinity"]
+
+Infinity = float("inf")
+
+
+class Environment:
+    """Execution environment for an event-driven simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default 0).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between steps)."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Put ``event`` on the heap ``delay`` time units from now."""
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events left") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: surface it.
+            assert isinstance(event._value, BaseException)
+            raise event._value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the heap empties, ``until`` time passes, or an event fires.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches it (exclusive of events at
+          later times; the clock is set to ``until`` on return);
+        * an :class:`Event` — run until it is processed and return its value.
+        """
+        if until is None:
+            stop: Optional[Event] = None
+            at = Infinity
+        elif isinstance(until, Event):
+            if until.callbacks is None:
+                # Already processed.
+                return until.value
+            stop = until
+            at = Infinity
+            until.callbacks.append(_stop_simulation)
+        else:
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until ({at}) must be greater than now ({self._now})")
+            stop = Event(self)
+            stop._ok = True
+            stop._value = None
+            stop.callbacks = [_stop_simulation]
+            heapq.heappush(self._queue, (at, URGENT, next(self._eid), stop))
+
+        try:
+            while True:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    if isinstance(until, Event):
+                        raise SimulationError(
+                            "no scheduled events left but `until` event was not triggered"
+                        ) from None
+                    break
+        except StopSimulation as stopped:
+            return stopped.value
+
+        if at is not Infinity and at > self._now:
+            self._now = at
+        return None
+
+
+def _stop_simulation(event: Event) -> None:
+    if not event._ok:
+        event._defused = True
+        raise event._value  # propagate the failure to run()'s caller
+    raise StopSimulation(event._value)

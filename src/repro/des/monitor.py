@@ -1,0 +1,99 @@
+"""Lightweight telemetry for simulations.
+
+The tape simulator records *spans* (named intervals with attributes) so that
+the metrics layer can decompose response times and tests can assert on
+scheduling decisions without reaching into engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Trace"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A named interval of simulated time.
+
+    Attributes
+    ----------
+    name:
+        Category, e.g. ``"transfer"``, ``"rewind"``, ``"robot_wait"``.
+    start, end:
+        Simulation timestamps; ``end >= start``.
+    attrs:
+        Free-form context (drive id, tape id, object id, …).
+    """
+
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span {self.name!r} ends ({self.end}) before it starts ({self.start})")
+
+
+class Trace:
+    """An append-only collection of spans with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._spans: List[Span] = []
+
+    def record(self, name: str, start: float, end: float, **attrs: Any) -> Optional[Span]:
+        """Append a span (no-op when disabled)."""
+        if not self.enabled:
+            return None
+        span = Span(name, start, end, attrs)
+        self._spans.append(span)
+        return span
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def spans(self, name: Optional[str] = None, **attrs: Any) -> List[Span]:
+        """Spans matching ``name`` and all given attribute values."""
+        out = []
+        for span in self._spans:
+            if name is not None and span.name != name:
+                continue
+            if any(span.attrs.get(k) != v for k, v in attrs.items()):
+                continue
+            out.append(span)
+        return out
+
+    def total(self, name: Optional[str] = None, **attrs: Any) -> float:
+        """Summed duration of matching spans."""
+        return sum(span.duration for span in self.spans(name, **attrs))
+
+    def busy_time(self, name: Optional[str] = None, **attrs: Any) -> float:
+        """Union length of matching spans (overlaps counted once)."""
+        intervals = sorted((s.start, s.end) for s in self.spans(name, **attrs))
+        total = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for start, end in intervals:
+            if cur_start is None:
+                cur_start, cur_end = start, end
+            elif start <= cur_end:
+                cur_end = max(cur_end, end)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = start, end
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total

@@ -1,0 +1,224 @@
+"""Item stores and level containers for the DES kernel.
+
+These complete the kernel's resource family for general simulation use
+(SimPy parity for the common surface):
+
+* :class:`Store` — a FIFO buffer of Python objects with blocking ``get`` /
+  ``put`` (bounded or unbounded);
+* :class:`PriorityStore` — items leave lowest-first (items must be
+  orderable, e.g. tuples or :class:`PriorityItem`);
+* :class:`Container` — a continuous level (fuel, bytes, budget) with
+  blocking ``get(amount)`` / ``put(amount)``.
+
+The tape simulator itself uses plain deques (its queues never block), but
+downstream models built on :mod:`repro.des` — e.g. a staging-disk eviction
+model or a robot work queue — need these.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import TYPE_CHECKING, Any, List, Tuple
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = ["Store", "PriorityStore", "PriorityItem", "Container"]
+
+
+class StorePut(Event):
+    """Triggers once the item has been accepted by the store."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Triggers with the retrieved item as its value."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._dispatch()
+
+
+class Store:
+    """FIFO item store with blocking put/get.
+
+    ``capacity`` bounds the number of buffered items (``inf`` by default).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Offer ``item``; the returned event triggers when accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request an item; the event's value is the item when available."""
+        return StoreGet(self)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- internals ------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self._store_item(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self._take_item())
+            return True
+        return False
+
+    def _store_item(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _take_item(self) -> Any:
+        return self.items.pop(0)
+
+    def _dispatch(self) -> None:
+        """Match queued puts and gets until neither side can progress."""
+        progress = True
+        while progress:
+            progress = False
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.pop(0)
+                if not put.triggered:
+                    self._store_item(put.item)
+                    put.succeed()
+                    progress = True
+            while self._get_queue and self.items:
+                get = self._get_queue.pop(0)
+                if not get.triggered:
+                    get.succeed(self._take_item())
+                    progress = True
+
+
+class PriorityItem:
+    """Orderable wrapper pairing a priority with an arbitrary payload."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: float, item: Any) -> None:
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PriorityItem) and self.priority == other.priority
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """Store whose items leave in ascending order (lowest first)."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self._heap: List[Tuple[Any, int]] = []
+        self._tiebreak = count()
+
+    def _store_item(self, item: Any) -> None:
+        heappush(self._heap, (item, next(self._tiebreak)))
+        self.items = [entry[0] for entry in sorted(self._heap)]
+
+    def _take_item(self) -> Any:
+        item, _ = heappop(self._heap)
+        self.items = [entry[0] for entry in sorted(self._heap)]
+        return item
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._dispatch()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A continuous level between 0 and ``capacity`` with blocking put/get."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init level {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._put_queue: List[ContainerPut] = []
+        self._get_queue: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; blocks while it would overflow the capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; blocks until the level covers it."""
+        return ContainerGet(self, amount)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for put in list(self._put_queue):
+                if self._level + put.amount <= self.capacity + 1e-12:
+                    self._put_queue.remove(put)
+                    if not put.triggered:
+                        self._level += put.amount
+                        put.succeed()
+                        progress = True
+                else:
+                    break  # FIFO: don't let later puts jump the queue
+            for get in list(self._get_queue):
+                if get.amount <= self._level + 1e-12:
+                    self._get_queue.remove(get)
+                    if not get.triggered:
+                        self._level -= get.amount
+                        get.succeed()
+                        progress = True
+                else:
+                    break

@@ -1,0 +1,70 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+See DESIGN.md §3 for the experiment index.  Usage::
+
+    from repro.experiments import figure6, default_settings
+    print(figure6(default_settings(scale="small")).format())
+"""
+
+from .figures import (
+    ALL_EXPERIMENTS,
+    ablation,
+    extreme_case,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    sensitivity,
+    table1,
+    tech_trends,
+)
+from .extensions import (
+    degraded,
+    disk_stage,
+    incremental,
+    queueing,
+    robots,
+    seek_model,
+    striping,
+)
+from .plotting import ascii_chart, chart_table
+from .report import ExperimentTable
+from .runner import (
+    SCHEME_LABELS,
+    ExperimentSettings,
+    default_schemes,
+    default_settings,
+    paper_workload,
+    run_comparison,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "ascii_chart",
+    "chart_table",
+    "ExperimentSettings",
+    "default_settings",
+    "default_schemes",
+    "paper_workload",
+    "run_comparison",
+    "SCHEME_LABELS",
+    "table1",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "extreme_case",
+    "tech_trends",
+    "sensitivity",
+    "ablation",
+    "ALL_EXPERIMENTS",
+    "incremental",
+    "queueing",
+    "disk_stage",
+    "striping",
+    "robots",
+    "degraded",
+    "seek_model",
+]

@@ -1,0 +1,509 @@
+"""Drivers that regenerate every measured artifact of the paper.
+
+Each function reproduces one row of the experiment index in DESIGN.md §3
+(T1, F5–F9, E1–E3, A1) and returns an :class:`ExperimentTable` whose
+``format()`` prints the same rows/series the paper's figure reports.
+Absolute numbers differ from the paper (different traces, re-derived
+scheduler details); the *shapes* — who wins, where the m-sweep peaks, which
+component dominates — are asserted by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..hardware import SystemSpec
+from ..placement import ParallelBatchPlacement
+from ..sim import SimulationSession
+from ..workload import generate_workload
+from .report import ExperimentTable
+from .runner import (
+    SCHEME_LABELS,
+    ExperimentSettings,
+    default_schemes,
+    default_settings,
+    paper_workload,
+    run_comparison,
+)
+
+__all__ = [
+    "table1",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "extreme_case",
+    "tech_trends",
+    "sensitivity",
+    "ablation",
+    "ALL_EXPERIMENTS",
+]
+
+
+# ---------------------------------------------------------------------------
+# T1 — Table 1: drive/library specifications and derived timing checks
+# ---------------------------------------------------------------------------
+def table1(settings: Optional[ExperimentSettings] = None) -> ExperimentTable:
+    """Print the Table-1 configuration and validate the derived timings.
+
+    The linear positioning model takes only capacity, max rewind, and the
+    robot/load constants as inputs; "average rewind 49 s" and "average first
+    file access 72 s" are *derived* and compared against the quoted specs.
+    """
+    spec = SystemSpec.table1()
+    lib = spec.library
+    table = ExperimentTable(
+        "T1",
+        "Tape drive/library specifications (IBM LTO-3 / StorageTek L80)",
+        ["parameter", "value", "paper", "kind"],
+    )
+    rows = [
+        ("Average cell to drive time (s)", lib.cell_to_drive_s, 7.6, "input"),
+        ("Tape load and thread to ready (s)", lib.drive.load_s, 19.0, "input"),
+        ("Data transfer rate, native (MB/s)", lib.drive.transfer_rate_mb_s, 80.0, "input"),
+        ("Maximum rewind time (s)", lib.tape.max_rewind_s, 98.0, "input"),
+        ("Average rewind time (s)", lib.tape.avg_rewind_s, 49.0, "derived"),
+        ("Unload time (s)", lib.drive.unload_s, 19.0, "input"),
+        ("Average file access time, first file (s)", lib.first_file_access_s, 72.0, "derived"),
+        ("Number of tapes per library", lib.num_tapes, 80, "input"),
+        ("Tape capacity (GB)", lib.tape.capacity_mb / 1000.0, 400, "input"),
+        ("Tape drives per library", lib.num_drives, 8, "input"),
+        ("Number of tape libraries", spec.num_libraries, 3, "input"),
+    ]
+    worst_err = 0.0
+    for name, value, paper, kind in rows:
+        table.add_row(name, value, paper, kind)
+        if kind == "derived":
+            worst_err = max(worst_err, abs(value - paper) / paper)
+    table.data["worst_derived_error"] = worst_err
+    table.notes.append(
+        f"worst derived-quantity error vs Table 1: {worst_err:.1%} "
+        "(linear positioning model of Johnson & Miller)"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# F5 — Figure 5: bandwidth vs number of switch drives m, per alpha
+# ---------------------------------------------------------------------------
+def figure5(
+    settings: Optional[ExperimentSettings] = None,
+    m_values: Sequence[int] = tuple(range(1, 8)),
+    alphas: Sequence[float] = (0.0, 0.3, 0.6, 1.0),
+) -> ExperimentTable:
+    settings = settings or default_settings()
+    spec = settings.spec()
+    table = ExperimentTable(
+        "F5",
+        "Effective bandwidth (MB/s) vs number of switch drives m",
+        ["m"] + [f"alpha={a}" for a in alphas],
+    )
+    series: Dict[float, List[float]] = {a: [] for a in alphas}
+    workloads = {a: paper_workload(settings, alpha=a) for a in alphas}
+    for m in m_values:
+        row: List = [m]
+        for a in alphas:
+            session = SimulationSession(
+                workloads[a], spec, scheme=ParallelBatchPlacement(m=m)
+            )
+            result = session.evaluate(num_samples=settings.samples, seed=settings.eval_seed)
+            row.append(result.avg_bandwidth_mb_s)
+            series[a].append(result.avg_bandwidth_mb_s)
+        table.add_row(*row)
+    table.data["m_values"] = list(m_values)
+    table.data["series"] = {a: series[a] for a in alphas}
+    table.notes.append(
+        "paper: jump from m=1 to m=2, maximum for moderate m (position depends "
+        "on alpha), decline once the always-mounted batch gets too small"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# F6 — Figure 6: bandwidth vs alpha, three schemes
+# ---------------------------------------------------------------------------
+def figure6(
+    settings: Optional[ExperimentSettings] = None,
+    alphas: Sequence[float] = (0.0, 0.2, 0.3, 0.6, 0.8, 1.0),
+) -> ExperimentTable:
+    settings = settings or default_settings()
+    spec = settings.spec()
+    schemes = default_schemes(m=settings.m)
+    table = ExperimentTable(
+        "F6",
+        "Effective bandwidth (MB/s) vs request popularity skew alpha",
+        ["alpha"] + [SCHEME_LABELS[s.name] for s in schemes],
+    )
+    series: Dict[str, List[float]] = {s.name: [] for s in schemes}
+    for a in alphas:
+        workload = paper_workload(settings, alpha=a)
+        results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
+        row: List = [a]
+        for scheme in schemes:
+            bw = results[scheme.name].avg_bandwidth_mb_s
+            row.append(bw)
+            series[scheme.name].append(bw)
+        table.add_row(*row)
+    table.data["alphas"] = list(alphas)
+    table.data["series"] = series
+    table.notes.append(
+        "paper: parallel batch on top throughout; parallel batch and object "
+        "probability rise with alpha; cluster probability does not benefit"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# F7 — Figure 7: bandwidth vs average request size (object-size scaling)
+# ---------------------------------------------------------------------------
+def figure7(
+    settings: Optional[ExperimentSettings] = None,
+    size_scales: Sequence[float] = (0.375, 0.55, 0.75, 1.0, 1.25, 1.5),
+) -> ExperimentTable:
+    settings = settings or default_settings()
+    spec = settings.spec()
+    schemes = default_schemes(m=settings.m)
+    base = paper_workload(settings)
+    table = ExperimentTable(
+        "F7",
+        "Effective bandwidth (MB/s) vs average request size (GB)",
+        ["avg request (GB)"] + [SCHEME_LABELS[s.name] for s in schemes],
+    )
+    series: Dict[str, List[float]] = {s.name: [] for s in schemes}
+    sizes_gb: List[float] = []
+    for scale in size_scales:
+        workload = base.with_scaled_sizes(scale)
+        sizes_gb.append(workload.average_request_size_mb / 1000.0)
+        results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
+        row: List = [sizes_gb[-1]]
+        for scheme in schemes:
+            bw = results[scheme.name].avg_bandwidth_mb_s
+            row.append(bw)
+            series[scheme.name].append(bw)
+        table.add_row(*row)
+    table.data["request_sizes_gb"] = sizes_gb
+    table.data["series"] = series
+    table.notes.append(
+        "paper: bandwidth increases mildly with request size (transfer time "
+        "grows, switch/seek roughly constant); parallel batch stays on top"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# F8 — Figure 8: bandwidth vs number of libraries (scalability)
+# ---------------------------------------------------------------------------
+def figure8(
+    settings: Optional[ExperimentSettings] = None,
+    library_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+) -> ExperimentTable:
+    """Scalability sweep at ~240 GB average request size.
+
+    Feasibility note (DESIGN.md §5): at the paper's 30 000-object scale the
+    data set (~59 TB at 240 GB/request) does not fit a *single* 32 TB
+    library, so — as the paper itself notes it varied object counts without
+    changing the ranking — this sweep uses 12 000 objects with the same
+    ~2 GB mean size, keeping the 240 GB average request while fitting the
+    n = 1 point.
+    """
+    settings = settings or default_settings()
+    params = settings.workload_params
+    mean_size = (params.mean_object_size_mb or 1780.0) * (240.0 / 218.0)
+    workload = generate_workload(
+        params,
+        num_objects=settings.figure8_num_objects,
+        mean_object_size_mb=mean_size,
+    )
+    schemes = default_schemes(m=settings.m)
+    table = ExperimentTable(
+        "F8",
+        "Effective bandwidth (MB/s) vs number of tape libraries",
+        ["libraries"] + [SCHEME_LABELS[s.name] for s in schemes],
+    )
+    series: Dict[str, List[float]] = {s.name: [] for s in schemes}
+    for n in library_counts:
+        spec = settings.spec(num_libraries=n)
+        results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
+        row: List = [n]
+        for scheme in schemes:
+            bw = results[scheme.name].avg_bandwidth_mb_s
+            row.append(bw)
+            series[scheme.name].append(bw)
+        table.add_row(*row)
+    table.data["library_counts"] = list(library_counts)
+    table.data["series"] = series
+    table.notes.append(
+        "paper: parallel batch and object probability scale with libraries; "
+        "cluster probability gains only up to ~3 libraries (robot relief), "
+        "then flattens — it has no transfer parallelism"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# F9 — Figure 9: response-time components per scheme
+# ---------------------------------------------------------------------------
+def figure9(
+    settings: Optional[ExperimentSettings] = None,
+    size_scale: float = 160.0 / 218.0,
+) -> ExperimentTable:
+    """Component decomposition at ~160 GB average requests (paper scale).
+
+    ``size_scale`` shrinks the base workload's object sizes; the default is
+    the ratio of the paper's 160 GB to the base ~218 GB average, so it works
+    at any settings scale.
+    """
+    settings = settings or default_settings()
+    spec = settings.spec()
+    schemes = default_schemes(m=settings.m)
+    base = paper_workload(settings)
+    workload = base.with_scaled_sizes(size_scale)
+    request_size_gb = workload.average_request_size_mb / 1000.0
+    results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
+    table = ExperimentTable(
+        "F9",
+        f"Response-time components (s) at ~{request_size_gb:.0f} GB requests",
+        ["scheme", "switch", "seek", "transfer", "response", "bandwidth (MB/s)"],
+    )
+    components: Dict[str, Dict[str, float]] = {}
+    for scheme in schemes:
+        r = results[scheme.name]
+        components[scheme.name] = {
+            "switch": r.avg_switch_s,
+            "seek": r.avg_seek_s,
+            "transfer": r.avg_transfer_s,
+            "response": r.avg_response_s,
+        }
+        table.add_row(
+            SCHEME_LABELS[scheme.name],
+            r.avg_switch_s,
+            r.avg_seek_s,
+            r.avg_transfer_s,
+            r.avg_response_s,
+            r.avg_bandwidth_mb_s,
+        )
+    table.data["components"] = components
+    table.notes.append(
+        "paper: object probability pays the largest switch time (it ignores "
+        "relationships) but the best transfer time; seek time is secondary; "
+        "parallel batch achieves the best balance and lowest response"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E1 — Sec. 6 prose: the all-mounted extreme case
+# ---------------------------------------------------------------------------
+def extreme_case(settings: Optional[ExperimentSettings] = None) -> ExperimentTable:
+    """Shrink objects until the n×d initially mounted tapes hold everything.
+
+    The paper reports: object probability gets the lowest response (lowest
+    seek); cluster probability and parallel batch have similar responses,
+    but transfer accounts for ~62 % of cluster probability's response vs
+    ~19 % for parallel batch (serial vs parallel reads)."""
+    settings = settings or default_settings()
+    spec = settings.spec()
+    base = paper_workload(settings)
+    usable = (
+        0.8
+        * spec.total_drives
+        * spec.library.tape.capacity_mb
+        * 0.9  # leave packing slack below the k coefficient
+    )
+    workload = base.with_scaled_sizes(usable / base.total_size_mb)
+    schemes = default_schemes(m=settings.m)
+    results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
+    table = ExperimentTable(
+        "E1",
+        "Extreme case: all objects on initially mounted tapes",
+        ["scheme", "response (s)", "seek (s)", "switch (s)", "transfer share", "switches/req"],
+    )
+    stats: Dict[str, Dict[str, float]] = {}
+    for scheme in schemes:
+        r = results[scheme.name]
+        stats[scheme.name] = {
+            "response": r.avg_response_s,
+            "seek": r.avg_seek_s,
+            "switch": r.avg_switch_s,
+            "transfer_fraction": r.transfer_fraction,
+            "switches": r.avg_switches_per_request,
+        }
+        table.add_row(
+            SCHEME_LABELS[scheme.name],
+            r.avg_response_s,
+            r.avg_seek_s,
+            r.avg_switch_s,
+            r.transfer_fraction,
+            r.avg_switches_per_request,
+        )
+    table.data["stats"] = stats
+    table.notes.append(
+        "paper: object probability lowest response (lowest seek); transfer is "
+        "~62% of response for cluster probability vs ~19% for parallel batch"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E2 — Sec. 6 prose: technology trends
+# ---------------------------------------------------------------------------
+def tech_trends(
+    settings: Optional[ExperimentSettings] = None,
+    rate_factors: Sequence[float] = (1.0, 2.0, 4.0),
+    capacity_factors: Sequence[float] = (1.0, 2.0),
+) -> ExperimentTable:
+    """Faster drives / denser tapes ("due to page limitations" the paper
+    omits the figure but states parallel batch improves the most)."""
+    settings = settings or default_settings()
+    workload = paper_workload(settings)
+    schemes = default_schemes(m=settings.m)
+    table = ExperimentTable(
+        "E2",
+        "Effective bandwidth (MB/s) under improved tape technology",
+        ["rate x", "capacity x"] + [SCHEME_LABELS[s.name] for s in schemes],
+    )
+    series: Dict[str, List[float]] = {s.name: [] for s in schemes}
+    configs: List = []
+    for cf in capacity_factors:
+        for rf in rate_factors:
+            spec = settings.spec().scaled_technology(rate_factor=rf, capacity_factor=cf)
+            results = run_comparison(
+                workload, spec, schemes, settings.samples, settings.eval_seed
+            )
+            configs.append((rf, cf))
+            row: List = [rf, cf]
+            for scheme in schemes:
+                bw = results[scheme.name].avg_bandwidth_mb_s
+                row.append(bw)
+                series[scheme.name].append(bw)
+            table.add_row(*row)
+    table.data["configs"] = configs
+    table.data["series"] = series
+    table.notes.append(
+        "paper (prose): with increased transfer speed and tape capacity, the "
+        "proposed scheme improves more than the other two"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E3 — Sec. 6 prose: sensitivity to workload scale
+# ---------------------------------------------------------------------------
+def sensitivity(settings: Optional[ExperimentSettings] = None) -> ExperimentTable:
+    """Vary object/request counts; the scheme ranking must not change."""
+    settings = settings or default_settings()
+    spec = settings.spec()
+    schemes = default_schemes(m=settings.m)
+    base = settings.workload_params
+    if settings.scale == "paper":
+        variations = [
+            ("base", {}),
+            ("objects/2", {"num_objects": base.num_objects // 2}),
+            ("objects+50%", {"num_objects": int(base.num_objects * 1.5)}),
+            ("requests/2", {"num_requests": base.num_requests // 2}),
+            ("requests x2", {"num_requests": base.num_requests * 2}),
+            ("other seed", {"seed": base.seed + 1}),
+        ]
+    else:
+        variations = [
+            ("base", {}),
+            ("objects/2", {"num_objects": base.num_objects // 2}),
+            ("other seed", {"seed": base.seed + 1}),
+        ]
+    table = ExperimentTable(
+        "E3",
+        "Bandwidth (MB/s) ranking stability across workload variations",
+        ["variation"] + [SCHEME_LABELS[s.name] for s in schemes] + ["winner"],
+    )
+    winners: List[str] = []
+    for label, overrides in variations:
+        workload = generate_workload(base, **overrides)
+        results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
+        bws = {s.name: results[s.name].avg_bandwidth_mb_s for s in schemes}
+        winner = max(bws, key=bws.get)
+        winners.append(winner)
+        table.add_row(label, *[bws[s.name] for s in schemes], SCHEME_LABELS[winner])
+    table.data["winners"] = winners
+    table.notes.append(
+        "paper (prose): varying the number of objects, pre-defined requests "
+        "and simulated requests does not change the relative performance"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# A1 — ablation of the parallel-batch ingredients (ours)
+# ---------------------------------------------------------------------------
+def ablation(settings: Optional[ExperimentSettings] = None) -> ExperimentTable:
+    settings = settings or default_settings()
+    spec = settings.spec()
+    workload = paper_workload(settings)
+    m = settings.m
+    variants = [
+        ("full scheme", ParallelBatchPlacement(m=m)),
+        ("no cluster refinement (Step 4 off)", ParallelBatchPlacement(m=m, refine=False)),
+        ("round-robin instead of zig-zag (Fig. 3 off)", ParallelBatchPlacement(m=m, use_zigzag=False)),
+        ("paper-literal Step 6 (per-object organ pipe)", ParallelBatchPlacement(m=m, alignment="object")),
+        ("no alignment (FIFO layout)", ParallelBatchPlacement(m=m, alignment="fifo")),
+        ("no pinned batch (switch strategy off)", ParallelBatchPlacement(m=m, pin_first_batch=False)),
+        ("no shared-object detachment", ParallelBatchPlacement(m=m, detach_shared=False)),
+    ]
+    table = ExperimentTable(
+        "A1",
+        "Parallel-batch ablation: contribution of each ingredient",
+        ["variant", "bandwidth (MB/s)", "response (s)", "switch (s)", "seek (s)", "transfer (s)"],
+    )
+    bandwidths: Dict[str, float] = {}
+    for label, scheme in variants:
+        session = SimulationSession(workload, spec, scheme=scheme)
+        r = session.evaluate(num_samples=settings.samples, seed=settings.eval_seed)
+        bandwidths[label] = r.avg_bandwidth_mb_s
+        table.add_row(
+            label, r.avg_bandwidth_mb_s, r.avg_response_s, r.avg_switch_s,
+            r.avg_seek_s, r.avg_transfer_s,
+        )
+    table.data["bandwidths"] = bandwidths
+    table.notes.append("every row below 'full scheme' disables exactly one ingredient")
+    return table
+
+
+def _extension_experiments():
+    """Deferred import: extensions depend on this module's registry peers."""
+    from .extensions import (
+        degraded,
+        disk_stage,
+        incremental,
+        queueing,
+        robots,
+        seek_model,
+        striping,
+    )
+
+    return {
+        "incremental": incremental,
+        "queueing": queueing,
+        "disk": disk_stage,
+        "striping": striping,
+        "robots": robots,
+        "degraded": degraded,
+        "seek_model": seek_model,
+    }
+
+
+#: Experiment id -> driver, for the CLI (paper artifacts + extensions).
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "extreme": extreme_case,
+    "tech": tech_trends,
+    "sensitivity": sensitivity,
+    "ablation": ablation,
+}
+ALL_EXPERIMENTS.update(_extension_experiments())

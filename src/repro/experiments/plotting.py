@@ -1,0 +1,114 @@
+"""Terminal line charts for experiment tables.
+
+``repro-tape experiment fig6 --chart`` renders the figure the paper prints,
+directly in the terminal — one glyph per scheme/series, shared y-axis:
+
+    320 |                       a
+        |                a
+    270 |  a    a   a                     a: parallel batch
+        |            b              b     b: object probability
+    220 |  b    c    c   b    c
+        |       b             c    c
+    170 +----------------------------
+          0   0.2  0.3  0.6 0.8  1.0
+
+Pure text, no plotting dependency; designed for the ``ExperimentTable``
+shape (first column = x axis, remaining numeric columns = series).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .report import ExperimentTable
+
+__all__ = ["ascii_chart", "chart_table"]
+
+_GLYPHS = "abcdefghijklmnop"
+
+
+def ascii_chart(
+    x_labels: Sequence,
+    series: Sequence[Sequence[float]],
+    names: Sequence[str],
+    height: int = 14,
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x positions as text.
+
+    Each series gets a letter glyph; collisions print ``*``.
+    """
+    if not series or not any(len(s) for s in series):
+        raise ValueError("nothing to plot")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"too many series ({len(series)} > {len(_GLYPHS)})")
+    n = len(x_labels)
+    if any(len(s) != n for s in series):
+        raise ValueError("every series must have one value per x label")
+    if height < 3:
+        raise ValueError(f"height must be >= 3, got {height}")
+
+    values = [v for s in series for v in s]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0  # flat line: avoid /0, draw mid-chart
+
+    col_width = max(5, max(len(str(x)) for x in x_labels) + 2)
+
+    def row_of(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return min(height - 1, int(round(frac * (height - 1))))
+
+    grid: List[List[str]] = [[" "] * (n * col_width) for _ in range(height)]
+    for si, s in enumerate(series):
+        glyph = _GLYPHS[si]
+        for xi, value in enumerate(s):
+            r = height - 1 - row_of(value)
+            c = xi * col_width + col_width // 2
+            grid[r][c] = "*" if grid[r][c] not in (" ", glyph) else glyph
+
+    def y_tick(row: int) -> float:
+        frac = (height - 1 - row) / (height - 1)
+        return lo + frac * (hi - lo)
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    for r in range(height):
+        tick = f"{y_tick(r):>9.1f} |" if r % max(1, height // 5) == 0 else "          |"
+        lines.append(tick + "".join(grid[r]))
+    lines.append("          +" + "-" * (n * col_width))
+    x_row = "           "
+    for x in x_labels:
+        x_row += str(x).center(col_width)
+    lines.append(x_row)
+    legend = "   ".join(f"{_GLYPHS[i]}: {name}" for i, name in enumerate(names))
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def chart_table(table: ExperimentTable, height: int = 14) -> Optional[str]:
+    """Chart an experiment table whose first column is the x axis.
+
+    Returns ``None`` when the table has no numeric series to draw (e.g. the
+    Table-1 spec listing).
+    """
+    if len(table.columns) < 2 or len(table.rows) < 2:
+        return None
+    x_labels = [row[0] for row in table.rows]
+    names: List[str] = []
+    series: List[List[float]] = []
+    for ci in range(1, len(table.columns)):
+        column = [row[ci] for row in table.rows]
+        if all(isinstance(v, (int, float)) for v in column):
+            names.append(table.columns[ci])
+            series.append([float(v) for v in column])
+    if not series:
+        return None
+    return ascii_chart(
+        x_labels,
+        series,
+        names,
+        height=height,
+        y_label=f"{table.experiment_id}: {table.title}",
+    )

@@ -1,0 +1,85 @@
+"""Plain-text table rendering for experiment results.
+
+Every experiment driver returns an :class:`ExperimentTable` whose
+``format()`` prints the same rows/series the paper's figure or table
+reports, so benchmark output is directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["ExperimentTable"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of experiment results plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Raw per-cell payloads for programmatic use (e.g. shape assertions).
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, by header name."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def format(self) -> str:
+        cells = [[_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [
+            f"{self.experiment_id}: {self.title}",
+            "=" * max(len(header), len(self.experiment_id) + len(self.title) + 2),
+            header,
+            sep,
+        ]
+        for row in cells:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The table as CSV text (header + rows, RFC-4180 quoting)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,29 @@
+"""Hardware models of the parallel tape storage system.
+
+Specs carry the timing constants (Table 1 of the paper); :class:`Tape`,
+:class:`TapeDrive`, :class:`Robot`, :class:`TapeLibrary` and
+:class:`TapeSystem` carry layout/mount state and deterministic timing math.
+Sequencing of operations in simulated time lives in :mod:`repro.sim`.
+"""
+
+from .drive import DriveId, TapeDrive
+from .library import TapeLibrary
+from .robot import Robot
+from .specs import DriveSpec, LibrarySpec, SystemSpec, TapeSpec
+from .system import TapeSystem
+from .tape import ObjectExtent, Tape, TapeId
+
+__all__ = [
+    "TapeSpec",
+    "DriveSpec",
+    "LibrarySpec",
+    "SystemSpec",
+    "TapeId",
+    "ObjectExtent",
+    "Tape",
+    "DriveId",
+    "TapeDrive",
+    "Robot",
+    "TapeLibrary",
+    "TapeSystem",
+]

@@ -1,0 +1,64 @@
+"""Robot arm model.
+
+Each library has exactly one robot (paper assumption 5), so all cartridge
+movements within a library serialize behind it while robots of different
+libraries work independently.  The DES engine wraps :attr:`Robot.resource`
+(a capacity-1 :class:`~repro.des.resources.Resource`); the timing split
+follows the paper ("the simulator models robotic arm mount/unmount
+operations as constant time values"):
+
+* drive-side, no robot needed: rewind;
+* robot-held: unload, carry the old cartridge to its cell, fetch the new
+  cartridge, load-and-thread.
+
+So each displacement switch occupies the robot for
+``unload + 2 × cell_to_drive + load`` (19 + 15.2 + 19 = 53.2 s with Table-1
+values) — the single arm is the serialization point for concurrent switches
+within one library, which is exactly the contention the paper's Figure 5
+trades against always-mounted capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..des import Environment, Resource
+from .specs import LibrarySpec
+
+__all__ = ["Robot"]
+
+
+class Robot:
+    """The cartridge-moving arm(s) of one library (one by default)."""
+
+    def __init__(self, library: int, spec: LibrarySpec, env: Optional[Environment] = None) -> None:
+        self.library = library
+        self.spec = spec
+        self._env: Optional[Environment] = None
+        self._resource: Optional[Resource] = None
+        if env is not None:
+            self.bind(env)
+
+    def bind(self, env: Environment) -> None:
+        """Attach to a simulation environment (fresh queue/state)."""
+        self._env = env
+        self._resource = Resource(env, capacity=self.spec.num_robots)
+
+    @property
+    def resource(self) -> Resource:
+        if self._resource is None:
+            raise RuntimeError(f"robot of library {self.library} is not bound to an environment")
+        return self._resource
+
+    @property
+    def move_time(self) -> float:
+        """One cell<->drive arm movement."""
+        return self.spec.cell_to_drive_s
+
+    @property
+    def exchange_time(self) -> float:
+        """Robot-held portion of a tape switch: return old + fetch new."""
+        return 2.0 * self.spec.cell_to_drive_s
+
+    def __repr__(self) -> str:
+        return f"<Robot L{self.library}>"

@@ -1,0 +1,63 @@
+"""The whole parallel tape storage system (Figure 1 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from .drive import TapeDrive
+from .library import TapeLibrary
+from .specs import SystemSpec
+from .tape import Tape, TapeId
+
+__all__ = ["TapeSystem"]
+
+
+class TapeSystem:
+    """``n`` identical libraries; drives transfer in parallel, robots are
+    independent across libraries but exclusive within one."""
+
+    def __init__(self, spec: SystemSpec) -> None:
+        self.spec = spec
+        self.libraries: List[TapeLibrary] = [
+            TapeLibrary(i, spec.library) for i in range(spec.num_libraries)
+        ]
+
+    # -- queries ----------------------------------------------------------
+    def library(self, index: int) -> TapeLibrary:
+        return self.libraries[index]
+
+    def tape(self, tape_id: TapeId) -> Tape:
+        return self.libraries[tape_id.library].tape(tape_id)
+
+    def all_tapes(self) -> Iterator[Tape]:
+        for library in self.libraries:
+            yield from library
+
+    def all_drives(self) -> Iterator[TapeDrive]:
+        for library in self.libraries:
+            yield from library.drives
+
+    def mounted_tape_ids(self) -> Dict[TapeId, TapeDrive]:
+        out: Dict[TapeId, TapeDrive] = {}
+        for library in self.libraries:
+            out.update(library.mounted_tapes())
+        return out
+
+    def used_mb(self) -> float:
+        return sum(t.used_mb for t in self.all_tapes())
+
+    def reset_runtime_state(self) -> None:
+        """Unmount everything and rewind all heads (layouts are kept)."""
+        for library in self.libraries:
+            library.unmount_all()
+        for tape in self.all_tapes():
+            tape.head_mb = 0.0
+
+    def clear_layouts(self) -> None:
+        """Erase all object layouts (used when re-placing a workload)."""
+        for tape in self.all_tapes():
+            tape.write_layout([])
+        self.reset_runtime_state()
+
+    def __repr__(self) -> str:
+        return f"<TapeSystem {len(self.libraries)} libraries, {self.spec.total_drives} drives>"

@@ -1,0 +1,154 @@
+"""Tape cartridges and their on-media object layouts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from .specs import TapeSpec
+
+__all__ = ["TapeId", "ObjectExtent", "Tape"]
+
+
+@dataclass(frozen=True, order=True)
+class TapeId:
+    """Globally unique tape address: (library index, slot index)."""
+
+    library: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"L{self.library}.T{self.slot}"
+
+
+@dataclass(frozen=True)
+class ObjectExtent:
+    """A contiguous region of tape holding one object (or one stripe of it).
+
+    The paper assumes whole-object sequential access (assumption 3 in
+    Sec. 3) and no striping, so by default every object occupies exactly
+    one extent (``part 0 of 1``) on exactly one tape.  The striping
+    baseline from the related work (Golubchik et al. [15], Drapeau & Katz
+    [13]) splits an object into ``parts`` fragments; a request then
+    completes only when *every* fragment has been read — the
+    synchronization latency the paper cites against striping emerges from
+    exactly this.
+    """
+
+    object_id: int
+    start_mb: float
+    size_mb: float
+    #: Which stripe fragment this is (0-based).
+    part: int = 0
+    #: Total number of fragments the object was split into.
+    parts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start_mb < 0:
+            raise ValueError(f"extent start must be >= 0, got {self.start_mb}")
+        if self.size_mb <= 0:
+            raise ValueError(f"extent size must be positive, got {self.size_mb}")
+        if self.parts < 1:
+            raise ValueError(f"parts must be >= 1, got {self.parts}")
+        if not 0 <= self.part < self.parts:
+            raise ValueError(f"part {self.part} out of range for {self.parts} parts")
+
+    @property
+    def is_fragment(self) -> bool:
+        return self.parts > 1
+
+    @property
+    def end_mb(self) -> float:
+        return self.start_mb + self.size_mb
+
+    def overlaps(self, other: "ObjectExtent") -> bool:
+        return self.start_mb < other.end_mb and other.start_mb < self.end_mb
+
+
+class Tape:
+    """A cartridge: an ordered, non-overlapping object layout plus head state.
+
+    The head position is runtime state maintained by the simulator; it
+    persists across requests while the tape stays mounted and resets to 0
+    (beginning of tape) whenever the tape is rewound for unmounting or
+    freshly loaded.
+    """
+
+    def __init__(self, tape_id: TapeId, spec: TapeSpec) -> None:
+        self.id = tape_id
+        self.spec = spec
+        self._extents: List[ObjectExtent] = []
+        self._by_object: Dict[int, ObjectExtent] = {}
+        #: Current head position in MB (meaningful while mounted).
+        self.head_mb: float = 0.0
+
+    # -- layout -----------------------------------------------------------
+    def write_layout(self, extents: Iterable[ObjectExtent]) -> None:
+        """Replace the layout with ``extents`` (validated, sorted by start)."""
+        extents = sorted(extents, key=lambda e: e.start_mb)
+        by_object: Dict[int, ObjectExtent] = {}
+        prev_end = 0.0
+        for extent in extents:
+            if extent.object_id in by_object:
+                raise ValueError(f"object {extent.object_id} placed twice on {self.id}")
+            if extent.start_mb < prev_end - 1e-9:
+                raise ValueError(
+                    f"overlapping extents on {self.id} at {extent.start_mb} MB"
+                )
+            if extent.end_mb > self.spec.capacity_mb + 1e-6:
+                raise ValueError(
+                    f"extent for object {extent.object_id} ends at {extent.end_mb} MB, "
+                    f"beyond tape capacity {self.spec.capacity_mb} MB"
+                )
+            by_object[extent.object_id] = extent
+            prev_end = extent.end_mb
+        self._extents = extents
+        self._by_object = by_object
+
+    def append_object(self, object_id: int, size_mb: float) -> ObjectExtent:
+        """Append an object after the current end of data."""
+        start = self.used_mb
+        extent = ObjectExtent(object_id, start, size_mb)
+        if extent.end_mb > self.spec.capacity_mb + 1e-6:
+            raise ValueError(
+                f"object {object_id} ({size_mb} MB) does not fit on {self.id} "
+                f"({self.free_mb} MB free)"
+            )
+        self._extents.append(extent)
+        self._by_object[object_id] = extent
+        return extent
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def extents(self) -> Tuple[ObjectExtent, ...]:
+        return tuple(self._extents)
+
+    @property
+    def object_ids(self) -> Tuple[int, ...]:
+        return tuple(e.object_id for e in self._extents)
+
+    def extent_of(self, object_id: int) -> ObjectExtent:
+        try:
+            return self._by_object[object_id]
+        except KeyError:
+            raise KeyError(f"object {object_id} is not on tape {self.id}") from None
+
+    def holds(self, object_id: int) -> bool:
+        return object_id in self._by_object
+
+    @property
+    def used_mb(self) -> float:
+        return self._extents[-1].end_mb if self._extents else 0.0
+
+    @property
+    def free_mb(self) -> float:
+        return self.spec.capacity_mb - self.used_mb
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self) -> Iterator[ObjectExtent]:
+        return iter(self._extents)
+
+    def __repr__(self) -> str:
+        return f"<Tape {self.id} {len(self)} objects, {self.used_mb:.0f}/{self.spec.capacity_mb:.0f} MB>"

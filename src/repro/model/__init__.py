@@ -1,0 +1,12 @@
+"""Analytic performance models (no event loop).
+
+:class:`CostModel` predicts a request's response decomposition from the
+placement's static structure — the paper's objective function
+``Σ P(R)·t(R)`` in closed form — and :mod:`repro.model.search` uses it as
+the objective of a local-search placement optimizer.
+"""
+
+from .cost import CostModel, RequestEstimate
+from .search import SearchResult, optimize_placement
+
+__all__ = ["CostModel", "RequestEstimate", "SearchResult", "optimize_placement"]

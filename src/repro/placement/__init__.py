@@ -1,0 +1,65 @@
+"""Placement schemes: the paper's contribution and both baselines.
+
+* :class:`ParallelBatchPlacement` — the proposed scheme (Sec. 5).
+* :class:`ObjectProbabilityPlacement` — baseline [11], probability-only.
+* :class:`ClusterProbabilityPlacement` — baseline [20], switch-minimizing.
+
+Shared substrates: co-access clustering (Sec. 5.1), the Figure-3 greedy
+zig-zag load balancer (Sec. 5.4), organ-pipe alignment, and the
+density-sort/sublist machinery of Steps 2–4.
+"""
+
+from .base import PlacementError, PlacementResult, PlacementScheme
+from .cluster_probability import ClusterProbabilityPlacement
+from .incremental import (
+    Epoch,
+    IncrementalParallelBatch,
+    split_into_epochs,
+    subset_workload,
+)
+from .clustering import Cluster, Clustering, cluster_objects, similarity_edges
+from .load_balance import TapeBin, choose_ndrv, round_robin_assign, zigzag_assign
+from .object_probability import ObjectProbabilityPlacement
+from .organ_pipe import (
+    clustered_organ_pipe_extents,
+    organ_pipe_extents,
+    organ_pipe_order,
+    sequential_extents,
+)
+from .parallel_batch import ParallelBatchPlacement, default_split_unit_mb
+from .registry import available_schemes, make_scheme, register_scheme
+from .striping import StripedPlacement
+from .sublists import density_order, partition_sublists, refine_sublists
+
+__all__ = [
+    "PlacementError",
+    "PlacementResult",
+    "PlacementScheme",
+    "ParallelBatchPlacement",
+    "ObjectProbabilityPlacement",
+    "ClusterProbabilityPlacement",
+    "Epoch",
+    "IncrementalParallelBatch",
+    "split_into_epochs",
+    "subset_workload",
+    "StripedPlacement",
+    "Cluster",
+    "Clustering",
+    "cluster_objects",
+    "similarity_edges",
+    "TapeBin",
+    "choose_ndrv",
+    "zigzag_assign",
+    "round_robin_assign",
+    "organ_pipe_order",
+    "clustered_organ_pipe_extents",
+    "organ_pipe_extents",
+    "sequential_extents",
+    "density_order",
+    "partition_sublists",
+    "refine_sublists",
+    "default_split_unit_mb",
+    "available_schemes",
+    "make_scheme",
+    "register_scheme",
+]

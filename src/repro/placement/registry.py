@@ -1,0 +1,47 @@
+"""Name-based registry of placement schemes.
+
+Lets experiments, the CLI, and user code construct schemes from strings
+(``make_scheme("parallel_batch", m=4)``) and lets downstream users plug in
+their own schemes (see ``examples/custom_placement_plugin.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+from .base import PlacementScheme
+from .cluster_probability import ClusterProbabilityPlacement
+from .object_probability import ObjectProbabilityPlacement
+from .parallel_batch import ParallelBatchPlacement
+from .striping import StripedPlacement
+
+__all__ = ["register_scheme", "make_scheme", "available_schemes"]
+
+_REGISTRY: Dict[str, Callable[..., PlacementScheme]] = {}
+
+
+def register_scheme(name: str, factory: Callable[..., PlacementScheme]) -> None:
+    """Register ``factory`` under ``name`` (overwrites silently)."""
+    if not name:
+        raise ValueError("scheme name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def make_scheme(name: str, **kwargs) -> PlacementScheme:
+    """Instantiate a registered scheme by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown placement scheme {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available_schemes() -> Iterable[str]:
+    return sorted(_REGISTRY)
+
+
+register_scheme(ParallelBatchPlacement.name, ParallelBatchPlacement)
+register_scheme(ObjectProbabilityPlacement.name, ObjectProbabilityPlacement)
+register_scheme(ClusterProbabilityPlacement.name, ClusterProbabilityPlacement)
+register_scheme(StripedPlacement.name, StripedPlacement)

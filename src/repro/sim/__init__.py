@@ -1,0 +1,33 @@
+"""The multiple-tape-library simulator (Sec. 6) and its metrics."""
+
+from .analytic import mounted_response, uncontended_switch_time
+from .engine import simulate_request
+from .queueing import QueuedRequestRecord, QueueingResult, simulate_fcfs_queue
+from .metrics import DriveServiceRecord, EvaluationResult, RequestMetrics
+from .replacement import REPLACEMENT_POLICIES, available_policies, replacement_key
+from .scheduling import LibraryPlan, TapeJob, build_library_plan, estimate_job_time
+from .seekplan import plan_retrieval, sweep_cost
+from .session import SimulationSession, evaluate_scheme
+
+__all__ = [
+    "simulate_request",
+    "QueuedRequestRecord",
+    "QueueingResult",
+    "simulate_fcfs_queue",
+    "SimulationSession",
+    "evaluate_scheme",
+    "RequestMetrics",
+    "DriveServiceRecord",
+    "EvaluationResult",
+    "TapeJob",
+    "LibraryPlan",
+    "build_library_plan",
+    "estimate_job_time",
+    "plan_retrieval",
+    "sweep_cost",
+    "mounted_response",
+    "REPLACEMENT_POLICIES",
+    "available_policies",
+    "replacement_key",
+    "uncontended_switch_time",
+]

@@ -1,0 +1,66 @@
+"""Closed-form service-time computations for restricted cases.
+
+These duplicate the engine's arithmetic *without* the event loop and serve
+as independent oracles in tests:
+
+* :func:`mounted_response` — a request whose tapes are all mounted needs no
+  robot and no switching, so each drive's completion is simply its optimal
+  sweep seek plus transfer time, all starting at t=0; the DES must agree to
+  float precision.
+* :func:`uncontended_switch_time` — the drive-side cost of one switch with
+  a free robot; a lower bound for any simulated switch.
+"""
+
+from __future__ import annotations
+
+
+from ..catalog import LocationIndex, Request
+from ..hardware import SystemSpec, TapeSystem
+from .metrics import DriveServiceRecord, RequestMetrics
+from .seekplan import plan_retrieval
+
+__all__ = ["mounted_response", "uncontended_switch_time"]
+
+
+def mounted_response(
+    system: TapeSystem, index: LocationIndex, request: Request
+) -> RequestMetrics:
+    """Analytic response for a request served entirely from mounted tapes.
+
+    Raises ``ValueError`` if any requested tape is offline.  Does not mutate
+    head positions (pure computation).
+    """
+    jobs = index.group_by_tape(request.object_ids)
+    mounted = system.mounted_tape_ids()
+    records = []
+    total_mb = 0.0
+    for tape_id, extents in jobs.items():
+        drive = mounted.get(tape_id)
+        if drive is None:
+            raise ValueError(f"tape {tape_id} is not mounted; analytic model does not apply")
+        tape = system.tape(tape_id)
+        _, seek = plan_retrieval(extents, tape.head_mb, drive.tape_spec)
+        transfer = drive.transfer_time(sum(e.size_mb for e in extents))
+        total_mb += sum(e.size_mb for e in extents)
+        records.append(
+            DriveServiceRecord(
+                drive=str(drive.id),
+                completion_s=seek + transfer,
+                seek_s=seek,
+                transfer_s=transfer,
+                bytes_mb=sum(e.size_mb for e in extents),
+            )
+        )
+    return RequestMetrics.from_drive_records(
+        request_id=request.id, size_mb=total_mb, num_tapes=len(jobs), records=records
+    )
+
+
+def uncontended_switch_time(spec: SystemSpec, head_mb: float = 0.0) -> float:
+    """Drive-side duration of one tape switch with an idle robot.
+
+    rewind(head) + unload + robot exchange (2 moves) + load-and-thread.
+    """
+    lib = spec.library
+    rewind = lib.tape.locate_time(head_mb, 0.0)
+    return rewind + lib.drive.unload_s + 2.0 * lib.cell_to_drive_s + lib.drive.load_s

@@ -1,0 +1,328 @@
+"""The request-service engine: Sec. 6's simulator, on the DES kernel.
+
+One call to :func:`simulate_request` serves one request to completion:
+
+* the location index resolves the request to per-tape jobs;
+* tapes already mounted serve in place (drives run in parallel);
+* mounted switchable tapes without requested objects switch immediately;
+  offline tapes queue LPT-first and free switch drives pull greedily;
+* every mount/unmount competes for the library's single robot arm
+  (capacity-1 resource) — robots of different libraries are independent;
+* within a tape, extents are read in the cheaper single sweep.
+
+Hardware state (mounted tapes, head positions) is mutated and *persists*
+across calls, exactly like the paper's simulator where requests arrive one
+at a time with long gaps: a switching tape left mounted stays mounted, and
+its rewind is paid by whichever later request displaces it (T_switch
+explicitly includes rewind time, Sec. 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Mapping, Optional
+
+from ..catalog import LocationIndex, Request
+from ..des import Environment, Interrupt, Resource, Trace
+from ..hardware import TapeDrive, TapeLibrary, TapeId, TapeSystem
+from .metrics import DriveServiceRecord, RequestMetrics
+from .scheduling import TapeJob, build_library_plan
+from .seekplan import plan_retrieval
+
+__all__ = ["simulate_request"]
+
+_NULL_TRACE = Trace(enabled=False)
+
+
+def simulate_request(
+    system: TapeSystem,
+    index: LocationIndex,
+    request: Request,
+    tape_priority: Optional[Mapping[TapeId, float]] = None,
+    trace: Optional[Trace] = None,
+    replacement_policy: str = "least_popular",
+    failures: Optional[Mapping[str, float]] = None,
+) -> RequestMetrics:
+    """Serve ``request`` on ``system``; returns its metrics.
+
+    ``tape_priority`` and ``replacement_policy`` control which mounted tapes
+    are displaced first (default: the paper's least-popular policy);
+    ``trace`` (if enabled) receives one span per
+    rewind/unload/robot/load/seek/transfer.
+
+    ``failures`` injects permanent drive failures for this request: a map
+    from drive name (e.g. ``"L0.D3"``) to the simulated time at which the
+    drive dies.  A failing drive abandons its unfinished extents (the
+    in-flight extent restarts from scratch), its cartridge is pulled, and
+    the leftover work re-queues for the library's surviving switch drives
+    — the response time grows accordingly.  All requested bytes are still
+    delivered unless a library has *no* surviving switchable drive.
+    """
+    trace = trace if trace is not None else _NULL_TRACE
+    tape_priority = tape_priority or {}
+    failures = dict(failures or {})
+
+    jobs = index.group_by_tape(request.object_ids)
+    total_mb = sum(extent.size_mb for extents in jobs.values() for extent in extents)
+    records: Dict[str, DriveServiceRecord] = {}
+    queues: Dict[int, Deque[TapeJob]] = {}
+
+    env = Environment()
+    # Optional disk-stage admission control (spec.disk_bandwidth_mb_s):
+    # at most `disk_streams` drives may stream to the staging disks at once.
+    streams = system.spec.disk_streams
+    disk = Resource(env, streams) if streams is not None else None
+    for library in system.libraries:
+        plan = build_library_plan(library, jobs, tape_priority, replacement_policy)
+        if plan.is_empty:
+            continue
+        if plan.offline and not plan.switch_order:
+            raise RuntimeError(
+                f"library {library.id} has {len(plan.offline)} offline tapes to serve "
+                "but no switchable drive (all pinned?)"
+            )
+        library.robot.bind(env)
+        queue: Deque[TapeJob] = deque(plan.offline)
+        queues[library.id] = queue
+        runtime = _LibraryRuntime(env, library, queue, records, trace, disk, failures)
+        serving_indices = {idx for idx, _ in plan.serving}
+        # Spawn order defines who pulls queued tapes first at t=0: idle
+        # switch drives in replacement-policy order, then serving drives
+        # (which join the pool only after finishing their in-place work).
+        for idx in plan.switch_order:
+            if idx in serving_indices:
+                continue
+            runtime.spawn(library.drives[idx], None, switchable=True)
+        for idx, job in plan.serving:
+            runtime.spawn(library.drives[idx], job, switchable=idx in plan.switch_order)
+    env.run()
+
+    for lib_id, queue in queues.items():
+        if queue:
+            library = system.libraries[lib_id]
+            survivors = [
+                d for d in library.drives if not d.pinned and not d.failed
+            ]
+            if not survivors:
+                raise RuntimeError(
+                    f"library {lib_id} has {len(queue)} unserved tape jobs "
+                    "and no surviving switchable drive"
+                )
+            raise RuntimeError(
+                f"library {lib_id} finished with {len(queue)} unserved tape jobs"
+            )
+
+    return RequestMetrics.from_drive_records(
+        request_id=request.id,
+        size_mb=total_mb,
+        num_tapes=len(jobs),
+        records=list(records.values()),
+    )
+
+
+class _LibraryRuntime:
+    """Per-library execution state for one request simulation.
+
+    Owns the offline-tape queue and the set of currently running drive
+    processes, so a failing drive can immediately recruit idle surviving
+    drives for its re-queued work (inside the event loop, not after it).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        library: TapeLibrary,
+        queue: Deque[TapeJob],
+        records: Dict[str, DriveServiceRecord],
+        trace: Trace,
+        disk: Optional[Resource],
+        failures: Mapping[str, float],
+    ) -> None:
+        self.env = env
+        self.library = library
+        self.queue = queue
+        self.records = records
+        self.trace = trace
+        self.disk = disk
+        self.failures = failures
+        self.active: set = set()
+
+    def spawn(self, drive: TapeDrive, first_job: Optional[TapeJob], switchable: bool) -> None:
+        """Start a drive process, arming its failure watchdog if scheduled."""
+        if drive.failed or drive.id.index in self.active:
+            return
+        self.active.add(drive.id.index)
+        process = self.env.process(self._drive_process(drive, first_job, switchable))
+        fail_at = self.failures.get(str(drive.id))
+        if fail_at is not None and fail_at >= self.env.now:
+
+            def watchdog(delay=fail_at - self.env.now, proc=process):
+                yield self.env.timeout(delay)
+                if proc.is_alive:
+                    proc.interrupt("drive-failure")
+
+            self.env.process(watchdog())
+
+    def rescue(self) -> None:
+        """Recruit every idle, surviving switchable drive onto the queue.
+
+        Pinned drives join only when no unpinned drive survives (degraded
+        operation): pinning is policy, not physics.
+        """
+        if not self.queue:
+            return
+        survivors = [d for d in self.library.drives if not d.failed and not d.pinned]
+        if not survivors:
+            survivors = [d for d in self.library.drives if not d.failed]
+        for drive in survivors:
+            self.spawn(drive, None, switchable=True)
+
+    def _drive_process(self, drive: TapeDrive, first_job: Optional[TapeJob], switchable: bool):
+        """One drive's behaviour for one request: serve, then drain the queue.
+
+        An injected drive failure arrives as an :class:`Interrupt`: the
+        drive is marked failed, its cartridge is pulled (so a rescuer can
+        remount it), every unfinished extent — including the one in flight,
+        which restarts from scratch — re-queues, and idle surviving drives
+        are recruited immediately.
+        """
+        env, library, queue = self.env, self.library, self.queue
+        records, trace, disk = self.records, self.trace, self.disk
+        record = None
+        current: Optional[TapeJob] = first_job
+        try:
+            if first_job is not None:
+                record = records.setdefault(str(drive.id), DriveServiceRecord(str(drive.id)))
+                yield from _serve_job(env, drive, first_job, record, trace, disk)
+                record.completion_s = env.now
+            current = None
+            if not switchable:
+                return
+            while queue:
+                job = queue.popleft()
+                current = job
+                if record is None:
+                    record = records.setdefault(str(drive.id), DriveServiceRecord(str(drive.id)))
+                yield from _switch_to(env, library, drive, job.tape_id, record, trace)
+                yield from _serve_job(env, drive, job, record, trace, disk)
+                current = None
+                record.completion_s = env.now
+        except Interrupt:
+            drive.failed = True
+            trace.record("drive_failure", env.now, env.now, drive=str(drive.id))
+            if drive.mounted is not None:
+                drive.unmount()  # cartridge pulled for the rescuer
+            if record is not None:
+                record.completion_s = env.now
+            if current is not None and current.extents:
+                queue.append(current)
+            self.active.discard(drive.id.index)
+            self.rescue()
+        else:
+            self.active.discard(drive.id.index)
+
+
+def _serve_job(
+    env,
+    drive: TapeDrive,
+    job: TapeJob,
+    record: DriveServiceRecord,
+    trace: Trace,
+    disk: Optional[Resource] = None,
+):
+    """Read all of a job's extents in the cheaper sweep order.
+
+    Completed extents are removed from ``job.extents`` as they finish so an
+    interrupting failure knows exactly what is left to re-queue.
+    """
+    tape = drive.mounted
+    assert tape is not None and tape.id == job.tape_id, "job routed to wrong drive"
+    ordered, _ = plan_retrieval(job.extents, tape.head_mb, drive.tape_spec)
+    drive_name = str(drive.id)
+    for extent in ordered:
+        seek, transfer = drive.read_extent(extent)
+        if seek > 0:
+            start = env.now
+            yield env.timeout(seek)
+            trace.record("seek", start, env.now, drive=drive_name, object=extent.object_id)
+        record.seek_s += seek
+        if disk is not None:
+            requested_at = env.now
+            with disk.request() as slot:
+                yield slot
+                if env.now > requested_at:
+                    trace.record(
+                        "disk_wait", requested_at, env.now, drive=drive_name
+                    )
+                start = env.now
+                yield env.timeout(transfer)
+                trace.record(
+                    "transfer", start, env.now, drive=drive_name, object=extent.object_id
+                )
+        else:
+            start = env.now
+            yield env.timeout(transfer)
+            trace.record("transfer", start, env.now, drive=drive_name, object=extent.object_id)
+        record.transfer_s += transfer
+        record.bytes_mb += extent.size_mb
+        job.extents.remove(extent)
+
+
+def _switch_to(
+    env,
+    library: TapeLibrary,
+    drive: TapeDrive,
+    tape_id: TapeId,
+    record: DriveServiceRecord,
+    trace: Trace,
+):
+    """Full tape switch: rewind, unload, robot exchange, load-and-thread."""
+    new_tape = library.tape(tape_id)
+    drive_name = str(drive.id)
+    robot = library.robot
+
+    if drive.mounted is not None:
+        rewind = drive.rewind_time()
+        if rewind > 0:
+            start = env.now
+            yield env.timeout(rewind)
+            trace.record("rewind", start, env.now, drive=drive_name)
+
+        requested_at = env.now
+        with robot.resource.request() as grant:
+            yield grant
+            wait = env.now - requested_at
+            if wait > 0:
+                trace.record("robot_wait", requested_at, env.now, drive=drive_name)
+            record.robot_wait_s += wait
+            # The paper "models robotic arm mount/unmount operations as
+            # constant time values": the arm is held for the whole
+            # unload + return-to-cell + fetch + mount sequence.
+            start = env.now
+            yield env.timeout(drive.unload_time)
+            trace.record("unload", start, env.now, drive=drive_name)
+            start = env.now
+            yield env.timeout(robot.exchange_time)
+            trace.record("robot_exchange", start, env.now, drive=drive_name)
+            drive.unmount()
+            drive.mount(new_tape)
+            start = env.now
+            yield env.timeout(drive.load_time)
+            trace.record("load", start, env.now, drive=drive_name, tape=str(tape_id))
+    else:
+        requested_at = env.now
+        with robot.resource.request() as grant:
+            yield grant
+            wait = env.now - requested_at
+            if wait > 0:
+                trace.record("robot_wait", requested_at, env.now, drive=drive_name)
+            record.robot_wait_s += wait
+            start = env.now
+            yield env.timeout(robot.move_time)  # fetch only: drive was empty
+            trace.record("robot_fetch", start, env.now, drive=drive_name)
+            drive.mount(new_tape)
+            start = env.now
+            yield env.timeout(drive.load_time)
+            trace.record("load", start, env.now, drive=drive_name, tape=str(tape_id))
+
+    record.num_switches += 1

@@ -1,0 +1,170 @@
+"""Metric definitions (Sec. 6 "Metrics").
+
+Per request the paper reports response time and its decomposition:
+
+* **response** — from request submission to the last requested byte landing
+  on disk (the last-finishing drive's completion time);
+* **seek** / **transfer** — the seek and transfer time of the drive that
+  finishes the request *last*;
+* **switch** — ``response − (seek + transfer)``: everything else the
+  critical drive spent (rewind, unload, robot waiting/moves, load);
+* **effective bandwidth** — request bytes / response time.
+
+Experiment-level numbers average these over the sampled request stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["DriveServiceRecord", "RequestMetrics", "EvaluationResult"]
+
+
+@dataclass
+class DriveServiceRecord:
+    """What one drive did while serving one request."""
+
+    drive: str
+    completion_s: float = 0.0
+    seek_s: float = 0.0
+    transfer_s: float = 0.0
+    bytes_mb: float = 0.0
+    num_switches: int = 0
+    robot_wait_s: float = 0.0
+
+    @property
+    def overhead_s(self) -> float:
+        """Non-productive time: completion − seek − transfer."""
+        return self.completion_s - self.seek_s - self.transfer_s
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """The paper's per-request measurements."""
+
+    request_id: int
+    size_mb: float
+    response_s: float
+    seek_s: float
+    transfer_s: float
+    num_tapes: int
+    num_switches: int
+    num_drives: int
+
+    def __post_init__(self) -> None:
+        if self.response_s <= 0:
+            raise ValueError(f"non-positive response time {self.response_s}")
+
+    @property
+    def switch_s(self) -> float:
+        """Response minus the critical drive's seek-and-transfer time."""
+        return self.response_s - self.seek_s - self.transfer_s
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        """Effective data retrieval bandwidth for this request."""
+        return self.size_mb / self.response_s
+
+    @classmethod
+    def from_drive_records(
+        cls,
+        request_id: int,
+        size_mb: float,
+        num_tapes: int,
+        records: Sequence[DriveServiceRecord],
+    ) -> "RequestMetrics":
+        if not records:
+            raise ValueError("request was served by no drive")
+        critical = max(records, key=lambda r: r.completion_s)
+        return cls(
+            request_id=request_id,
+            size_mb=size_mb,
+            response_s=critical.completion_s,
+            seek_s=critical.seek_s,
+            transfer_s=critical.transfer_s,
+            num_tapes=num_tapes,
+            num_switches=sum(r.num_switches for r in records),
+            num_drives=len(records),
+        )
+
+
+@dataclass
+class EvaluationResult:
+    """Metrics over a stream of sampled requests, with aggregate views."""
+
+    scheme: str
+    samples: List[RequestMetrics] = field(default_factory=list)
+    metadata: Dict = field(default_factory=dict)
+
+    def append(self, metrics: RequestMetrics) -> None:
+        self.samples.append(metrics)
+
+    def _array(self, attr: str) -> np.ndarray:
+        return np.array([getattr(m, attr) for m in self.samples], dtype=np.float64)
+
+    # -- the paper's five evaluation metrics --------------------------------
+    @property
+    def avg_bandwidth_mb_s(self) -> float:
+        """Effective data retrieval bandwidth, averaged over requests."""
+        return float(self._array("bandwidth_mb_s").mean())
+
+    @property
+    def avg_response_s(self) -> float:
+        return float(self._array("response_s").mean())
+
+    @property
+    def avg_switch_s(self) -> float:
+        return float(self._array("switch_s").mean())
+
+    @property
+    def avg_seek_s(self) -> float:
+        return float(self._array("seek_s").mean())
+
+    @property
+    def avg_transfer_s(self) -> float:
+        return float(self._array("transfer_s").mean())
+
+    # -- additional views ------------------------------------------------------
+    @property
+    def aggregate_bandwidth_mb_s(self) -> float:
+        """Total bytes / total response time (throughput-weighted view)."""
+        sizes = self._array("size_mb")
+        responses = self._array("response_s")
+        return float(sizes.sum() / responses.sum())
+
+    @property
+    def avg_request_size_mb(self) -> float:
+        return float(self._array("size_mb").mean())
+
+    @property
+    def avg_switches_per_request(self) -> float:
+        return float(self._array("num_switches").mean())
+
+    @property
+    def avg_drives_per_request(self) -> float:
+        return float(self._array("num_drives").mean())
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Share of response time spent transferring (paper's 62 % vs 19 %)."""
+        return float(self._array("transfer_s").sum() / self._array("response_s").sum())
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "scheme": self.scheme,
+            "samples": len(self.samples),
+            "avg_bandwidth_mb_s": self.avg_bandwidth_mb_s,
+            "avg_response_s": self.avg_response_s,
+            "avg_switch_s": self.avg_switch_s,
+            "avg_seek_s": self.avg_seek_s,
+            "avg_transfer_s": self.avg_transfer_s,
+            "avg_request_size_mb": self.avg_request_size_mb,
+            "avg_switches_per_request": self.avg_switches_per_request,
+            "avg_drives_per_request": self.avg_drives_per_request,
+        }

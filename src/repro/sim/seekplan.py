@@ -1,0 +1,46 @@
+"""Within-tape retrieval-order optimization.
+
+"The objects retrieving order within a tape is optimized to reduce the data
+seek time based on object location information retrieved from the indexing
+database" (Sec. 6).  With the linear positioning model and non-overlapping
+extents, the optimal schedule is a single sweep: read the requested extents
+in ascending or descending position order, whichever costs less from the
+current head position.  (Any order that changes direction mid-stream crosses
+some region twice and cannot beat the better sweep.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..hardware import ObjectExtent, TapeSpec
+
+__all__ = ["sweep_cost", "plan_retrieval"]
+
+
+def sweep_cost(
+    extents: Sequence[ObjectExtent], head_mb: float, spec: TapeSpec, ascending: bool
+) -> float:
+    """Total locate time of reading ``extents`` in one sweep direction."""
+    if not extents:
+        return 0.0
+    ordered = sorted(extents, key=lambda e: e.start_mb, reverse=not ascending)
+    cost = 0.0
+    position = head_mb
+    for extent in ordered:
+        cost += spec.locate_time(position, extent.start_mb)
+        position = extent.end_mb
+    return cost
+
+
+def plan_retrieval(
+    extents: Sequence[ObjectExtent], head_mb: float, spec: TapeSpec
+) -> Tuple[List[ObjectExtent], float]:
+    """Choose the cheaper sweep; returns (ordered extents, total seek time)."""
+    if not extents:
+        return [], 0.0
+    up = sweep_cost(extents, head_mb, spec, ascending=True)
+    down = sweep_cost(extents, head_mb, spec, ascending=False)
+    ascending = up <= down
+    ordered = sorted(extents, key=lambda e: e.start_mb, reverse=not ascending)
+    return ordered, min(up, down)

@@ -1,0 +1,163 @@
+"""High-level simulation sessions: place a workload, then serve requests.
+
+This is the main user-facing entry point::
+
+    from repro import SimulationSession, ParallelBatchPlacement, generate_workload
+    from repro.hardware import SystemSpec
+
+    workload = generate_workload()
+    session = SimulationSession(workload, SystemSpec.table1(), ParallelBatchPlacement())
+    result = session.evaluate(num_samples=200, seed=1)
+    print(result.avg_bandwidth_mb_s)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..catalog import Request
+from ..des import Trace
+from ..hardware import SystemSpec, TapeSystem
+from ..placement.base import PlacementResult, PlacementScheme
+from ..workload import Workload
+from .engine import simulate_request
+from .metrics import EvaluationResult, RequestMetrics
+
+__all__ = ["SimulationSession", "evaluate_scheme"]
+
+#: The paper samples 200 requests per configuration.
+DEFAULT_NUM_SAMPLES = 200
+
+
+class SimulationSession:
+    """A placed tape system ready to serve requests.
+
+    Parameters
+    ----------
+    workload:
+        Objects + requests to place and serve.
+    spec:
+        System configuration (defaults in :meth:`SystemSpec.table1`).
+    scheme:
+        A placement scheme; mutually exclusive with ``placement``.
+    placement:
+        A precomputed :class:`PlacementResult` (skips running the scheme).
+    trace:
+        Enable span-level telemetry (slower, but exposes every rewind /
+        robot wait / seek / transfer for analysis).
+    replacement_policy:
+        Which mounted tape gets displaced first; see
+        :mod:`repro.sim.replacement`.  Default: the paper's least-popular.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        spec: SystemSpec,
+        scheme: Optional[PlacementScheme] = None,
+        placement: Optional[PlacementResult] = None,
+        trace: bool = False,
+        replacement_policy: str = "least_popular",
+    ) -> None:
+        if (scheme is None) == (placement is None):
+            raise ValueError("provide exactly one of `scheme` or `placement`")
+        self.workload = workload
+        self.spec = spec
+        self.placement = placement if placement is not None else scheme.place(workload, spec)
+        self.placement.validate(workload.catalog, spec)
+        self.system = TapeSystem(spec)
+        self.index = self.placement.apply_to(self.system)
+        self.trace = Trace(enabled=trace)
+        self.replacement_policy = replacement_policy
+
+    @property
+    def scheme_name(self) -> str:
+        return self.placement.scheme
+
+    def serve(self, request: Request, failures: Optional[dict] = None) -> RequestMetrics:
+        """Serve one request; mounted tapes / head positions persist.
+
+        ``failures`` optionally injects drive failures during *this*
+        request (drive name -> failure time); see
+        :func:`~repro.sim.engine.simulate_request`.
+        """
+        return simulate_request(
+            self.system,
+            self.index,
+            request,
+            self.placement.tape_priority,
+            self.trace,
+            self.replacement_policy,
+            failures=failures,
+        )
+
+    def fail_drives(self, drive_names: "list[str]") -> None:
+        """Permanently mark drives as failed (degraded-operation studies).
+
+        A failed drive's mounted cartridge is pulled back to its cell; the
+        scheduler will serve its content through the surviving drives.
+        ``reset()`` restores the healthy state.
+        """
+        wanted = set(drive_names)
+        found = set()
+        for library in self.system.libraries:
+            for drive in library.drives:
+                if str(drive.id) in wanted:
+                    drive.failed = True
+                    drive.pinned = False
+                    if drive.mounted is not None:
+                        drive.unmount()
+                    found.add(str(drive.id))
+        missing = wanted - found
+        if missing:
+            raise ValueError(f"unknown drive names: {sorted(missing)}")
+
+    def reset(self) -> None:
+        """Restore the freshly-placed state (initial mounts, heads at BOT)."""
+        self.index = self.placement.apply_to(self.system)
+
+    def evaluate(
+        self,
+        num_samples: int = DEFAULT_NUM_SAMPLES,
+        seed: int = 0,
+        warmup: int = 0,
+        reset: bool = True,
+    ) -> EvaluationResult:
+        """Serve ``num_samples`` Zipf-sampled requests; average the metrics.
+
+        ``warmup`` extra requests are served first and discarded (they bring
+        mounted switching tapes / head positions to steady state).
+        """
+        if reset:
+            self.reset()
+        rng = np.random.default_rng(seed)
+        sampled = self.workload.requests.sample(rng, warmup + num_samples)
+        result = EvaluationResult(
+            scheme=self.scheme_name,
+            metadata={
+                "num_samples": num_samples,
+                "warmup": warmup,
+                "seed": seed,
+                "num_libraries": self.spec.num_libraries,
+            },
+        )
+        for i, request in enumerate(sampled):
+            metrics = self.serve(request)
+            if i >= warmup:
+                result.append(metrics)
+        return result
+
+
+def evaluate_scheme(
+    workload: Workload,
+    spec: SystemSpec,
+    scheme: PlacementScheme,
+    num_samples: int = DEFAULT_NUM_SAMPLES,
+    seed: int = 0,
+    warmup: int = 0,
+) -> EvaluationResult:
+    """One-shot convenience: place, serve, aggregate."""
+    session = SimulationSession(workload, spec, scheme=scheme)
+    return session.evaluate(num_samples=num_samples, seed=seed, warmup=warmup, reset=False)

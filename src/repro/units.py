@@ -1,0 +1,41 @@
+"""Unit conventions used throughout the library.
+
+All sizes are megabytes (decimal, 1 GB = 1000 MB — matching how tape vendors
+quote the 80 MB/s native rate and 400 GB capacity), and all times are seconds.
+These helpers exist so call sites read unambiguously.
+"""
+
+from __future__ import annotations
+
+MB: float = 1.0
+GB: float = 1000.0 * MB
+TB: float = 1000.0 * GB
+
+SECOND: float = 1.0
+MINUTE: float = 60.0 * SECOND
+HOUR: float = 60.0 * MINUTE
+
+
+def mb(value: float) -> float:
+    """Megabytes (identity; the base size unit)."""
+    return value * MB
+
+
+def gb(value: float) -> float:
+    """Gigabytes expressed in MB."""
+    return value * GB
+
+
+def tb(value: float) -> float:
+    """Terabytes expressed in MB."""
+    return value * TB
+
+
+def as_gb(size_mb: float) -> float:
+    """Convert MB to GB for display."""
+    return size_mb / GB
+
+
+def mb_per_s(value: float) -> float:
+    """Bandwidth in MB/s (identity; the base rate unit)."""
+    return value

@@ -1,0 +1,37 @@
+"""Workload synthesis per Sec. 6 of the paper, plus trace I/O."""
+
+from .distributions import (
+    bounded_pareto,
+    bounded_pareto_int,
+    bounded_pareto_mean,
+    zipf_probabilities,
+)
+from .generator import WorkloadGenerator, WorkloadParams, generate_workload
+from .stats import WorkloadProfile, characterize, fit_zipf_alpha
+from .trace import (
+    dump_workload,
+    load_workload,
+    load_workload_csv,
+    workload_from_dict,
+    workload_to_dict,
+)
+from .workload import Workload
+
+__all__ = [
+    "bounded_pareto",
+    "bounded_pareto_int",
+    "bounded_pareto_mean",
+    "zipf_probabilities",
+    "WorkloadParams",
+    "WorkloadGenerator",
+    "generate_workload",
+    "Workload",
+    "WorkloadProfile",
+    "characterize",
+    "fit_zipf_alpha",
+    "dump_workload",
+    "load_workload",
+    "load_workload_csv",
+    "workload_to_dict",
+    "workload_from_dict",
+]

@@ -1,0 +1,83 @@
+"""Probability distributions used by the workload generator (Sec. 6).
+
+* Object sizes: "a power law distribution within a pre-defined range" —
+  bounded (truncated) Pareto, sampled by inverse CDF, vectorized.
+* Request cardinality: "power law distribution ranging from 100 to 150" —
+  the same bounded Pareto, rounded to integers.
+* Request popularity: Zipf, ``P_r = c · r^(-alpha)``; ``alpha = 0`` is
+  uniform and ``alpha = 1`` the most skewed the paper uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bounded_pareto",
+    "bounded_pareto_int",
+    "bounded_pareto_mean",
+    "zipf_probabilities",
+]
+
+
+def _validate_bounds(lower: float, upper: float, shape: float) -> None:
+    if not lower > 0:
+        raise ValueError(f"lower bound must be positive, got {lower}")
+    if not upper > lower:
+        raise ValueError(f"upper bound ({upper}) must exceed lower bound ({lower})")
+    if not shape > 0:
+        raise ValueError(f"shape (power-law exponent) must be positive, got {shape}")
+
+
+def bounded_pareto(
+    rng: np.random.Generator, size: int, lower: float, upper: float, shape: float = 1.1
+) -> np.ndarray:
+    """Sample a Pareto distribution truncated to ``[lower, upper]``.
+
+    Density ∝ x^(−shape−1) on the interval; sampled by inverting the
+    truncated CDF, so the result is exact (no rejection) and vectorized.
+    """
+    _validate_bounds(lower, upper, shape)
+    u = rng.random(size)
+    la, ha = lower**shape, upper**shape
+    # Inverse CDF of the truncated Pareto:
+    #   F(x) = (1 - (l/x)^a) / (1 - (l/h)^a)
+    return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / shape)
+
+
+def bounded_pareto_int(
+    rng: np.random.Generator, size: int, lower: int, upper: int, shape: float = 1.1
+) -> np.ndarray:
+    """Integer bounded-Pareto samples in ``[lower, upper]`` (inclusive).
+
+    Used for the per-request object count (100–150 in the paper).
+    """
+    # Sample continuously over [lower, upper + 1) and floor, so `upper`
+    # itself has non-zero mass.
+    values = bounded_pareto(rng, size, float(lower), float(upper) + 1.0, shape)
+    return np.minimum(np.floor(values).astype(np.int64), upper)
+
+
+def bounded_pareto_mean(lower: float, upper: float, shape: float = 1.1) -> float:
+    """Analytic mean of the truncated Pareto (for size-target scaling)."""
+    _validate_bounds(lower, upper, shape)
+    if abs(shape - 1.0) < 1e-12:
+        h = upper / lower
+        return lower * np.log(h) * h / (h - 1.0)
+    la, ha = lower**shape, upper**shape
+    return (
+        (la / (1 - (lower / upper) ** shape))
+        * (shape / (shape - 1))
+        * (lower ** (1 - shape) - upper ** (1 - shape))
+    )
+
+
+def zipf_probabilities(n: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf popularity over ranks 1..n: ``P_r ∝ r^(-alpha)``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()

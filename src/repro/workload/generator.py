@@ -1,0 +1,114 @@
+"""Seeded workload generator implementing Sec. 6 "Simulation Settings".
+
+Paper parameters reproduced by the defaults:
+
+* 30 000 objects, sizes power-law within a pre-defined range;
+* 300 pre-defined requests;
+* objects per request power-law in [100, 150], members drawn uniformly
+  at random (the same object may appear in several requests);
+* request popularity Zipf with skew ``alpha``.
+
+The paper quotes average request sizes (≈213 GB in Fig. 6, ≈240 GB in
+Fig. 8, ≈160 GB in Fig. 9) rather than object-size bounds, so the generator
+accepts a ``mean_object_size_mb`` target and rescales the sampled power-law
+sizes to hit it exactly — the shape stays power-law, the mean is pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..catalog import ObjectCatalog, Request, RequestSet
+from .distributions import bounded_pareto, bounded_pareto_int, zipf_probabilities
+from .workload import Workload
+
+__all__ = ["WorkloadParams", "WorkloadGenerator", "generate_workload"]
+
+#: Default seed; any fixed value works, reproducibility is what matters.
+DEFAULT_SEED = 20060814
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Knobs of the Sec.-6 workload (defaults = the paper's base setting)."""
+
+    num_objects: int = 30_000
+    num_requests: int = 300
+    #: Power-law range for raw object sizes, MB.
+    object_size_bounds_mb: Tuple[float, float] = (100.0, 20_000.0)
+    object_size_shape: float = 1.1
+    #: If set, sizes are rescaled so their mean hits this target (MB).
+    #: 1780 MB × ~120 objects/request ≈ the 213 GB average request of Fig. 6.
+    mean_object_size_mb: Optional[float] = 1780.0
+    #: Power-law range for the number of objects per request.
+    request_size_bounds: Tuple[int, int] = (100, 150)
+    request_size_shape: float = 1.1
+    #: Zipf skew of request popularity (0 = uniform, 1 = most skewed).
+    zipf_alpha: float = 0.3
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.num_objects <= 0 or self.num_requests <= 0:
+            raise ValueError("num_objects and num_requests must be positive")
+        lo, hi = self.request_size_bounds
+        if not (0 < lo <= hi):
+            raise ValueError(f"bad request_size_bounds {self.request_size_bounds}")
+        if hi > self.num_objects:
+            raise ValueError(
+                f"requests of up to {hi} objects cannot be drawn from "
+                f"{self.num_objects} objects without replacement"
+            )
+        if self.zipf_alpha < 0:
+            raise ValueError(f"zipf_alpha must be >= 0, got {self.zipf_alpha}")
+
+    def with_alpha(self, alpha: float) -> "WorkloadParams":
+        return replace(self, zipf_alpha=alpha)
+
+
+class WorkloadGenerator:
+    """Generates :class:`Workload` instances from :class:`WorkloadParams`."""
+
+    def __init__(self, params: WorkloadParams | None = None) -> None:
+        self.params = params or WorkloadParams()
+
+    def generate(self) -> Workload:
+        p = self.params
+        rng = np.random.default_rng(p.seed)
+
+        # Object sizes: bounded power law, optionally rescaled to the target
+        # mean (keeps the distribution shape; pins the average request size).
+        lo, hi = p.object_size_bounds_mb
+        sizes = bounded_pareto(rng, p.num_objects, lo, hi, p.object_size_shape)
+        if p.mean_object_size_mb is not None:
+            sizes *= p.mean_object_size_mb / sizes.mean()
+
+        # Request cardinalities and memberships.
+        counts = bounded_pareto_int(
+            rng, p.num_requests, p.request_size_bounds[0], p.request_size_bounds[1],
+            p.request_size_shape,
+        )
+        popularity = zipf_probabilities(p.num_requests, p.zipf_alpha)
+        requests = [
+            Request(
+                id=i,
+                object_ids=tuple(
+                    int(o) for o in rng.choice(p.num_objects, size=int(counts[i]), replace=False)
+                ),
+                probability=float(popularity[i]),
+            )
+            for i in range(p.num_requests)
+        ]
+
+        catalog = ObjectCatalog(sizes)
+        return Workload(catalog, RequestSet(requests), p)
+
+
+def generate_workload(params: WorkloadParams | None = None, **overrides) -> Workload:
+    """Convenience wrapper: ``generate_workload(zipf_alpha=0.6, seed=1)``."""
+    base = params or WorkloadParams()
+    if overrides:
+        base = replace(base, **overrides)
+    return WorkloadGenerator(base).generate()

@@ -1,0 +1,125 @@
+"""Workload characterization: measure the properties the paper assumes.
+
+The paper's three retrieval assumptions (Sec. 3) — clustered co-access,
+skewed popularity, whole-object reads — are *inputs* for the synthetic
+generator but must be *measured* for an imported trace before the placement
+schemes' behaviour can be predicted.  :func:`characterize` produces the
+numbers that matter to every scheme:
+
+* a maximum-likelihood Zipf exponent for the request popularity (the α that
+  Figures 5–6 sweep);
+* the sharing profile (how many requests reference each object — the
+  quantity that drives the shared-object detachment of DESIGN.md §5.3);
+* object-size distribution percentiles and the implied tape pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..hardware import SystemSpec
+from .workload import Workload
+
+__all__ = ["WorkloadProfile", "fit_zipf_alpha", "characterize"]
+
+
+def fit_zipf_alpha(probabilities: np.ndarray, grid: Optional[np.ndarray] = None) -> float:
+    """Least-squares fit of the Zipf exponent to a popularity vector.
+
+    The vector is sorted into rank order and α is chosen to minimize the
+    squared error between ``log p_r`` and ``log c − α·log r``; with the
+    intercept profiled out this is ordinary linear regression on logs.
+    """
+    p = np.sort(np.asarray(probabilities, dtype=np.float64))[::-1]
+    p = p[p > 0]
+    if len(p) < 2:
+        return 0.0
+    log_r = np.log(np.arange(1, len(p) + 1))
+    log_p = np.log(p / p.sum())
+    slope, _ = np.polyfit(log_r, log_p, 1)
+    return float(max(0.0, -slope))
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Measured characteristics of a workload."""
+
+    num_objects: int
+    num_requests: int
+    total_size_mb: float
+    mean_object_size_mb: float
+    median_object_size_mb: float
+    p95_object_size_mb: float
+    max_object_size_mb: float
+    avg_request_size_mb: float
+    avg_objects_per_request: float
+    fitted_zipf_alpha: float
+    #: Fraction of request-referenced objects appearing in >= 2 requests.
+    shared_object_fraction: float
+    #: Fraction of objects referenced by no request (cold filler).
+    cold_object_fraction: float
+    #: Mean number of requests referencing an appearing object.
+    mean_appearances: float
+
+    def format(self) -> str:
+        lines = [
+            "workload profile",
+            "----------------",
+            f"objects:              {self.num_objects:,} "
+            f"({self.total_size_mb / 1e6:.2f} TB total)",
+            f"object size (MB):     mean {self.mean_object_size_mb:,.0f}, "
+            f"median {self.median_object_size_mb:,.0f}, "
+            f"p95 {self.p95_object_size_mb:,.0f}, max {self.max_object_size_mb:,.0f}",
+            f"requests:             {self.num_requests:,} "
+            f"(avg {self.avg_request_size_mb / 1e3:.1f} GB, "
+            f"{self.avg_objects_per_request:.1f} objects)",
+            f"fitted Zipf alpha:    {self.fitted_zipf_alpha:.2f}",
+            f"sharing:              {self.shared_object_fraction:.0%} of referenced "
+            f"objects appear in >=2 requests (mean {self.mean_appearances:.2f} appearances)",
+            f"cold objects:         {self.cold_object_fraction:.0%} referenced by no request",
+        ]
+        return "\n".join(lines)
+
+    def tape_pressure(self, spec: SystemSpec) -> Dict[str, float]:
+        """Capacity ratios against a system spec (values > 1 are pressure)."""
+        mounted = spec.total_drives * spec.library.tape.capacity_mb
+        return {
+            "data_to_total_capacity": self.total_size_mb / spec.total_capacity_mb,
+            "data_to_mounted_capacity": self.total_size_mb / mounted,
+            "max_object_to_tape": self.max_object_size_mb / spec.library.tape.capacity_mb,
+        }
+
+
+def characterize(workload: Workload) -> WorkloadProfile:
+    """Measure a workload's placement-relevant characteristics."""
+    sizes = np.asarray(workload.catalog.sizes_mb)
+    appearances = np.zeros(len(sizes), dtype=np.int64)
+    request_lengths = []
+    for request in workload.requests:
+        appearances[list(request.object_ids)] += 1
+        request_lengths.append(len(request))
+    referenced = appearances > 0
+    n_referenced = int(referenced.sum())
+
+    return WorkloadProfile(
+        num_objects=len(sizes),
+        num_requests=workload.num_requests,
+        total_size_mb=float(sizes.sum()),
+        mean_object_size_mb=float(sizes.mean()),
+        median_object_size_mb=float(np.median(sizes)),
+        p95_object_size_mb=float(np.percentile(sizes, 95)),
+        max_object_size_mb=float(sizes.max()),
+        avg_request_size_mb=workload.average_request_size_mb,
+        avg_objects_per_request=float(np.mean(request_lengths)),
+        fitted_zipf_alpha=fit_zipf_alpha(np.asarray(workload.requests.probabilities)),
+        shared_object_fraction=(
+            float((appearances >= 2).sum() / n_referenced) if n_referenced else 0.0
+        ),
+        cold_object_fraction=float((~referenced).mean()),
+        mean_appearances=(
+            float(appearances[referenced].mean()) if n_referenced else 0.0
+        ),
+    )

@@ -1,0 +1,121 @@
+"""JSON (de)serialization of workloads.
+
+Lets experiments pin an exact trace to disk so that runs are comparable
+across machines and code revisions, and lets users bring their own traces
+(e.g. exported from a real backup catalog) into the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..catalog import ObjectCatalog, Request, RequestSet
+from .generator import WorkloadParams
+from .workload import Workload
+
+__all__ = [
+    "dump_workload",
+    "load_workload",
+    "load_workload_csv",
+    "workload_to_dict",
+    "workload_from_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """A plain-JSON representation of a workload."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "params": asdict(workload.params) if workload.params is not None else None,
+        "object_sizes_mb": np.asarray(workload.catalog.sizes_mb).tolist(),
+        "requests": [
+            {
+                "id": r.id,
+                "object_ids": list(r.object_ids),
+                "probability": r.probability,
+            }
+            for r in workload.requests
+        ],
+    }
+
+
+def workload_from_dict(data: dict) -> Workload:
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported workload format version: {version!r}")
+    params = None
+    if data.get("params") is not None:
+        raw = dict(data["params"])
+        for key in ("object_size_bounds_mb", "request_size_bounds"):
+            if key in raw and raw[key] is not None:
+                raw[key] = tuple(raw[key])
+        params = WorkloadParams(**raw)
+    catalog = ObjectCatalog(np.asarray(data["object_sizes_mb"], dtype=np.float64))
+    requests = RequestSet(
+        [
+            Request(r["id"], tuple(r["object_ids"]), float(r["probability"]))
+            for r in data["requests"]
+        ]
+    )
+    return Workload(catalog, requests, params)
+
+
+def dump_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload to a JSON file."""
+    Path(path).write_text(json.dumps(workload_to_dict(workload)))
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload from a JSON file."""
+    return workload_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_workload_csv(objects_csv: Union[str, Path], requests_csv: Union[str, Path]) -> Workload:
+    """Build a workload from two CSV files (real-catalog import path).
+
+    ``objects_csv`` columns: ``object_id,size_mb`` — object ids must be the
+    dense integers ``0..N-1`` (any order).
+    ``requests_csv`` columns: ``request_id,object_id,probability`` — one row
+    per (request, member); the probability column must repeat the request's
+    weight on each of its rows (weights are normalized afterwards).
+    """
+    import csv
+
+    sizes: dict = {}
+    with open(objects_csv, newline="") as fh:
+        for row in csv.DictReader(fh):
+            sizes[int(row["object_id"])] = float(row["size_mb"])
+    if not sizes:
+        raise ValueError(f"{objects_csv}: no objects")
+    n = len(sizes)
+    if sorted(sizes) != list(range(n)):
+        raise ValueError(
+            f"{objects_csv}: object ids must be dense integers 0..{n - 1}"
+        )
+    size_array = np.array([sizes[i] for i in range(n)], dtype=np.float64)
+
+    members: dict = {}
+    weights: dict = {}
+    with open(requests_csv, newline="") as fh:
+        for row in csv.DictReader(fh):
+            rid = int(row["request_id"])
+            members.setdefault(rid, []).append(int(row["object_id"]))
+            weight = float(row["probability"])
+            if rid in weights and abs(weights[rid] - weight) > 1e-12:
+                raise ValueError(
+                    f"{requests_csv}: request {rid} has inconsistent probabilities"
+                )
+            weights[rid] = weight
+    if not members:
+        raise ValueError(f"{requests_csv}: no requests")
+    requests = RequestSet(
+        [Request(rid, tuple(members[rid]), weights[rid]) for rid in sorted(members)]
+    )
+    return Workload(ObjectCatalog(size_array), requests)

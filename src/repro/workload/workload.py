@@ -1,0 +1,90 @@
+"""The Workload container: catalog + request set + provenance parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..catalog import ObjectCatalog, Request, RequestSet
+from .distributions import zipf_probabilities
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .generator import WorkloadParams
+
+__all__ = ["Workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Everything the placement schemes and the simulator consume.
+
+    The catalog's per-object probabilities are always kept consistent with
+    the request popularities (Step 1 of the placement algorithm:
+    ``P(O) = Σ_{O∈R} P(R)``).
+    """
+
+    catalog: ObjectCatalog
+    requests: RequestSet
+    params: "WorkloadParams | None" = None
+
+    def __post_init__(self) -> None:
+        expected = self.requests.object_probabilities(len(self.catalog))
+        if not np.allclose(expected, self.catalog.probabilities):
+            self.catalog.set_probabilities(expected)
+
+    # -- summary ------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        return len(self.catalog)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_size_mb(self) -> float:
+        return self.catalog.total_size_mb()
+
+    @property
+    def average_request_size_mb(self) -> float:
+        return self.requests.average_request_size_mb(self.catalog)
+
+    @property
+    def max_request_size_mb(self) -> float:
+        return max(r.total_size_mb(self.catalog) for r in self.requests)
+
+    # -- derived workloads ----------------------------------------------------
+    def with_scaled_sizes(self, factor: float) -> "Workload":
+        """Same requests, object sizes scaled by ``factor``.
+
+        This is exactly how Figure 7 varies the average request size: "the
+        request size is changed by changing the object size".
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        catalog = ObjectCatalog(np.asarray(self.catalog.sizes_mb) * factor)
+        return Workload(catalog, self.requests, self.params)
+
+    def with_zipf_alpha(self, alpha: float) -> "Workload":
+        """Same requests and sizes, re-skewed popularity (Figures 5–6 knob).
+
+        Rank order is preserved: request ``i`` keeps popularity rank
+        ``i + 1``, only the skew changes.
+        """
+        probs = zipf_probabilities(self.num_requests, alpha)
+        requests = RequestSet(
+            [
+                Request(r.id, r.object_ids, float(p))
+                for r, p in zip(self.requests, probs)
+            ]
+        )
+        catalog = ObjectCatalog(np.asarray(self.catalog.sizes_mb))
+        return Workload(catalog, requests, self.params)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Workload {self.num_objects} objects ({self.total_size_mb / 1e6:.1f} TB), "
+            f"{self.num_requests} requests (avg {self.average_request_size_mb / 1e3:.0f} GB)>"
+        )

@@ -1,0 +1,58 @@
+"""Tests for the LocationIndex."""
+
+import pytest
+
+from repro.catalog import LocationIndex
+from repro.hardware import LibrarySpec, ObjectExtent, SystemSpec, TapeId, TapeSystem
+
+
+@pytest.fixture
+def system():
+    return TapeSystem(SystemSpec(num_libraries=2, library=LibrarySpec(num_drives=2, num_tapes=4)))
+
+
+def test_from_system_scans_all_layouts(system):
+    system.tape(TapeId(0, 0)).append_object(1, 100)
+    system.tape(TapeId(1, 2)).append_object(2, 200)
+    index = LocationIndex.from_system(system)
+    assert len(index) == 2
+    assert index.tape_of(1) == TapeId(0, 0)
+    assert index.tape_of(2) == TapeId(1, 2)
+
+
+def test_locate_returns_extent(system):
+    extent = system.tape(TapeId(0, 1)).append_object(7, 150)
+    index = LocationIndex.from_system(system)
+    tape_id, found = index.locate(7)
+    assert tape_id == TapeId(0, 1)
+    assert found == extent
+
+
+def test_locate_unplaced_object_raises():
+    with pytest.raises(KeyError):
+        LocationIndex().locate(123)
+
+
+def test_duplicate_placement_rejected():
+    index = LocationIndex()
+    index.add(1, TapeId(0, 0), ObjectExtent(1, 0, 10))
+    with pytest.raises(ValueError):
+        index.add(1, TapeId(0, 1), ObjectExtent(1, 0, 10))
+
+
+def test_group_by_tape(system):
+    t0, t1 = system.tape(TapeId(0, 0)), system.tape(TapeId(1, 1))
+    t0.append_object(1, 100)
+    t0.append_object(2, 100)
+    t1.append_object(3, 100)
+    index = LocationIndex.from_system(system)
+    groups = index.group_by_tape([1, 2, 3])
+    assert set(groups) == {TapeId(0, 0), TapeId(1, 1)}
+    assert sorted(e.object_id for e in groups[TapeId(0, 0)]) == [1, 2]
+
+
+def test_contains(system):
+    system.tape(TapeId(0, 0)).append_object(5, 10)
+    index = LocationIndex.from_system(system)
+    assert 5 in index
+    assert 6 not in index

@@ -1,0 +1,76 @@
+"""Tests for ObjectCatalog and StorageObject."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ObjectCatalog, StorageObject
+
+
+class TestStorageObject:
+    def test_density(self):
+        obj = StorageObject(0, size_mb=200.0, probability=0.5)
+        assert obj.density == pytest.approx(0.0025)
+
+    def test_load(self):
+        obj = StorageObject(0, size_mb=200.0, probability=0.5)
+        assert obj.load == pytest.approx(100.0)
+
+
+class TestObjectCatalog:
+    def test_len_and_sizes(self):
+        cat = ObjectCatalog([10.0, 20.0, 30.0])
+        assert len(cat) == 3
+        assert cat.size_of(1) == 20.0
+        assert cat.total_size_mb() == 60.0
+
+    def test_total_size_of_subset(self):
+        cat = ObjectCatalog([10.0, 20.0, 30.0])
+        assert cat.total_size_mb([0, 2]) == 40.0
+
+    def test_probabilities_default_zero(self):
+        cat = ObjectCatalog([1.0, 2.0])
+        assert np.all(cat.probabilities == 0)
+
+    def test_set_probabilities(self):
+        cat = ObjectCatalog([1.0, 2.0])
+        cat.set_probabilities([0.3, 0.7])
+        assert cat.probability_of(1) == 0.7
+
+    def test_set_probabilities_wrong_shape_rejected(self):
+        cat = ObjectCatalog([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cat.set_probabilities([0.3])
+
+    def test_negative_probability_rejected(self):
+        cat = ObjectCatalog([1.0])
+        with pytest.raises(ValueError):
+            cat.set_probabilities([-0.1])
+
+    def test_densities_and_loads(self):
+        cat = ObjectCatalog([10.0, 20.0], [0.2, 0.4])
+        assert cat.densities == pytest.approx([0.02, 0.02])
+        assert cat.loads == pytest.approx([2.0, 8.0])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectCatalog([])
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectCatalog([1.0, 0.0])
+
+    def test_views_are_read_only(self):
+        cat = ObjectCatalog([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cat.sizes_mb[0] = 99.0
+        with pytest.raises(ValueError):
+            cat.probabilities[0] = 99.0
+
+    def test_object_view(self):
+        cat = ObjectCatalog([10.0], [0.5])
+        obj = cat.object(0)
+        assert obj == StorageObject(0, 10.0, 0.5)
+
+    def test_iteration(self):
+        cat = ObjectCatalog([1.0, 2.0])
+        assert [o.id for o in cat] == [0, 1]

@@ -1,0 +1,84 @@
+"""Tests for Request / RequestSet."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ObjectCatalog, Request, RequestSet
+
+
+@pytest.fixture
+def catalog():
+    return ObjectCatalog([100.0, 200.0, 300.0, 400.0])
+
+
+class TestRequest:
+    def test_total_size(self, catalog):
+        r = Request(0, (0, 2), 1.0)
+        assert r.total_size_mb(catalog) == 400.0
+
+    def test_len(self):
+        assert len(Request(0, (1, 2, 3), 1.0)) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Request(0, (), 1.0)
+
+    def test_duplicate_objects_rejected(self):
+        with pytest.raises(ValueError):
+            Request(0, (1, 1), 1.0)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Request(0, (1,), -0.5)
+
+
+class TestRequestSet:
+    def test_probabilities_normalized(self):
+        rs = RequestSet([Request(0, (0,), 3.0), Request(1, (1,), 1.0)])
+        assert rs.probabilities == pytest.approx([0.75, 0.25])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            RequestSet([])
+
+    def test_zero_total_probability_rejected(self):
+        with pytest.raises(ValueError):
+            RequestSet([Request(0, (0,), 0.0)])
+
+    def test_object_probabilities_step1(self):
+        """P(O) = sum of probabilities of requests containing O (Step 1)."""
+        rs = RequestSet(
+            [Request(0, (0, 1), 0.5), Request(1, (1, 2), 0.25), Request(2, (1,), 0.25)]
+        )
+        probs = rs.object_probabilities(4)
+        assert probs == pytest.approx([0.5, 1.0, 0.25, 0.0])
+
+    def test_object_probabilities_out_of_range_rejected(self):
+        rs = RequestSet([Request(0, (5,), 1.0)])
+        with pytest.raises(ValueError):
+            rs.object_probabilities(3)
+
+    def test_sample_respects_distribution(self):
+        rs = RequestSet([Request(0, (0,), 0.99), Request(1, (1,), 0.01)])
+        rng = np.random.default_rng(0)
+        sampled = rs.sample(rng, 500)
+        hot = sum(1 for r in sampled if r.id == 0)
+        assert hot > 450
+
+    def test_sample_is_reproducible(self):
+        rs = RequestSet([Request(i, (i,), 1.0) for i in range(10)])
+        a = [r.id for r in rs.sample(np.random.default_rng(42), 20)]
+        b = [r.id for r in rs.sample(np.random.default_rng(42), 20)]
+        assert a == b
+
+    def test_average_request_size_weighted(self, catalog):
+        rs = RequestSet(
+            [Request(0, (0,), 3.0), Request(1, (3,), 1.0)]  # 100 MB vs 400 MB
+        )
+        assert rs.average_request_size_mb(catalog) == pytest.approx(0.75 * 100 + 0.25 * 400)
+
+    def test_indexing_and_iteration(self):
+        rs = RequestSet([Request(0, (0,), 1.0), Request(1, (1,), 1.0)])
+        assert rs[1].id == 1
+        assert [r.id for r in rs] == [0, 1]
+        assert len(rs) == 2

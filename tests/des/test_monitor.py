@@ -1,0 +1,75 @@
+"""Tests for the Span/Trace telemetry helpers."""
+
+import pytest
+
+from repro.des import Span, Trace
+
+
+def test_span_duration():
+    assert Span("x", 1.0, 3.5).duration == 2.5
+
+
+def test_span_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        Span("x", 2.0, 1.0)
+
+
+def test_record_and_len():
+    trace = Trace()
+    trace.record("a", 0, 1)
+    trace.record("b", 1, 2)
+    assert len(trace) == 2
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    assert trace.record("a", 0, 1) is None
+    assert len(trace) == 0
+
+
+def test_spans_filter_by_name():
+    trace = Trace()
+    trace.record("seek", 0, 1)
+    trace.record("transfer", 1, 3)
+    trace.record("seek", 3, 4)
+    assert len(trace.spans("seek")) == 2
+
+
+def test_spans_filter_by_attrs():
+    trace = Trace()
+    trace.record("transfer", 0, 1, drive=1)
+    trace.record("transfer", 0, 1, drive=2)
+    assert len(trace.spans("transfer", drive=2)) == 1
+
+
+def test_total_sums_durations():
+    trace = Trace()
+    trace.record("seek", 0, 2)
+    trace.record("seek", 5, 6)
+    assert trace.total("seek") == 3
+
+
+def test_busy_time_merges_overlaps():
+    trace = Trace()
+    trace.record("x", 0, 4)
+    trace.record("x", 2, 6)   # overlaps
+    trace.record("x", 10, 11)  # disjoint
+    assert trace.busy_time("x") == 7
+
+
+def test_busy_time_empty_is_zero():
+    assert Trace().busy_time() == 0.0
+
+
+def test_clear():
+    trace = Trace()
+    trace.record("a", 0, 1)
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_iteration_yields_spans_in_order():
+    trace = Trace()
+    trace.record("a", 0, 1)
+    trace.record("b", 1, 2)
+    assert [s.name for s in trace] == ["a", "b"]

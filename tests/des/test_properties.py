@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the DES kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, Resource, Trace
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(d):
+        yield env.timeout(d)
+        fired.append(env.now)
+
+    for d in delays:
+        env.process(waiter(d))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False), min_size=1, max_size=30))
+def test_clock_never_goes_backwards(delays):
+    env = Environment()
+    observed = []
+
+    def chain():
+        for d in delays:
+            yield env.timeout(d)
+            observed.append(env.now)
+
+    env.process(chain())
+    env.run()
+    assert observed == sorted(observed)
+    assert abs(observed[-1] - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),  # arrival
+            st.floats(min_value=0.1, max_value=100, allow_nan=False),  # hold
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    st.integers(min_value=1, max_value=4),
+)
+def test_resource_never_exceeds_capacity(jobs, capacity):
+    env = Environment()
+    res = Resource(env, capacity)
+    max_seen = 0
+
+    def user(arrival, hold):
+        nonlocal max_seen
+        yield env.timeout(arrival)
+        with res.request() as req:
+            yield req
+            max_seen = max(max_seen, res.count)
+            yield env.timeout(hold)
+
+    for arrival, hold in jobs:
+        env.process(user(arrival, hold))
+    env.run()
+    assert max_seen <= capacity
+    assert res.count == 0
+    assert len(res.queue) == 0
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=50, allow_nan=False), min_size=1, max_size=15)
+)
+def test_capacity_one_resource_serializes_total_time(holds):
+    """With one server and all arrivals at t=0, makespan == sum of holds."""
+    env = Environment()
+    res = Resource(env, 1)
+    done = []
+
+    def user(hold):
+        with res.request() as req:
+            yield req
+            yield env.timeout(hold)
+            done.append(env.now)
+
+    for h in holds:
+        env.process(user(h))
+    env.run()
+    assert abs(max(done) - sum(holds)) < 1e-9 * max(1.0, sum(holds))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ).map(lambda p: (min(p), max(p))),
+        max_size=30,
+    )
+)
+def test_trace_busy_time_bounded_by_total_and_span(intervals):
+    trace = Trace()
+    for start, end in intervals:
+        trace.record("x", start, end)
+    busy = trace.busy_time("x")
+    assert busy <= trace.total("x") + 1e-9
+    if intervals:
+        lo = min(s for s, _ in intervals)
+        hi = max(e for _, e in intervals)
+        assert busy <= (hi - lo) + 1e-9
+    else:
+        assert busy == 0.0

@@ -1,0 +1,217 @@
+"""Tests for Resource / PriorityResource queueing semantics."""
+
+import pytest
+
+from repro.des import Environment, PriorityResource, Resource
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, 0)
+
+    def test_grant_when_free(self, env):
+        res = Resource(env, 1)
+        log = []
+
+        def user():
+            with res.request() as req:
+                yield req
+                log.append(env.now)
+                yield env.timeout(1)
+
+        env.process(user())
+        env.run()
+        assert log == [0]
+        assert res.count == 0
+
+    def test_fifo_queueing_serializes_users(self, env):
+        res = Resource(env, 1)
+        log = []
+
+        def user(name, hold):
+            with res.request() as req:
+                yield req
+                log.append((name, env.now))
+                yield env.timeout(hold)
+
+        env.process(user("a", 3))
+        env.process(user("b", 2))
+        env.process(user("c", 1))
+        env.run()
+        assert log == [("a", 0), ("b", 3), ("c", 5)]
+
+    def test_capacity_two_allows_two_concurrent(self, env):
+        res = Resource(env, 2)
+        log = []
+
+        def user(name):
+            with res.request() as req:
+                yield req
+                log.append((name, env.now))
+                yield env.timeout(4)
+
+        for name in "abc":
+            env.process(user(name))
+        env.run()
+        assert log == [("a", 0), ("b", 0), ("c", 4)]
+
+    def test_count_and_queue_lengths(self, env):
+        res = Resource(env, 1)
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def observer():
+            yield env.timeout(1)
+            assert res.count == 1
+            assert len(res.queue) == 1
+
+        env.process(holder())
+        env.process(holder())
+        env.process(observer())
+        env.run()
+
+    def test_explicit_release(self, env):
+        res = Resource(env, 1)
+        log = []
+
+        def user(name):
+            req = res.request()
+            yield req
+            log.append((name, env.now))
+            yield env.timeout(2)
+            res.release(req)
+
+        env.process(user("a"))
+        env.process(user("b"))
+        env.run()
+        assert log == [("a", 0), ("b", 2)]
+
+    def test_cancelled_queued_request_is_skipped(self, env):
+        res = Resource(env, 1)
+        log = []
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        def quitter():
+            req = res.request()  # queued behind holder
+            yield env.timeout(1)
+            req.cancel()
+
+        def patient():
+            with res.request() as req:
+                yield req
+                log.append(env.now)
+
+        env.process(holder())
+        env.process(quitter())
+        env.process(patient())
+        env.run()
+        assert log == [5]
+
+    def test_requested_at_recorded(self, env):
+        res = Resource(env, 1)
+        waits = []
+
+        def user(delay):
+            yield env.timeout(delay)
+            with res.request() as req:
+                yield req
+                waits.append(env.now - req.requested_at)
+                yield env.timeout(10)
+
+        env.process(user(0))
+        env.process(user(1))
+        env.run()
+        assert waits == [0, 9]
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        res = PriorityResource(env, 1)
+        log = []
+
+        def user(name, priority):
+            with res.request(priority=priority) as req:
+                yield req
+                log.append(name)
+                yield env.timeout(1)
+
+        def holder():
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(1)  # others queue while we hold
+
+        env.process(holder())
+
+        def spawn():
+            yield env.timeout(0)
+            env.process(user("low", 5))
+            env.process(user("high", 1))
+            env.process(user("mid", 3))
+
+        env.process(spawn())
+        env.run()
+        assert log == ["high", "mid", "low"]
+
+    def test_equal_priority_is_fifo(self, env):
+        res = PriorityResource(env, 1)
+        log = []
+
+        def user(name):
+            with res.request(priority=1) as req:
+                yield req
+                log.append(name)
+                yield env.timeout(1)
+
+        def holder():
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(1)
+
+        env.process(holder())
+
+        def spawn():
+            yield env.timeout(0)
+            for name in "abc":
+                env.process(user(name))
+
+        env.process(spawn())
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_cancel_queued_priority_request(self, env):
+        res = PriorityResource(env, 1)
+        log = []
+
+        def holder():
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(5)
+
+        def quitter():
+            req = res.request(priority=1)
+            yield env.timeout(1)
+            req.cancel()
+
+        def patient():
+            with res.request(priority=2) as req:
+                yield req
+                log.append(env.now)
+
+        env.process(holder())
+        env.process(quitter())
+        env.process(patient())
+        env.run()
+        assert log == [5]

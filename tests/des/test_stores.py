@@ -1,0 +1,242 @@
+"""Tests for Store / PriorityStore / Container."""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.stores import Container, PriorityItem, PriorityStore, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        got = []
+
+        def producer():
+            yield store.put("a")
+            yield env.timeout(1)
+            yield store.put("b")
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_item_arrives(self, env):
+        store = Store(env)
+        times = []
+
+        def consumer():
+            yield store.get()
+            times.append(env.now)
+
+        def producer():
+            yield env.timeout(5)
+            yield store.put("x")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [5]
+
+    def test_bounded_put_blocks_until_space(self, env):
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")  # blocks: capacity 1
+            times.append(env.now)
+
+        def consumer():
+            yield env.timeout(3)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [3]
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        got = []
+
+        def producer():
+            for item in [1, 2, 3]:
+                yield store.put(item)
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [1, 2, 3]
+
+    def test_multiple_consumers_each_get_one(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        env.process(consumer("c1"))
+        env.process(consumer("c2"))
+
+        def producer():
+            yield store.put("x")
+            yield store.put("y")
+
+        env.process(producer())
+        env.run()
+        assert sorted(i for _, i in got) == ["x", "y"]
+        assert len({n for n, _ in got}) == 2
+
+    def test_len(self, env):
+        store = Store(env)
+        store.put("a")
+        env.run()
+        assert len(store) == 1
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+
+class TestPriorityStore:
+    def test_lowest_leaves_first(self, env):
+        store = PriorityStore(env)
+        got = []
+
+        def producer():
+            for p in [5, 1, 3]:
+                yield store.put(p)
+
+        def consumer():
+            yield env.timeout(1)  # let all puts land first
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [1, 3, 5]
+
+    def test_priority_item_wrapper(self, env):
+        store = PriorityStore(env)
+        got = []
+
+        def producer():
+            yield store.put(PriorityItem(2, "late"))
+            yield store.put(PriorityItem(1, "early"))
+
+        def consumer():
+            yield env.timeout(1)
+            got.append((yield store.get()).item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == ["early"]
+
+    def test_priority_item_ordering(self):
+        assert PriorityItem(1, "a") < PriorityItem(2, "b")
+        assert PriorityItem(1, "a") == PriorityItem(1, "z")
+
+
+class TestContainer:
+    def test_init_level(self, env):
+        assert Container(env, capacity=100, init=40).level == 40
+
+    def test_put_and_get_adjust_level(self, env):
+        tank = Container(env, capacity=100, init=50)
+
+        def proc():
+            yield tank.put(30)
+            yield tank.get(70)
+
+        env.process(proc())
+        env.run()
+        assert tank.level == pytest.approx(10)
+
+    def test_get_blocks_until_level_suffices(self, env):
+        tank = Container(env, capacity=100, init=0)
+        times = []
+
+        def consumer():
+            yield tank.get(50)
+            times.append(env.now)
+
+        def producer():
+            yield env.timeout(2)
+            yield tank.put(25)
+            yield env.timeout(2)
+            yield tank.put(25)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [4]
+
+    def test_put_blocks_at_capacity(self, env):
+        tank = Container(env, capacity=100, init=90)
+        times = []
+
+        def producer():
+            yield tank.put(20)  # would overflow
+            times.append(env.now)
+
+        def consumer():
+            yield env.timeout(3)
+            yield tank.get(30)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [3]
+        assert tank.level == pytest.approx(80)
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=20)
+        tank = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            tank.put(0)
+        with pytest.raises(ValueError):
+            tank.get(-1)
+
+    def test_fifo_fairness_no_overtaking(self, env):
+        """A large blocked get is not starved by later small gets."""
+        tank = Container(env, capacity=100, init=0)
+        order = []
+
+        def big():
+            yield tank.get(50)
+            order.append("big")
+
+        def small():
+            yield env.timeout(1)
+            yield tank.get(10)
+            order.append("small")
+
+        def producer():
+            yield env.timeout(2)
+            yield tank.put(60)
+
+        env.process(big())
+        env.process(small())
+        env.process(producer())
+        env.run()
+        assert order == ["big", "small"]

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_ids_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_run_scheme_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "nope"])
+
+
+class TestCommands:
+    def test_schemes_lists_all_three(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("parallel_batch", "object_probability", "cluster_probability"):
+            assert name in out
+
+    def test_workload_stats(self, capsys):
+        assert main(["workload", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "total size" in out
+        assert "avg request size" in out
+
+    def test_workload_dump(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["workload", "--scale", "small", "--out", str(path)]) == 0
+        assert path.exists()
+        from repro.workload import load_workload
+
+        assert load_workload(path).num_objects == 2500
+
+    def test_run_prints_metrics(self, capsys):
+        rc = main(
+            ["run", "--scheme", "object_probability", "--scale", "small",
+             "--samples", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg bandwidth" in out
+        assert "avg response" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out
+        assert "400" in out
+
+    def test_experiment_small_scale(self, capsys):
+        assert main(["experiment", "fig9", "--scale", "small", "--num-samples", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "F9" in out
+        assert "parallel batch" in out
+
+    def test_compare_command(self, capsys):
+        rc = main(
+            ["compare", "parallel_batch", "cluster_probability",
+             "--scale", "small", "--samples", "10"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "response_s" in out
+        assert "paired samples" in out
+
+    def test_experiment_chart_flag(self, capsys):
+        rc = main(
+            ["experiment", "fig9", "--scale", "small", "--num-samples", "8", "--chart"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "a: switch" in out  # chart legend rendered
+
+    def test_table1_chart_uses_numeric_columns(self, capsys):
+        rc = main(["experiment", "table1", "--chart"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # value/paper are numeric columns; the textual "kind" is skipped
+        assert "a: value" in out
+        assert "kind" not in out.splitlines()[-1]
+
+    def test_experiment_csv_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "t1.csv"
+        rc = main(["experiment", "table1", "--csv", str(out_path)])
+        assert rc == 0
+        assert out_path.exists()
+        assert "parameter" in out_path.read_text().splitlines()[0]
+
+    def test_reproduce_command(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        rc = main(
+            ["reproduce", "--scale", "small", "--num-samples", "8",
+             "--only", "table1", "fig9", "--out", str(out)]
+        )
+        assert rc == 0
+        assert (out / "INDEX.md").exists()
+        assert (out / "table1.txt").exists()
+        assert (out / "fig9.csv").exists()
+        index = (out / "INDEX.md").read_text()
+        assert "T1" in index and "F9" in index

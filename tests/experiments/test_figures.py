@@ -1,0 +1,169 @@
+"""Smoke + shape tests for every experiment driver, at small scale.
+
+Full-scale shape assertions live in benchmarks/ (they need the paper-scale
+workload); here each driver must run, produce a well-formed table, and
+satisfy the cheap structural checks.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentSettings,
+    ablation,
+    extreme_case,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    sensitivity,
+    table1,
+    tech_trends,
+)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(scale="small", num_samples=25)
+
+
+class TestTable1:
+    def test_all_rows_present(self):
+        t = table1()
+        assert len(t.rows) == 11
+
+    def test_derived_quantities_within_10pct(self):
+        t = table1()
+        assert t.data["worst_derived_error"] < 0.10
+
+
+class TestFigure5:
+    def test_shape(self, settings):
+        t = figure5(settings, m_values=(1, 2, 4), alphas=(0.3,))
+        assert t.column("m") == [1, 2, 4]
+        series = t.data["series"][0.3]
+        assert len(series) == 3
+        # the paper's m=1 -> m=2 jump
+        assert series[1] > series[0]
+
+
+class TestFigure6:
+    def test_parallel_batch_wins_at_all_alphas(self, settings):
+        # 3% tolerance: at high alpha the two skew-friendly schemes converge
+        # and 25-sample small-scale runs are noisy; the strict full-scale
+        # assertion lives in benchmarks/bench_fig6.py.
+        t = figure6(settings, alphas=(0.0, 0.3, 1.0))
+        series = t.data["series"]
+        for i in range(3):
+            pb = series["parallel_batch"][i]
+            assert pb >= 0.97 * series["object_probability"][i]
+            assert pb >= 0.97 * series["cluster_probability"][i]
+
+
+class TestFigure7:
+    def test_bandwidth_grows_with_request_size(self, settings):
+        t = figure7(settings, size_scales=(0.5, 1.0, 1.5))
+        pb = t.data["series"]["parallel_batch"]
+        assert pb[-1] > pb[0]
+
+    def test_request_sizes_reported_in_gb(self, settings):
+        t = figure7(settings, size_scales=(0.5, 1.0))
+        sizes = t.data["request_sizes_gb"]
+        assert sizes[1] == pytest.approx(2 * sizes[0], rel=1e-6)
+
+
+class TestFigure8:
+    def test_parallel_batch_scales_with_libraries(self, settings):
+        t = figure8(settings, library_counts=(1, 3))
+        pb = t.data["series"]["parallel_batch"]
+        assert pb[1] > pb[0]
+
+
+class TestFigure9:
+    def test_components_sum_to_response(self, settings):
+        t = figure9(settings)
+        for comp in t.data["components"].values():
+            total = comp["switch"] + comp["seek"] + comp["transfer"]
+            assert total == pytest.approx(comp["response"], rel=1e-6)
+
+    def test_object_probability_switch_time_worst(self, settings):
+        t = figure9(settings)
+        c = t.data["components"]
+        assert c["object_probability"]["switch"] > c["parallel_batch"]["switch"]
+        assert c["object_probability"]["switch"] > c["cluster_probability"]["switch"]
+
+    def test_object_probability_transfer_best(self, settings):
+        t = figure9(settings)
+        c = t.data["components"]
+        assert c["object_probability"]["transfer"] < c["cluster_probability"]["transfer"]
+
+
+class TestExtremeCase:
+    def test_no_switches_anywhere(self, settings):
+        t = extreme_case(settings)
+        for stats in t.data["stats"].values():
+            assert stats["switches"] == pytest.approx(0.0)
+            assert abs(stats["switch"]) < 1.0
+
+    def test_object_probability_lowest_response(self, settings):
+        t = extreme_case(settings)
+        stats = t.data["stats"]
+        op = stats["object_probability"]["response"]
+        assert op <= stats["parallel_batch"]["response"]
+        assert op <= stats["cluster_probability"]["response"]
+
+    def test_parallel_batch_less_transfer_bound_than_cluster(self, settings):
+        t = extreme_case(settings)
+        stats = t.data["stats"]
+        assert (
+            stats["parallel_batch"]["transfer_fraction"]
+            < stats["cluster_probability"]["transfer_fraction"]
+        )
+
+
+class TestTechTrends:
+    def test_faster_drives_raise_bandwidth(self, settings):
+        t = tech_trends(settings, rate_factors=(1.0, 4.0), capacity_factors=(1.0,))
+        pb = t.data["series"]["parallel_batch"]
+        assert pb[1] > pb[0]
+
+
+class TestSensitivity:
+    def test_parallel_batch_wins_every_variation(self, settings):
+        t = sensitivity(settings)
+        assert set(t.data["winners"]) == {"parallel_batch"}
+
+
+class TestAblation:
+    def test_no_variant_is_catastrophically_better(self, settings):
+        """At small scale individual ablations can be noisy; full-scale
+        assertions live in benchmarks/bench_ablation.py.  Here: no ablated
+        variant may beat the full scheme by more than 25%, and at least two
+        must be strictly worse."""
+        t = ablation(settings)
+        bws = t.data["bandwidths"]
+        full = bws["full scheme"]
+        worse = 0
+        for label, bw in bws.items():
+            assert bw <= full * 1.25, f"{label} vastly beats the full scheme"
+            if label != "full scheme" and bw < full:
+                worse += 1
+        assert worse >= 2
+
+    def test_has_one_row_per_variant(self, settings):
+        t = ablation(settings)
+        assert len(t.rows) == 7
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "extreme", "tech", "sensitivity", "ablation",
+            "incremental", "queueing", "disk", "striping", "robots", "degraded", "seek_model",
+        }
+
+    def test_tables_format_without_error(self, settings):
+        out = figure6(settings, alphas=(0.3,)).format()
+        assert "F6" in out

@@ -1,0 +1,79 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.experiments import ExperimentTable, ascii_chart, chart_table
+
+
+class TestAsciiChart:
+    def test_contains_glyphs_axis_and_legend(self):
+        chart = ascii_chart([1, 2, 3], [[10.0, 20.0, 30.0]], ["series one"])
+        assert "a" in chart
+        assert "a: series one" in chart
+        assert "+" in chart and "|" in chart
+
+    def test_two_series_two_glyphs(self):
+        chart = ascii_chart(
+            [1, 2], [[1.0, 2.0], [5.0, 6.0]], ["low", "high"]
+        )
+        assert "a: low" in chart
+        assert "b: high" in chart
+
+    def test_extremes_hit_top_and_bottom(self):
+        chart = ascii_chart([1, 2], [[0.0, 100.0]], ["s"], height=10)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        assert "a" in rows[0]    # max on the top plot row
+        assert "a" in rows[-1]   # min on the bottom plot row
+
+    def test_collision_prints_star(self):
+        chart = ascii_chart([1], [[5.0], [5.0]], ["x", "y"])
+        assert "*" in chart
+
+    def test_flat_series_renders(self):
+        chart = ascii_chart([1, 2, 3], [[7.0, 7.0, 7.0]], ["flat"])
+        assert chart.count("a") >= 3 + 1  # 3 points + legend
+
+    def test_monotone_series_is_monotone_on_grid(self):
+        chart = ascii_chart([1, 2, 3, 4], [[1.0, 2.0, 3.0, 4.0]], ["up"], height=12)
+        rows = [l.split("|", 1)[1] for l in chart.splitlines() if "|" in l]
+        cols = [row.index("a") for row in rows if "a" in row]
+        # scanning top to bottom, the x position must strictly decrease
+        assert cols == sorted(cols, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], [], [])
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], [[1.0]], ["s"])
+        with pytest.raises(ValueError):
+            ascii_chart([1], [[1.0]], ["s"], height=2)
+
+
+class TestChartTable:
+    def test_numeric_table_charts(self):
+        t = ExperimentTable("F0", "demo", ["x", "a", "b"])
+        t.add_row(1, 10.0, 20.0)
+        t.add_row(2, 15.0, 25.0)
+        chart = chart_table(t)
+        assert chart is not None
+        assert "a: a" in chart
+
+    def test_non_numeric_columns_skipped(self):
+        t = ExperimentTable("F0", "demo", ["x", "label", "v"])
+        t.add_row(1, "foo", 10.0)
+        t.add_row(2, "bar", 20.0)
+        chart = chart_table(t)
+        assert chart is not None
+        assert "a: v" in chart
+        assert "label" not in chart.splitlines()[-1]
+
+    def test_all_text_table_returns_none(self):
+        t = ExperimentTable("T1", "specs", ["param", "value"])
+        t.add_row("x", "y")
+        t.add_row("z", "w")
+        assert chart_table(t) is None
+
+    def test_single_row_returns_none(self):
+        t = ExperimentTable("F0", "demo", ["x", "v"])
+        t.add_row(1, 10.0)
+        assert chart_table(t) is None

@@ -1,0 +1,65 @@
+"""Tests for ExperimentTable formatting."""
+
+import pytest
+
+from repro.experiments import ExperimentTable
+
+
+@pytest.fixture
+def table():
+    t = ExperimentTable("T9", "demo table", ["x", "y"])
+    t.add_row(1, 10.5)
+    t.add_row(2, 2000.123)
+    return t
+
+
+def test_add_row_validates_width(table):
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_column_access(table):
+    assert table.column("x") == [1, 2]
+    with pytest.raises(ValueError):
+        table.column("z")
+
+
+def test_format_contains_everything(table):
+    table.notes.append("hello note")
+    out = table.format()
+    assert "T9: demo table" in out
+    assert "x" in out and "y" in out
+    assert "10.5" in out
+    assert "2,000" in out
+    assert "note: hello note" in out
+
+
+def test_str_same_as_format(table):
+    assert str(table) == table.format()
+
+
+def test_empty_table_formats():
+    t = ExperimentTable("T0", "empty", ["a"])
+    assert "T0" in t.format()
+
+
+def test_float_formatting_rules():
+    t = ExperimentTable("T1", "t", ["v"])
+    t.add_row(0.0)
+    t.add_row(0.1234567)
+    t.add_row(42.77)
+    t.add_row(123456.0)
+    lines = t.format().splitlines()
+    assert "0.123" in lines[5]
+    assert "42.8" in lines[6]
+    assert "123,456" in lines[7]
+
+
+def test_to_csv_round_trips(table):
+    import csv
+    import io
+
+    rows = list(csv.reader(io.StringIO(table.to_csv())))
+    assert rows[0] == ["x", "y"]
+    assert rows[1] == ["1", "10.5"]
+    assert len(rows) == 3

@@ -1,0 +1,95 @@
+"""Tests for TapeDrive mount state and timing math."""
+
+import pytest
+
+from repro.hardware import DriveId, DriveSpec, Tape, TapeDrive, TapeId, TapeSpec
+
+
+@pytest.fixture
+def tape_spec():
+    # 1000 MB tape that takes 10 s to traverse -> locate rate 100 MB/s
+    return TapeSpec(capacity_mb=1000, max_rewind_s=10)
+
+
+@pytest.fixture
+def drive(tape_spec):
+    # 10 MB/s transfer so times are easy to read
+    return TapeDrive(DriveId(0, 0), DriveSpec(transfer_rate_mb_s=10), tape_spec)
+
+
+@pytest.fixture
+def tape(tape_spec):
+    t = Tape(TapeId(0, 0), tape_spec)
+    t.append_object(1, 100)  # [0, 100)
+    t.append_object(2, 200)  # [100, 300)
+    t.append_object(3, 100)  # [300, 400)
+    return t
+
+
+class TestMountState:
+    def test_mount_sets_head_to_bot(self, drive, tape):
+        tape.head_mb = 123.0
+        drive.mount(tape)
+        assert drive.mounted is tape
+        assert tape.head_mb == 0.0
+
+    def test_double_mount_rejected(self, drive, tape, tape_spec):
+        drive.mount(tape)
+        other = Tape(TapeId(0, 1), tape_spec)
+        with pytest.raises(RuntimeError):
+            drive.mount(other)
+
+    def test_unmount_returns_rewound_tape(self, drive, tape):
+        drive.mount(tape)
+        tape.head_mb = 300.0
+        out = drive.unmount()
+        assert out is tape
+        assert out.head_mb == 0.0
+        assert drive.is_empty
+
+    def test_unmount_empty_rejected(self, drive):
+        with pytest.raises(RuntimeError):
+            drive.unmount()
+
+
+class TestTiming:
+    def test_read_extent_from_bot(self, drive, tape):
+        drive.mount(tape)
+        seek, transfer = drive.read_extent(tape.extent_of(2))
+        assert seek == pytest.approx(1.0)  # 100 MB at 100 MB/s
+        assert transfer == pytest.approx(20.0)  # 200 MB at 10 MB/s
+        assert tape.head_mb == 300.0
+
+    def test_consecutive_reads_have_zero_seek(self, drive, tape):
+        drive.mount(tape)
+        drive.read_extent(tape.extent_of(2))  # head at 300
+        seek, _ = drive.read_extent(tape.extent_of(3))  # starts at 300
+        assert seek == 0.0
+
+    def test_backward_seek_costs_same_as_forward(self, drive, tape):
+        drive.mount(tape)
+        tape.head_mb = 400.0
+        seek, _ = drive.read_extent(tape.extent_of(1))  # back to 0
+        assert seek == pytest.approx(4.0)
+
+    def test_rewind_time_proportional_to_position(self, drive, tape):
+        drive.mount(tape)
+        tape.head_mb = 500.0
+        assert drive.rewind_time() == pytest.approx(5.0)
+        tape.head_mb = 0.0
+        assert drive.rewind_time() == 0.0
+
+    def test_timing_calls_require_mounted_tape(self, drive, tape):
+        with pytest.raises(RuntimeError):
+            drive.rewind_time()
+        with pytest.raises(RuntimeError):
+            drive.read_extent(tape.extent_of(1))
+
+    def test_load_unload_defaults(self, drive):
+        assert drive.load_time == 19.0
+        assert drive.unload_time == 19.0
+
+    def test_seek_time_to_does_not_move_head(self, drive, tape):
+        drive.mount(tape)
+        assert drive.seek_time_to(tape.extent_of(3)) == pytest.approx(3.0)
+        assert tape.head_mb == 0.0

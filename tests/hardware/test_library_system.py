@@ -1,0 +1,124 @@
+"""Tests for TapeLibrary, Robot, and TapeSystem composition."""
+
+import pytest
+
+from repro.des import Environment
+from repro.hardware import (
+    LibrarySpec,
+    Robot,
+    SystemSpec,
+    TapeId,
+    TapeLibrary,
+    TapeSystem,
+)
+
+
+@pytest.fixture
+def small_spec():
+    return SystemSpec(
+        num_libraries=2,
+        library=LibrarySpec(num_drives=2, num_tapes=4),
+    )
+
+
+class TestLibrary:
+    def test_construction_counts(self, small_spec):
+        lib = TapeLibrary(0, small_spec.library)
+        assert len(lib.drives) == 2
+        assert len(lib.tapes) == 4
+
+    def test_tape_ids_are_addressed_by_library(self, small_spec):
+        lib = TapeLibrary(1, small_spec.library)
+        assert TapeId(1, 0) in lib.tapes
+        assert TapeId(0, 0) not in lib.tapes
+
+    def test_tape_lookup_missing_raises(self, small_spec):
+        lib = TapeLibrary(0, small_spec.library)
+        with pytest.raises(KeyError):
+            lib.tape(TapeId(0, 99))
+
+    def test_mounted_tapes_and_drive_holding(self, small_spec):
+        lib = TapeLibrary(0, small_spec.library)
+        tape = lib.tape(TapeId(0, 2))
+        lib.drives[1].mount(tape)
+        assert lib.mounted_tapes() == {TapeId(0, 2): lib.drives[1]}
+        assert lib.drive_holding(TapeId(0, 2)) is lib.drives[1]
+        assert lib.drive_holding(TapeId(0, 0)) is None
+
+    def test_empty_and_switchable_drives(self, small_spec):
+        lib = TapeLibrary(0, small_spec.library)
+        lib.drives[0].pinned = True
+        assert len(lib.empty_drives()) == 2
+        assert lib.switchable_drives() == [lib.drives[1]]
+
+    def test_unmount_all_clears_pins(self, small_spec):
+        lib = TapeLibrary(0, small_spec.library)
+        lib.drives[0].mount(lib.tape(TapeId(0, 0)))
+        lib.drives[0].pinned = True
+        lib.unmount_all()
+        assert lib.mounted_tapes() == {}
+        assert not lib.drives[0].pinned
+
+
+class TestRobot:
+    def test_exchange_time_is_two_moves(self, small_spec):
+        robot = Robot(0, small_spec.library)
+        assert robot.exchange_time == pytest.approx(2 * 7.6)
+        assert robot.move_time == pytest.approx(7.6)
+
+    def test_resource_requires_binding(self, small_spec):
+        robot = Robot(0, small_spec.library)
+        with pytest.raises(RuntimeError):
+            robot.resource
+
+    def test_bound_robot_serializes(self, small_spec):
+        env = Environment()
+        robot = Robot(0, small_spec.library, env)
+        log = []
+
+        def mover(name):
+            with robot.resource.request() as req:
+                yield req
+                yield env.timeout(robot.exchange_time)
+                log.append((name, env.now))
+
+        env.process(mover("a"))
+        env.process(mover("b"))
+        env.run()
+        assert log == [("a", pytest.approx(15.2)), ("b", pytest.approx(30.4))]
+
+
+class TestSystem:
+    def test_construction(self, small_spec):
+        system = TapeSystem(small_spec)
+        assert len(system.libraries) == 2
+        assert len(list(system.all_tapes())) == 8
+        assert len(list(system.all_drives())) == 4
+
+    def test_tape_routing_by_id(self, small_spec):
+        system = TapeSystem(small_spec)
+        tape = system.tape(TapeId(1, 3))
+        assert tape.id == TapeId(1, 3)
+
+    def test_used_mb_accumulates(self, small_spec):
+        system = TapeSystem(small_spec)
+        system.tape(TapeId(0, 0)).append_object(1, 100)
+        system.tape(TapeId(1, 0)).append_object(2, 200)
+        assert system.used_mb() == 300
+
+    def test_reset_runtime_state_keeps_layouts(self, small_spec):
+        system = TapeSystem(small_spec)
+        tape = system.tape(TapeId(0, 0))
+        tape.append_object(1, 100)
+        system.library(0).drives[0].mount(tape)
+        tape.head_mb = 50
+        system.reset_runtime_state()
+        assert system.mounted_tape_ids() == {}
+        assert tape.head_mb == 0
+        assert tape.holds(1)
+
+    def test_clear_layouts(self, small_spec):
+        system = TapeSystem(small_spec)
+        system.tape(TapeId(0, 0)).append_object(1, 100)
+        system.clear_layouts()
+        assert system.used_mb() == 0

@@ -1,0 +1,134 @@
+"""Tests for hardware specs and the derived Table-1 timing quantities."""
+
+import pytest
+
+from repro.hardware import DriveSpec, LibrarySpec, SystemSpec, TapeSpec
+from repro.units import GB
+
+
+class TestTapeSpec:
+    def test_defaults_match_table1(self):
+        spec = TapeSpec()
+        assert spec.capacity_mb == 400 * GB
+        assert spec.max_rewind_s == 98.0
+
+    def test_locate_rate_derived_from_full_rewind(self):
+        spec = TapeSpec()
+        assert spec.locate_rate_mb_s == pytest.approx(400_000 / 98)
+
+    def test_average_rewind_is_half_of_max(self):
+        # Table 1: maximum/average rewind time 98/49 s.
+        assert TapeSpec().avg_rewind_s == pytest.approx(49.0)
+
+    def test_locate_time_is_symmetric_and_linear(self):
+        spec = TapeSpec()
+        t_half = spec.locate_time(0, spec.capacity_mb / 2)
+        assert t_half == pytest.approx(49.0)
+        assert spec.locate_time(spec.capacity_mb / 2, 0) == pytest.approx(t_half)
+        assert spec.locate_time(0, spec.capacity_mb) == pytest.approx(98.0)
+
+    def test_zero_distance_locate_is_free(self):
+        assert TapeSpec().locate_time(1000, 1000) == 0.0
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            TapeSpec(capacity_mb=0)
+        with pytest.raises(ValueError):
+            TapeSpec(max_rewind_s=-1)
+
+
+class TestDriveSpec:
+    def test_defaults_match_table1(self):
+        spec = DriveSpec()
+        assert spec.transfer_rate_mb_s == 80.0
+        assert spec.load_s == 19.0
+        assert spec.unload_s == 19.0
+
+    def test_transfer_time(self):
+        assert DriveSpec().transfer_time(8000) == pytest.approx(100.0)
+
+    def test_transfer_time_zero_size(self):
+        assert DriveSpec().transfer_time(0) == 0.0
+
+    def test_transfer_time_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DriveSpec().transfer_time(-1)
+
+
+class TestLibrarySpec:
+    def test_defaults_match_table1(self):
+        spec = LibrarySpec()
+        assert spec.num_drives == 8
+        assert spec.num_tapes == 80
+        assert spec.cell_to_drive_s == 7.6
+
+    def test_capacity(self):
+        assert LibrarySpec().capacity_mb == 80 * 400 * GB
+
+    def test_first_file_access_close_to_table1(self):
+        # Table 1 quotes 72 s; linear model gives load 19 + mid locate 49 = 68.
+        assert LibrarySpec().first_file_access_s == pytest.approx(68.0)
+        assert abs(LibrarySpec().first_file_access_s - 72.0) / 72.0 < 0.06
+
+    def test_rejects_fewer_tapes_than_drives(self):
+        with pytest.raises(ValueError):
+            LibrarySpec(num_drives=8, num_tapes=4)
+
+    def test_rejects_zero_drives(self):
+        with pytest.raises(ValueError):
+            LibrarySpec(num_drives=0)
+
+
+class TestSystemSpec:
+    def test_table1_factory(self):
+        spec = SystemSpec.table1()
+        assert spec.num_libraries == 3
+        assert spec.total_drives == 24
+        assert spec.total_tapes == 240
+        assert spec.total_capacity_mb == pytest.approx(96_000 * GB)
+
+    def test_aggregate_rate(self):
+        assert SystemSpec.table1().aggregate_transfer_rate_mb_s == pytest.approx(24 * 80)
+
+    def test_with_libraries(self):
+        spec = SystemSpec.table1().with_libraries(5)
+        assert spec.num_libraries == 5
+        assert spec.library == SystemSpec.table1().library  # unchanged
+
+    def test_rejects_zero_libraries(self):
+        with pytest.raises(ValueError):
+            SystemSpec(num_libraries=0)
+
+    def test_scaled_technology_rate(self):
+        spec = SystemSpec.table1().scaled_technology(rate_factor=2)
+        assert spec.library.drive.transfer_rate_mb_s == 160.0
+        assert spec.library.tape.capacity_mb == 400 * GB
+
+    def test_scaled_technology_capacity_keeps_rewind_time(self):
+        spec = SystemSpec.table1().scaled_technology(capacity_factor=2)
+        assert spec.library.tape.capacity_mb == 800 * GB
+        assert spec.library.tape.max_rewind_s == 98.0
+        # locate rate doubles so full-tape traverse time is constant
+        assert spec.library.tape.locate_rate_mb_s == pytest.approx(2 * 400_000 / 98)
+
+    def test_iter_library_ids(self):
+        assert list(SystemSpec.table1().iter_library_ids()) == [0, 1, 2]
+
+
+class TestAffineLocateModel:
+    def test_default_is_pure_linear(self):
+        spec = TapeSpec()
+        assert spec.locate_startup_s == 0.0
+        assert spec.locate_time(0, spec.capacity_mb) == pytest.approx(98.0)
+
+    def test_startup_added_to_real_moves(self):
+        spec = TapeSpec(capacity_mb=1000, max_rewind_s=10, locate_startup_s=2.0)
+        assert spec.locate_time(0, 500) == pytest.approx(2.0 + 5.0)
+
+    def test_zero_distance_stays_free(self):
+        spec = TapeSpec(capacity_mb=1000, max_rewind_s=10, locate_startup_s=2.0)
+        assert spec.locate_time(300, 300) == 0.0
+
+    def test_negative_startup_rejected(self):
+        with pytest.raises(ValueError):
+            TapeSpec(locate_startup_s=-1.0)

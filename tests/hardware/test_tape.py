@@ -1,0 +1,93 @@
+"""Tests for Tape layout management."""
+
+import pytest
+
+from repro.hardware import ObjectExtent, Tape, TapeId, TapeSpec
+
+
+@pytest.fixture
+def tape():
+    return Tape(TapeId(0, 0), TapeSpec(capacity_mb=1000, max_rewind_s=10))
+
+
+class TestObjectExtent:
+    def test_end(self):
+        assert ObjectExtent(1, 10, 5).end_mb == 15
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            ObjectExtent(1, -1, 5)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            ObjectExtent(1, 0, 0)
+
+    def test_overlap_detection(self):
+        a = ObjectExtent(1, 0, 10)
+        b = ObjectExtent(2, 5, 10)
+        c = ObjectExtent(3, 10, 10)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)  # adjacent is not overlapping
+
+
+class TestTapeLayout:
+    def test_fresh_tape_is_empty(self, tape):
+        assert len(tape) == 0
+        assert tape.used_mb == 0
+        assert tape.free_mb == 1000
+
+    def test_append_object(self, tape):
+        e1 = tape.append_object(7, 100)
+        e2 = tape.append_object(8, 50)
+        assert e1.start_mb == 0
+        assert e2.start_mb == 100
+        assert tape.used_mb == 150
+        assert tape.object_ids == (7, 8)
+
+    def test_append_beyond_capacity_rejected(self, tape):
+        tape.append_object(1, 900)
+        with pytest.raises(ValueError):
+            tape.append_object(2, 200)
+
+    def test_extent_lookup(self, tape):
+        tape.append_object(42, 100)
+        assert tape.extent_of(42).size_mb == 100
+        assert tape.holds(42)
+        assert not tape.holds(99)
+
+    def test_extent_lookup_missing_raises(self, tape):
+        with pytest.raises(KeyError):
+            tape.extent_of(1)
+
+    def test_write_layout_sorts_by_start(self, tape):
+        tape.write_layout(
+            [ObjectExtent(2, 100, 50), ObjectExtent(1, 0, 100)]
+        )
+        assert tape.object_ids == (1, 2)
+
+    def test_write_layout_rejects_overlap(self, tape):
+        with pytest.raises(ValueError):
+            tape.write_layout([ObjectExtent(1, 0, 100), ObjectExtent(2, 50, 100)])
+
+    def test_write_layout_rejects_duplicate_object(self, tape):
+        with pytest.raises(ValueError):
+            tape.write_layout([ObjectExtent(1, 0, 10), ObjectExtent(1, 10, 10)])
+
+    def test_write_layout_rejects_capacity_overflow(self, tape):
+        with pytest.raises(ValueError):
+            tape.write_layout([ObjectExtent(1, 900, 200)])
+
+    def test_write_layout_replaces_previous(self, tape):
+        tape.append_object(1, 100)
+        tape.write_layout([ObjectExtent(2, 0, 10)])
+        assert tape.object_ids == (2,)
+        assert not tape.holds(1)
+
+    def test_layout_may_have_gaps(self, tape):
+        tape.write_layout([ObjectExtent(1, 0, 10), ObjectExtent(2, 500, 10)])
+        assert tape.used_mb == 510
+
+    def test_iteration_in_position_order(self, tape):
+        tape.write_layout([ObjectExtent(2, 100, 10), ObjectExtent(1, 0, 10)])
+        assert [e.object_id for e in tape] == [1, 2]

@@ -1,0 +1,82 @@
+"""Tests for the local-search placement optimizer."""
+
+import pytest
+
+from repro.experiments import ExperimentSettings, paper_workload
+from repro.model import CostModel, optimize_placement
+from repro.placement import ObjectProbabilityPlacement, ParallelBatchPlacement
+from repro.sim import SimulationSession
+
+
+@pytest.fixture(scope="module")
+def setup():
+    settings = ExperimentSettings(scale="small")
+    workload = paper_workload(settings)
+    spec = settings.spec()
+    return workload, spec
+
+
+class TestOptimizePlacement:
+    def test_objective_never_increases(self, setup):
+        workload, spec = setup
+        placement = ObjectProbabilityPlacement().place(workload, spec)
+        result = optimize_placement(placement, workload, spec, iterations=60, seed=3)
+        assert result.final_objective_s <= result.initial_objective_s + 1e-9
+        assert result.trajectory == sorted(result.trajectory, reverse=True)
+
+    def test_result_placement_is_valid(self, setup):
+        workload, spec = setup
+        placement = ObjectProbabilityPlacement().place(workload, spec)
+        result = optimize_placement(placement, workload, spec, iterations=60, seed=3)
+        result.placement.validate(workload.catalog, spec)
+        assert result.placement.scheme.endswith("+search")
+
+    def test_final_objective_matches_fresh_model(self, setup):
+        workload, spec = setup
+        placement = ObjectProbabilityPlacement().place(workload, spec)
+        result = optimize_placement(placement, workload, spec, iterations=60, seed=3)
+        model = CostModel(result.placement, spec)
+        recomputed = model.average_response(
+            list(workload.requests), workload.requests.probabilities
+        )
+        assert recomputed == pytest.approx(result.final_objective_s, rel=1e-9)
+
+    def test_zero_iterations_is_identity(self, setup):
+        workload, spec = setup
+        placement = ParallelBatchPlacement(m=4).place(workload, spec)
+        result = optimize_placement(placement, workload, spec, iterations=0, seed=0)
+        assert result.improvement == 0.0
+        assert result.moves_accepted == 0
+
+    def test_deterministic_for_seed(self, setup):
+        workload, spec = setup
+        placement = ObjectProbabilityPlacement().place(workload, spec)
+        a = optimize_placement(placement, workload, spec, iterations=40, seed=9)
+        b = optimize_placement(placement, workload, spec, iterations=40, seed=9)
+        assert a.final_objective_s == pytest.approx(b.final_objective_s)
+        assert a.moves_accepted == b.moves_accepted
+
+    def test_heuristic_is_near_local_optimum(self, setup):
+        """The headline finding: search barely improves the paper's scheme —
+        the constructive heuristic already sits near a local optimum of its
+        own objective."""
+        workload, spec = setup
+        placement = ParallelBatchPlacement(m=4).place(workload, spec)
+        result = optimize_placement(placement, workload, spec, iterations=100, seed=1)
+        assert result.improvement < 0.05
+
+    def test_optimized_placement_simulates(self, setup):
+        workload, spec = setup
+        placement = ObjectProbabilityPlacement().place(workload, spec)
+        result = optimize_placement(placement, workload, spec, iterations=50, seed=2)
+        session = SimulationSession(workload, spec, placement=result.placement)
+        evaluation = session.evaluate(num_samples=10, seed=4)
+        assert evaluation.avg_bandwidth_mb_s > 0
+
+    def test_sample_requests_limits_objective_scope(self, setup):
+        workload, spec = setup
+        placement = ObjectProbabilityPlacement().place(workload, spec)
+        result = optimize_placement(
+            placement, workload, spec, iterations=30, seed=5, sample_requests=10
+        )
+        assert result.final_objective_s <= result.initial_objective_s + 1e-9

@@ -1,0 +1,159 @@
+"""Tests for co-access similarity and hierarchical clustering (Sec. 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ObjectCatalog, Request, RequestSet
+from repro.placement import cluster_objects, similarity_edges
+from repro.workload import Workload, generate_workload
+
+
+def make_workload(request_specs, num_objects, sizes=None):
+    """request_specs: list of (object_ids, probability)."""
+    requests = RequestSet(
+        [Request(i, tuple(ids), p) for i, (ids, p) in enumerate(request_specs)]
+    )
+    catalog = ObjectCatalog(sizes if sizes is not None else np.ones(num_objects))
+    return Workload(catalog, requests)
+
+
+class TestSimilarityEdges:
+    def test_pairwise_sum_over_requests(self):
+        w = make_workload([((0, 1, 2), 0.6), ((1, 2), 0.4)], 4)
+        pairs, weights = similarity_edges(w.requests, 4)
+        sim = {tuple(p): wt for p, wt in zip(pairs.tolist(), weights)}
+        assert sim[(0, 1)] == pytest.approx(0.6)
+        assert sim[(0, 2)] == pytest.approx(0.6)
+        assert sim[(1, 2)] == pytest.approx(1.0)  # in both requests
+        assert len(sim) == 3
+
+    def test_singleton_requests_add_no_edges(self):
+        w = make_workload([((0,), 0.5), ((1,), 0.5)], 2)
+        pairs, weights = similarity_edges(w.requests, 2)
+        assert len(pairs) == 0
+
+    def test_pairs_are_ordered(self):
+        w = make_workload([((3, 1), 1.0)], 4)
+        pairs, _ = similarity_edges(w.requests, 4)
+        assert pairs.tolist() == [[1, 3]]
+
+
+class TestClusterObjects:
+    @pytest.mark.parametrize("method", ["pairs", "requests"])
+    def test_co_requested_objects_cluster_together(self, method):
+        w = make_workload([((0, 1), 0.5), ((2, 3), 0.5)], 5)
+        clustering = cluster_objects(w, method=method)
+        assert clustering.cluster_of(0) == clustering.cluster_of(1)
+        assert clustering.cluster_of(2) == clustering.cluster_of(3)
+        assert clustering.cluster_of(0) != clustering.cluster_of(2)
+        # object 4 appears in no request: singleton
+        assert len(clustering.clusters[clustering.cluster_of(4)]) == 1
+
+    @pytest.mark.parametrize("method", ["pairs", "requests"])
+    def test_bridging_object_merges_requests(self, method):
+        w = make_workload([((0, 1), 0.5), ((1, 2), 0.5)], 3)
+        clustering = cluster_objects(w, method=method)
+        assert clustering.cluster_of(0) == clustering.cluster_of(2)
+
+    def test_methods_agree_without_caps(self):
+        w = generate_workload(
+            num_objects=300, num_requests=30, request_size_bounds=(3, 8), seed=13
+        )
+        a = cluster_objects(w, method="pairs")
+        b = cluster_objects(w, method="requests")
+        # Same partition: co-membership must match pairwise.
+        la, lb = a.labels, b.labels
+        for i in range(0, 300, 7):
+            for j in range(i + 1, 300, 11):
+                assert (la[i] == la[j]) == (lb[i] == lb[j])
+
+    def test_threshold_cuts_weak_edges_pairs_method(self):
+        w = make_workload([((0, 1), 0.9), ((2, 3), 0.1)], 4)
+        clustering = cluster_objects(w, threshold=0.5, method="pairs")
+        assert clustering.cluster_of(0) == clustering.cluster_of(1)
+        assert clustering.cluster_of(2) != clustering.cluster_of(3)
+
+    def test_threshold_cuts_weak_requests_method(self):
+        w = make_workload([((0, 1), 0.9), ((2, 3), 0.1)], 4)
+        clustering = cluster_objects(w, threshold=0.5, method="requests")
+        assert clustering.cluster_of(0) == clustering.cluster_of(1)
+        assert clustering.cluster_of(2) != clustering.cluster_of(3)
+
+    @pytest.mark.parametrize("method", ["pairs", "requests"])
+    def test_max_objects_cap(self, method):
+        w = make_workload([(tuple(range(10)), 1.0)], 10)
+        clustering = cluster_objects(w, max_objects=4, method=method)
+        assert max(len(c) for c in clustering.clusters) <= 4
+        assert sum(len(c) for c in clustering.clusters) == 10
+
+    @pytest.mark.parametrize("method", ["pairs", "requests"])
+    def test_max_size_cap(self, method):
+        w = make_workload([((0, 1, 2), 1.0)], 3, sizes=[100.0, 100.0, 100.0])
+        clustering = cluster_objects(w, max_size_mb=250.0, method=method)
+        assert max(c.size_mb for c in clustering.clusters) <= 250.0
+
+    def test_stronger_edges_merge_first_under_caps(self):
+        # (0,1) strong, (1,2) weak; cap of 2 members keeps the strong pair.
+        w = make_workload([((0, 1), 0.8), ((1, 2), 0.2)], 3)
+        clustering = cluster_objects(w, max_objects=2, method="pairs")
+        assert clustering.cluster_of(0) == clustering.cluster_of(1)
+        assert clustering.cluster_of(2) != clustering.cluster_of(1)
+
+    def test_cluster_stats(self):
+        # Two requests so the normalized probability of request 0 stays 0.5.
+        w = make_workload([((0, 1), 0.5), ((2,), 0.5)], 3, sizes=[10.0, 20.0, 30.0])
+        clustering = cluster_objects(w)
+        cluster = clustering.clusters[clustering.cluster_of(0)]
+        assert cluster.size_mb == 30.0
+        assert cluster.probability == pytest.approx(1.0)  # P(O0)+P(O1) = 0.5+0.5
+        assert cluster.density == pytest.approx(1.0 / 30.0)
+
+    def test_labels_cover_all_objects(self):
+        w = generate_workload(
+            num_objects=500, num_requests=20, request_size_bounds=(5, 15), seed=3
+        )
+        clustering = cluster_objects(w)
+        assert clustering.num_objects == 500
+        assert sum(len(c) for c in clustering.clusters) == 500
+
+    def test_unknown_method_rejected(self):
+        w = make_workload([((0, 1), 1.0)], 2)
+        with pytest.raises(ValueError):
+            cluster_objects(w, method="magic")
+
+    def test_multi_object_clusters_helper(self):
+        w = make_workload([((0, 1), 1.0)], 4)
+        clustering = cluster_objects(w)
+        multi = clustering.multi_object_clusters()
+        assert len(multi) == 1
+        assert set(multi[0].objects) == {0, 1}
+
+
+class TestDetachShared:
+    def test_shared_objects_stay_singletons(self):
+        # Object 1 appears in both requests: it must not chain them.
+        w = make_workload([((0, 1), 0.5), ((1, 2), 0.5)], 3)
+        clustering = cluster_objects(w, detach_shared=True)
+        assert len(clustering.clusters[clustering.cluster_of(1)]) == 1
+        assert clustering.cluster_of(0) != clustering.cluster_of(2)
+
+    def test_unshared_objects_still_cluster(self):
+        w = make_workload([((0, 1, 2), 0.5), ((2, 3, 4), 0.5)], 5)
+        clustering = cluster_objects(w, detach_shared=True)
+        assert clustering.cluster_of(0) == clustering.cluster_of(1)
+        assert clustering.cluster_of(3) == clustering.cluster_of(4)
+        assert len(clustering.clusters[clustering.cluster_of(2)]) == 1
+
+    def test_no_sharing_means_no_effect(self):
+        w = make_workload([((0, 1), 0.5), ((2, 3), 0.5)], 4)
+        a = cluster_objects(w, detach_shared=True)
+        b = cluster_objects(w, detach_shared=False)
+        for i in range(4):
+            for j in range(4):
+                assert (a.labels[i] == a.labels[j]) == (b.labels[i] == b.labels[j])
+
+    def test_pairs_method_ignores_flag(self):
+        w = make_workload([((0, 1), 0.5), ((1, 2), 0.5)], 3)
+        clustering = cluster_objects(w, detach_shared=True, method="pairs")
+        # single-linkage still chains through the bridge
+        assert clustering.cluster_of(0) == clustering.cluster_of(2)

@@ -1,0 +1,149 @@
+"""Tests for epoch splitting and incremental (append-only) placement."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.placement import ParallelBatchPlacement
+from repro.placement.incremental import (
+    Epoch,
+    IncrementalParallelBatch,
+    split_into_epochs,
+    subset_workload,
+)
+from repro.sim import SimulationSession
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(scale="small")
+
+
+@pytest.fixture(scope="module")
+def workload(settings):
+    return generate_workload(settings.workload_params)
+
+
+@pytest.fixture(scope="module")
+def spec(settings):
+    return settings.spec()
+
+
+class TestSplitIntoEpochs:
+    def test_every_object_in_exactly_one_epoch(self, workload):
+        epochs = split_into_epochs(workload, 3)
+        all_ids = [o for e in epochs for o in e.new_object_ids]
+        assert sorted(all_ids) == list(range(workload.num_objects))
+
+    def test_every_request_in_exactly_one_epoch(self, workload):
+        epochs = split_into_epochs(workload, 4)
+        all_reqs = [r for e in epochs for r in e.new_request_ids]
+        assert sorted(all_reqs) == [r.id for r in workload.requests]
+
+    def test_known_requests_accumulate(self, workload):
+        epochs = split_into_epochs(workload, 3)
+        for prev, nxt in zip(epochs, epochs[1:]):
+            assert set(prev.known_request_ids) < set(nxt.known_request_ids)
+
+    def test_object_belongs_to_its_earliest_request_epoch(self, workload):
+        epochs = split_into_epochs(workload, 3)
+        epoch_of = {}
+        for e in epochs:
+            for o in e.new_object_ids:
+                epoch_of[o] = e.index
+        for request in workload.requests:
+            e = request.id % 3
+            for o in request.object_ids:
+                assert epoch_of[o] <= e
+
+    def test_single_epoch_is_everything(self, workload):
+        (epoch,) = split_into_epochs(workload, 1)
+        assert len(epoch.new_object_ids) == workload.num_objects
+
+    def test_invalid_epoch_count(self, workload):
+        with pytest.raises(ValueError):
+            split_into_epochs(workload, 0)
+
+
+class TestSubsetWorkload:
+    def test_round_trip_ids(self, workload):
+        epochs = split_into_epochs(workload, 2)
+        sub, to_global = subset_workload(
+            workload, epochs[0].new_object_ids, epochs[0].known_request_ids
+        )
+        assert len(sub.catalog) == len(epochs[0].new_object_ids)
+        # sizes preserved under the mapping
+        for local in range(0, len(sub.catalog), 97):
+            assert sub.catalog.size_of(local) == workload.catalog.size_of(
+                int(to_global[local])
+            )
+
+    def test_requests_restricted_to_subset(self, workload):
+        epochs = split_into_epochs(workload, 2)
+        sub, to_global = subset_workload(
+            workload, epochs[0].new_object_ids, epochs[0].known_request_ids
+        )
+        valid = set(range(len(sub.catalog)))
+        for request in sub.requests:
+            assert set(request.object_ids) <= valid
+
+    def test_empty_subset_rejected(self, workload):
+        with pytest.raises(ValueError):
+            subset_workload(workload, [0], [])
+
+
+class TestIncrementalPlacement:
+    @pytest.fixture(scope="class")
+    def epochs(self, workload):
+        return split_into_epochs(workload, 3)
+
+    @pytest.mark.parametrize("affinity", [True, False], ids=["affinity", "naive"])
+    def test_valid_complete_placement(self, workload, spec, epochs, affinity):
+        result = IncrementalParallelBatch(m=4, affinity=affinity).place_incrementally(
+            workload, epochs, spec
+        )
+        result.validate(workload.catalog, spec)
+        assert result.objects_placed() == workload.num_objects
+
+    def test_epoch0_objects_undisturbed_by_later_epochs(self, workload, spec, epochs):
+        """Append-only: epoch-0 objects sit before later arrivals on tape."""
+        result = IncrementalParallelBatch(m=4).place_incrementally(workload, epochs, spec)
+        epoch_of = {}
+        for e in epochs:
+            for o in e.new_object_ids:
+                epoch_of[o] = e.index
+        for extents in result.layouts.values():
+            positions = sorted(extents, key=lambda e: e.start_mb)
+            seen_epochs = [epoch_of[e.object_id] for e in positions]
+            assert seen_epochs == sorted(seen_epochs), "later epoch written before earlier"
+
+    def test_quality_ordering(self, workload, spec, epochs):
+        """Omniscient >= affinity-append >= naive-append (with slack)."""
+        full = SimulationSession(
+            workload, spec, scheme=ParallelBatchPlacement(m=4)
+        ).evaluate(num_samples=30, seed=9)
+        aff = SimulationSession(
+            workload, spec,
+            placement=IncrementalParallelBatch(m=4, affinity=True).place_incrementally(
+                workload, epochs, spec
+            ),
+        ).evaluate(num_samples=30, seed=9)
+        naive = SimulationSession(
+            workload, spec,
+            placement=IncrementalParallelBatch(m=4, affinity=False).place_incrementally(
+                workload, epochs, spec
+            ),
+        ).evaluate(num_samples=30, seed=9)
+        assert full.avg_bandwidth_mb_s > 0.95 * aff.avg_bandwidth_mb_s
+        assert aff.avg_bandwidth_mb_s > 0.9 * naive.avg_bandwidth_mb_s
+
+    def test_scheme_name_reflects_mode(self, workload, spec, epochs):
+        result = IncrementalParallelBatch(m=4, affinity=False).place_incrementally(
+            workload, epochs, spec
+        )
+        assert "naive" in result.scheme
+
+    def test_requires_epochs(self, workload, spec):
+        with pytest.raises(ValueError):
+            IncrementalParallelBatch().place_incrementally(workload, [], spec)

@@ -1,0 +1,160 @@
+"""Tests for the Figure-3 greedy zig-zag load balancer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import ObjectCatalog
+from repro.hardware import TapeId
+from repro.placement import (
+    PlacementError,
+    TapeBin,
+    choose_ndrv,
+    round_robin_assign,
+    zigzag_assign,
+)
+
+
+def bins(n, capacity=1e9):
+    return [TapeBin(TapeId(0, i), capacity) for i in range(n)]
+
+
+class TestTapeBin:
+    def test_add_updates_usage_and_workload(self):
+        b = TapeBin(TapeId(0, 0), 100.0)
+        b.add(1, size_mb=40.0, load=8.0)
+        assert b.used_mb == 40.0
+        assert b.free_mb == 60.0
+        assert b.workload == 8.0
+        assert b.object_ids == [1]
+
+    def test_add_overflow_rejected(self):
+        b = TapeBin(TapeId(0, 0), 100.0)
+        with pytest.raises(PlacementError):
+            b.add(1, size_mb=150.0, load=1.0)
+
+    def test_fits_with_tolerance(self):
+        b = TapeBin(TapeId(0, 0), 100.0)
+        assert b.fits(100.0)
+        assert not b.fits(100.1)
+
+
+class TestChooseNdrv:
+    def test_small_cluster_stays_on_one_tape(self):
+        assert choose_ndrv(100.0, num_objects=5, available_tapes=10, split_unit_mb=8000.0) == 1
+
+    def test_big_cluster_spreads(self):
+        assert choose_ndrv(40_000.0, 100, 10, 8000.0) == 5
+
+    def test_capped_by_tapes(self):
+        assert choose_ndrv(1e9, 100, 4, 8000.0) == 4
+
+    def test_capped_by_object_count(self):
+        assert choose_ndrv(1e9, 3, 10, 8000.0) == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            choose_ndrv(10.0, 1, 0, 100.0)
+        with pytest.raises(ValueError):
+            choose_ndrv(10.0, 1, 1, 0.0)
+
+
+class TestZigzag:
+    def test_all_objects_assigned_exactly_once(self):
+        catalog = ObjectCatalog(np.full(10, 10.0), np.linspace(0.1, 1.0, 10))
+        tape_bins = bins(3)
+        zigzag_assign(list(range(10)), catalog, tape_bins, ndrv=3)
+        placed = [o for b in tape_bins for o in b.object_ids]
+        assert sorted(placed) == list(range(10))
+
+    def test_ndrv_limits_fanout(self):
+        catalog = ObjectCatalog(np.full(10, 10.0), np.full(10, 0.1))
+        tape_bins = bins(5)
+        zigzag_assign(list(range(10)), catalog, tape_bins, ndrv=2)
+        used = [b for b in tape_bins if b.object_ids]
+        assert len(used) <= 2
+
+    def test_balances_load_across_tapes(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.uniform(10, 100, 60)
+        probs = rng.uniform(0.01, 1.0, 60)
+        catalog = ObjectCatalog(sizes, probs)
+        tape_bins = bins(4)
+        zigzag_assign(list(range(60)), catalog, tape_bins, ndrv=4)
+        workloads = [b.workload for b in tape_bins]
+        assert max(workloads) <= 2.0 * np.mean(workloads)
+
+    def test_prefers_least_loaded_window(self):
+        catalog = ObjectCatalog([10.0], [0.5])
+        tape_bins = bins(3)
+        tape_bins[0].workload = 100.0  # heavily pre-loaded
+        zigzag_assign([0], catalog, tape_bins, ndrv=1)
+        assert tape_bins[0].object_ids == []
+        assert len(tape_bins[1].object_ids) + len(tape_bins[2].object_ids) == 1
+
+    def test_capacity_fallback_within_window(self):
+        catalog = ObjectCatalog([50.0, 50.0, 80.0], [0.1, 0.2, 0.3])
+        tape_bins = [TapeBin(TapeId(0, 0), 100.0), TapeBin(TapeId(0, 1), 100.0)]
+        assert zigzag_assign([0, 1, 2], catalog, tape_bins, ndrv=2) == []
+        placed = sorted(o for b in tape_bins for o in b.object_ids)
+        assert placed == [0, 1, 2]
+        assert all(b.used_mb <= 100.0 for b in tape_bins)
+
+    def test_unplaceable_returned_as_rejects(self):
+        catalog = ObjectCatalog([200.0], [0.1])
+        tape_bins = [TapeBin(TapeId(0, 0), 100.0)]
+        rejects = zigzag_assign([0], catalog, tape_bins)
+        assert rejects == [0]
+        assert tape_bins[0].object_ids == []
+
+    def test_empty_cluster_is_noop(self):
+        catalog = ObjectCatalog([10.0], [0.1])
+        tape_bins = bins(2)
+        zigzag_assign([], catalog, tape_bins)
+        assert all(not b.object_ids for b in tape_bins)
+
+    def test_no_bins_raises(self):
+        catalog = ObjectCatalog([10.0], [0.1])
+        with pytest.raises(PlacementError):
+            zigzag_assign([0], catalog, [])
+
+    @given(
+        n_objects=st.integers(min_value=1, max_value=40),
+        n_tapes=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_complete_and_capacity_safe(self, n_objects, n_tapes, seed):
+        rng = np.random.default_rng(seed)
+        sizes = rng.uniform(1, 50, n_objects)
+        probs = rng.uniform(0, 1, n_objects)
+        catalog = ObjectCatalog(sizes, probs)
+        capacity = sizes.sum()  # always enough room in aggregate per tape
+        tape_bins = [TapeBin(TapeId(0, i), capacity) for i in range(n_tapes)]
+        zigzag_assign(list(range(n_objects)), catalog, tape_bins)
+        placed = sorted(o for b in tape_bins for o in b.object_ids)
+        assert placed == list(range(n_objects))
+        for b in tape_bins:
+            assert b.used_mb <= b.capacity_mb + 1e-6
+            assert b.used_mb == pytest.approx(sum(catalog.size_of(o) for o in b.object_ids))
+
+
+class TestRoundRobin:
+    def test_cycles_through_bins(self):
+        catalog = ObjectCatalog(np.full(6, 10.0), np.full(6, 0.1))
+        tape_bins = bins(3)
+        round_robin_assign(list(range(6)), catalog, tape_bins)
+        assert all(len(b.object_ids) == 2 for b in tape_bins)
+
+    def test_skips_full_bins(self):
+        catalog = ObjectCatalog([60.0, 60.0, 60.0], [0.1, 0.1, 0.1])
+        tape_bins = [TapeBin(TapeId(0, 0), 70.0), TapeBin(TapeId(0, 1), 200.0)]
+        round_robin_assign([0, 1, 2], catalog, tape_bins)
+        assert len(tape_bins[0].object_ids) == 1
+        assert len(tape_bins[1].object_ids) == 2
+
+    def test_unplaceable_returned_as_rejects(self):
+        catalog = ObjectCatalog([100.0], [0.1])
+        rejects = round_robin_assign([0], catalog, [TapeBin(TapeId(0, 0), 50.0)])
+        assert rejects == [0]

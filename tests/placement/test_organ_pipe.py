@@ -1,0 +1,148 @@
+"""Tests for organ-pipe alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import ObjectCatalog
+from repro.placement import organ_pipe_extents, organ_pipe_order, sequential_extents
+
+
+class TestOrganPipeOrder:
+    def test_empty(self):
+        assert organ_pipe_order([]) == []
+
+    def test_single(self):
+        assert organ_pipe_order([0.5]) == [0]
+
+    def test_hottest_in_middle(self):
+        probs = [0.1, 0.9, 0.2, 0.4, 0.05]
+        order = organ_pipe_order(probs)
+        hottest_pos = order.index(1)
+        assert hottest_pos in (len(probs) // 2, len(probs) // 2 - 1)
+
+    def test_profile_rises_then_falls(self):
+        probs = [0.1, 0.3, 0.05, 0.25, 0.2, 0.1]
+        order = organ_pipe_order(probs)
+        profile = [probs[i] for i in order]
+        peak = int(np.argmax(profile))
+        assert all(profile[i] <= profile[i + 1] for i in range(peak))
+        assert all(profile[i] >= profile[i + 1] for i in range(peak, len(profile) - 1))
+
+    def test_is_permutation(self):
+        probs = [0.4, 0.1, 0.2, 0.3]
+        assert sorted(organ_pipe_order(probs)) == [0, 1, 2, 3]
+
+    def test_deterministic_on_ties(self):
+        probs = [0.2, 0.2, 0.2]
+        assert organ_pipe_order(probs) == organ_pipe_order(probs)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            organ_pipe_order(np.zeros((2, 2)))
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), max_size=40))
+    @settings(max_examples=50)
+    def test_always_a_permutation_with_unimodal_profile(self, probs):
+        order = organ_pipe_order(probs)
+        assert sorted(order) == list(range(len(probs)))
+        profile = [probs[i] for i in order]
+        if profile:
+            peak = int(np.argmax(profile))
+            assert all(profile[i] <= profile[i + 1] + 1e-12 for i in range(peak))
+            assert all(profile[i] + 1e-12 >= profile[i + 1] for i in range(peak, len(profile) - 1))
+
+    def test_expected_seek_not_worse_than_sequential(self):
+        """Organ pipe minimizes expected pairwise seek distance under
+        independent accesses — compare against rank order for a skewed set."""
+        rng = np.random.default_rng(0)
+        probs = np.sort(rng.pareto(1.5, 15) + 0.01)[::-1]
+        probs /= probs.sum()
+        sizes = np.ones(15)
+
+        def expected_seek(order):
+            centers = {}
+            pos = 0.0
+            for idx in order:
+                centers[idx] = pos + sizes[idx] / 2
+                pos += sizes[idx]
+            return sum(
+                probs[a] * probs[b] * abs(centers[a] - centers[b])
+                for a in range(15)
+                for b in range(15)
+            )
+
+        pipe = expected_seek(organ_pipe_order(probs))
+        sequential = expected_seek(list(range(15)))
+        assert pipe <= sequential + 1e-12
+
+
+class TestExtents:
+    @pytest.fixture
+    def catalog(self):
+        return ObjectCatalog([10.0, 20.0, 30.0], [0.5, 0.3, 0.2])
+
+    def test_organ_pipe_extents_contiguous_from_zero(self, catalog):
+        extents = organ_pipe_extents([0, 1, 2], catalog)
+        assert extents[0].start_mb == 0.0
+        for a, b in zip(extents, extents[1:]):
+            assert b.start_mb == pytest.approx(a.end_mb)
+        assert sum(e.size_mb for e in extents) == 60.0
+
+    def test_organ_pipe_extents_hottest_centred(self, catalog):
+        extents = organ_pipe_extents([0, 1, 2], catalog)
+        ids = [e.object_id for e in extents]
+        assert ids.index(0) == 1  # hottest (object 0) in the middle of 3
+
+    def test_sequential_extents_keep_order(self, catalog):
+        extents = sequential_extents([2, 0, 1], catalog)
+        assert [e.object_id for e in extents] == [2, 0, 1]
+        assert extents[0].start_mb == 0.0
+
+    def test_empty_ids(self, catalog):
+        assert organ_pipe_extents([], catalog) == []
+        assert sequential_extents([], catalog) == []
+
+
+class TestClusteredOrganPipe:
+    @pytest.fixture
+    def catalog6(self):
+        from repro.catalog import ObjectCatalog
+        return ObjectCatalog(
+            [10.0] * 6, [0.1, 0.2, 0.3, 0.4, 0.05, 0.15]
+        )
+
+    def test_groups_stay_contiguous(self, catalog6):
+        from repro.placement import clustered_organ_pipe_extents
+
+        groups = [[0, 1], [2, 3], [4, 5]]
+        extents = clustered_organ_pipe_extents(groups, catalog6)
+        position = {e.object_id: e.start_mb for e in extents}
+        for group in groups:
+            starts = sorted(position[o] for o in group)
+            # contiguous: members span exactly their total size
+            assert starts[-1] - starts[0] == pytest.approx(10.0)
+
+    def test_hottest_group_in_middle(self, catalog6):
+        from repro.placement import clustered_organ_pipe_extents
+
+        groups = [[0], [2, 3], [4]]  # probs 0.1, 0.7, 0.05
+        extents = clustered_organ_pipe_extents(groups, catalog6)
+        ordered_ids = [e.object_id for e in sorted(extents, key=lambda e: e.start_mb)]
+        # hottest group {2,3} occupies the middle two slots of four
+        assert set(ordered_ids[1:3]) == {2, 3}
+
+    def test_all_objects_placed_once(self, catalog6):
+        from repro.placement import clustered_organ_pipe_extents
+
+        extents = clustered_organ_pipe_extents([[0, 1, 2], [3], [4, 5]], catalog6)
+        assert sorted(e.object_id for e in extents) == list(range(6))
+        assert extents[0].start_mb == 0.0
+
+    def test_singleton_groups_equal_plain_organ_pipe(self, catalog6):
+        from repro.placement import clustered_organ_pipe_extents, organ_pipe_extents
+
+        grouped = clustered_organ_pipe_extents([[i] for i in range(6)], catalog6)
+        plain = organ_pipe_extents(list(range(6)), catalog6)
+        assert [e.object_id for e in grouped] == [e.object_id for e in plain]

@@ -1,0 +1,87 @@
+"""Property-based tests: every scheme, random workloads, hard invariants.
+
+For any generated workload that fits the system, every placement scheme
+must produce a placement that (a) passes full structural validation,
+(b) covers every byte, and (c) is deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import ObjectCatalog, Request, RequestSet
+from repro.hardware import LibrarySpec, SystemSpec, TapeSpec
+from repro.placement import (
+    ClusterProbabilityPlacement,
+    ObjectProbabilityPlacement,
+    ParallelBatchPlacement,
+    StripedPlacement,
+)
+from repro.workload import Workload
+
+
+def build_workload(draw_seed, num_objects, num_requests, alpha):
+    rng = np.random.default_rng(draw_seed)
+    sizes = rng.uniform(5.0, 400.0, num_objects)
+    catalog = ObjectCatalog(sizes)
+    weights = (np.arange(1, num_requests + 1)) ** -alpha
+    requests = []
+    for i in range(num_requests):
+        k = int(rng.integers(2, min(12, num_objects) + 1))
+        members = tuple(int(o) for o in rng.choice(num_objects, size=k, replace=False))
+        requests.append(Request(i, members, float(weights[i])))
+    return Workload(catalog, RequestSet(requests))
+
+
+SPEC = SystemSpec(
+    num_libraries=2,
+    library=LibrarySpec(num_drives=4, num_tapes=10, tape=TapeSpec(capacity_mb=5_000, max_rewind_s=10)),
+)
+
+SCHEMES = [
+    lambda: ParallelBatchPlacement(m=2),
+    lambda: ParallelBatchPlacement(m=3, refine=False),
+    lambda: ParallelBatchPlacement(m=1, alignment="object"),
+    lambda: ObjectProbabilityPlacement(),
+    lambda: ClusterProbabilityPlacement(),
+    lambda: StripedPlacement(stripe_width=2, min_stripe_mb=100.0),
+]
+
+
+@pytest.mark.parametrize("make_scheme", SCHEMES, ids=lambda f: repr(f()))
+@given(
+    draw_seed=st.integers(min_value=0, max_value=10_000),
+    num_objects=st.integers(min_value=30, max_value=250),
+    num_requests=st.integers(min_value=2, max_value=20),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=12, deadline=None)
+def test_any_workload_places_validly(make_scheme, draw_seed, num_objects, num_requests, alpha):
+    workload = build_workload(draw_seed, num_objects, num_requests, alpha)
+    scheme = make_scheme()
+    result = scheme.place(workload, SPEC)
+    result.validate(workload.catalog, SPEC)  # raises on any violation
+
+    # Byte conservation: the layouts hold exactly the catalog's bytes.
+    placed_mb = sum(e.size_mb for extents in result.layouts.values() for e in extents)
+    assert placed_mb == pytest.approx(workload.total_size_mb)
+
+    # Initial mounts reference non-empty tapes of the right library.
+    for drive_id, tape_id in result.initial_mounts.items():
+        assert result.layouts.get(tape_id), f"{tape_id} mounted but empty"
+        assert drive_id.library == tape_id.library
+
+
+@pytest.mark.parametrize("make_scheme", SCHEMES[:1] + SCHEMES[3:], ids=lambda f: repr(f()))
+@given(draw_seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=6, deadline=None)
+def test_placement_is_deterministic(make_scheme, draw_seed):
+    workload = build_workload(draw_seed, 80, 8, 0.5)
+    a = make_scheme().place(workload, SPEC)
+    b = make_scheme().place(workload, SPEC)
+    assert a.initial_mounts == b.initial_mounts
+    for tid in a.layouts:
+        assert [(e.object_id, e.start_mb) for e in a.layouts[tid]] == [
+            (e.object_id, e.start_mb) for e in b.layouts[tid]
+        ]

@@ -1,0 +1,195 @@
+"""Tests for fragment support and the striped placement baseline."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import LocationIndex, Request
+from repro.hardware import (
+    LibrarySpec,
+    ObjectExtent,
+    SystemSpec,
+    TapeId,
+    TapeSpec,
+    TapeSystem,
+)
+from repro.placement import ObjectProbabilityPlacement, PlacementError, StripedPlacement
+from repro.sim import SimulationSession, simulate_request
+from repro.workload import generate_workload
+
+
+class TestFragmentExtents:
+    def test_defaults_are_whole_object(self):
+        e = ObjectExtent(1, 0, 10)
+        assert e.parts == 1 and e.part == 0
+        assert not e.is_fragment
+
+    def test_fragment_flags(self):
+        e = ObjectExtent(1, 0, 10, part=2, parts=4)
+        assert e.is_fragment
+
+    def test_part_range_validated(self):
+        with pytest.raises(ValueError):
+            ObjectExtent(1, 0, 10, part=4, parts=4)
+        with pytest.raises(ValueError):
+            ObjectExtent(1, 0, 10, parts=0)
+
+
+class TestIndexFragments:
+    def test_whole_object_duplicate_rejected(self):
+        idx = LocationIndex()
+        idx.add(1, TapeId(0, 0), ObjectExtent(1, 0, 10))
+        with pytest.raises(ValueError):
+            idx.add(1, TapeId(0, 1), ObjectExtent(1, 0, 10))
+
+    def test_fragments_accumulate(self):
+        idx = LocationIndex()
+        idx.add(1, TapeId(0, 0), ObjectExtent(1, 0, 5, part=0, parts=2))
+        assert not idx.is_complete(1)
+        idx.add(1, TapeId(0, 1), ObjectExtent(1, 0, 5, part=1, parts=2))
+        assert idx.is_complete(1)
+        assert len(idx.locate_all(1)) == 2
+
+    def test_duplicate_fragment_rejected(self):
+        idx = LocationIndex()
+        idx.add(1, TapeId(0, 0), ObjectExtent(1, 0, 5, part=0, parts=2))
+        with pytest.raises(ValueError, match="indexed twice"):
+            idx.add(1, TapeId(0, 1), ObjectExtent(1, 0, 5, part=0, parts=2))
+
+    def test_inconsistent_parts_rejected(self):
+        idx = LocationIndex()
+        idx.add(1, TapeId(0, 0), ObjectExtent(1, 0, 5, part=0, parts=2))
+        with pytest.raises(ValueError, match="inconsistent"):
+            idx.add(1, TapeId(0, 1), ObjectExtent(1, 0, 5, part=1, parts=3))
+
+    def test_locate_refuses_striped(self):
+        idx = LocationIndex()
+        idx.add(1, TapeId(0, 0), ObjectExtent(1, 0, 5, part=0, parts=2))
+        with pytest.raises(ValueError, match="use locate_all"):
+            idx.locate(1)
+
+    def test_group_by_tape_includes_all_fragments(self):
+        idx = LocationIndex()
+        idx.add(1, TapeId(0, 0), ObjectExtent(1, 0, 5, part=0, parts=2))
+        idx.add(1, TapeId(0, 1), ObjectExtent(1, 0, 5, part=1, parts=2))
+        groups = idx.group_by_tape([1])
+        assert set(groups) == {TapeId(0, 0), TapeId(0, 1)}
+
+
+class TestFragmentSimulation:
+    def test_striped_read_completes_with_last_fragment(self):
+        """Two 50 MB fragments on two mounted tapes at 10 MB/s: the request
+        finishes when both are read (5 s in parallel), not after one."""
+        spec = SystemSpec(
+            num_libraries=1,
+            library=LibrarySpec(
+                num_drives=2, num_tapes=4,
+                tape=TapeSpec(capacity_mb=1000, max_rewind_s=10),
+            ),
+        )
+        import dataclasses
+        spec = dataclasses.replace(
+            spec,
+            library=dataclasses.replace(
+                spec.library,
+                drive=dataclasses.replace(spec.library.drive, transfer_rate_mb_s=10.0),
+            ),
+        )
+        system = TapeSystem(spec)
+        lib = system.library(0)
+        lib.tape(TapeId(0, 0)).write_layout([ObjectExtent(1, 0, 50, part=0, parts=2)])
+        lib.tape(TapeId(0, 1)).write_layout([ObjectExtent(1, 0, 50, part=1, parts=2)])
+        lib.drives[0].mount(lib.tape(TapeId(0, 0)))
+        lib.drives[1].mount(lib.tape(TapeId(0, 1)))
+        index = LocationIndex.from_system(system)
+
+        m = simulate_request(system, index, Request(0, (1,), 1.0))
+        assert m.size_mb == pytest.approx(100.0)  # both fragments counted
+        assert m.response_s == pytest.approx(5.0)  # parallel, not 10 s
+        assert m.num_tapes == 2
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    # ~400 GB of data vs 160 GB of initially mounted capacity: requests
+    # must switch tapes, which is where striping's cost shows.
+    workload = generate_workload(
+        num_objects=500,
+        num_requests=30,
+        request_size_bounds=(6, 15),
+        object_size_bounds_mb=(50.0, 2000.0),
+        mean_object_size_mb=800.0,
+        seed=77,
+    )
+    spec = SystemSpec(
+        num_libraries=2,
+        library=LibrarySpec(
+            num_drives=4, num_tapes=12, tape=TapeSpec(capacity_mb=20_000, max_rewind_s=10)
+        ),
+    )
+    return workload, spec
+
+
+class TestStripedPlacement:
+    def test_validates_and_places_everything(self, small_setup):
+        workload, spec = small_setup
+        result = StripedPlacement(stripe_width=4, min_stripe_mb=500.0).place(workload, spec)
+        result.validate(workload.catalog, spec)
+
+    def test_large_objects_striped_small_kept_whole(self, small_setup):
+        workload, spec = small_setup
+        result = StripedPlacement(stripe_width=4, min_stripe_mb=500.0).place(workload, spec)
+        parts_by_object = {}
+        for extents in result.layouts.values():
+            for e in extents:
+                parts_by_object.setdefault(e.object_id, e.parts)
+        sizes = np.asarray(workload.catalog.sizes_mb)
+        for o, parts in parts_by_object.items():
+            if sizes[o] >= 500.0:
+                assert parts == 4
+            else:
+                assert parts == 1
+
+    def test_fragments_on_distinct_tapes(self, small_setup):
+        workload, spec = small_setup
+        result = StripedPlacement(stripe_width=3, min_stripe_mb=500.0).place(workload, spec)
+        homes = {}
+        for tid, extents in result.layouts.items():
+            for e in extents:
+                homes.setdefault(e.object_id, []).append(tid)
+        for tapes in homes.values():
+            assert len(set(tapes)) == len(tapes)
+
+    def test_width_exceeding_drives_rejected(self, small_setup):
+        workload, spec = small_setup
+        with pytest.raises(PlacementError):
+            StripedPlacement(stripe_width=100).place(workload, spec)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StripedPlacement(stripe_width=1)
+        with pytest.raises(ValueError):
+            StripedPlacement(min_stripe_mb=0)
+
+    def test_end_to_end_simulation(self, small_setup):
+        workload, spec = small_setup
+        session = SimulationSession(
+            workload, spec, scheme=StripedPlacement(stripe_width=3, min_stripe_mb=500.0)
+        )
+        result = session.evaluate(num_samples=15, seed=4)
+        assert result.avg_bandwidth_mb_s > 0
+        # request size still equals the whole objects' bytes
+        for m in result.samples:
+            assert m.size_mb > 0
+
+    def test_striping_trades_transfer_for_switches(self, small_setup):
+        """The paper's related-work claim: striping buys transfer time but
+        pays in tape switches."""
+        workload, spec = small_setup
+        striped = SimulationSession(
+            workload, spec, scheme=StripedPlacement(stripe_width=4, min_stripe_mb=300.0)
+        ).evaluate(num_samples=20, seed=5)
+        whole = SimulationSession(
+            workload, spec, scheme=ObjectProbabilityPlacement()
+        ).evaluate(num_samples=20, seed=5)
+        assert striped.avg_transfer_s < whole.avg_transfer_s
+        assert striped.avg_switches_per_request > whole.avg_switches_per_request

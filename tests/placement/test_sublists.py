@@ -1,0 +1,147 @@
+"""Tests for density sort, sublist partition, and refinement (Steps 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ObjectCatalog, Request, RequestSet
+from repro.placement import (
+    PlacementError,
+    cluster_objects,
+    density_order,
+    partition_sublists,
+    refine_sublists,
+)
+from repro.workload import Workload
+
+
+class TestDensityOrder:
+    def test_sorted_by_density_descending(self):
+        # densities: 0.1/10=0.01, 0.5/10=0.05, 0.2/10=0.02
+        catalog = ObjectCatalog([10.0, 10.0, 10.0], [0.1, 0.5, 0.2])
+        assert density_order(catalog).tolist() == [1, 2, 0]
+
+    def test_density_not_probability(self):
+        # object 0: high prob but huge -> low density
+        catalog = ObjectCatalog([1000.0, 10.0], [0.5, 0.1])
+        assert density_order(catalog).tolist() == [1, 0]
+
+    def test_ties_break_by_id(self):
+        catalog = ObjectCatalog([10.0, 10.0, 10.0], [0.0, 0.0, 0.0])
+        assert density_order(catalog).tolist() == [0, 1, 2]
+
+
+class TestPartition:
+    def test_first_sublist_has_distinct_capacity(self):
+        catalog = ObjectCatalog(np.full(10, 10.0))
+        sublists = partition_sublists(range(10), catalog, 40.0, 20.0)
+        assert [len(s) for s in sublists] == [4, 2, 2, 2]
+
+    def test_preserves_order(self):
+        catalog = ObjectCatalog(np.full(6, 10.0))
+        sublists = partition_sublists([5, 4, 3, 2, 1, 0], catalog, 30.0, 30.0)
+        assert sublists == [[5, 4, 3], [2, 1, 0]]
+
+    def test_spill_does_not_backfill(self):
+        """An object that overflows the tail never reuses earlier slack
+        (would break the probability skew)."""
+        catalog = ObjectCatalog([30.0, 25.0, 5.0])
+        sublists = partition_sublists([0, 1, 2], catalog, 50.0, 50.0)
+        assert sublists == [[0], [1, 2]]
+
+    def test_object_larger_than_batch_rejected(self):
+        catalog = ObjectCatalog([100.0, 100.0])
+        with pytest.raises(PlacementError):
+            partition_sublists([0, 1], catalog, 120.0, 50.0)
+
+    def test_invalid_capacity_rejected(self):
+        catalog = ObjectCatalog([1.0])
+        with pytest.raises(ValueError):
+            partition_sublists([0], catalog, 0.0, 10.0)
+
+
+class TestRefine:
+    def _workload(self, sizes, request_specs):
+        requests = RequestSet(
+            [Request(i, tuple(ids), p) for i, (ids, p) in enumerate(request_specs)]
+        )
+        return Workload(ObjectCatalog(np.asarray(sizes, dtype=float)), requests)
+
+    def test_split_cluster_pulled_together(self):
+        # Objects 2 and 3 are co-requested but straddle the sublist boundary.
+        w = self._workload(
+            [10.0, 10.0, 10.0, 10.0],
+            [((2, 3), 1.0)],
+        )
+        clustering = cluster_objects(w)
+        sublists = [[0, 1, 2], [3]]
+        refined = refine_sublists(sublists, clustering, w.catalog, 40.0, 40.0)
+        joined = [s for s in refined if 2 in s and 3 in s]
+        assert len(joined) == 1
+
+    def test_no_cluster_ever_spans_two_sublists(self):
+        w = self._workload(
+            [20.0] * 8,
+            [((0, 4), 0.4), ((1, 5), 0.3), ((2, 6), 0.2), ((3, 7), 0.1)],
+        )
+        clustering = cluster_objects(w)
+        sublists = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        refined = refine_sublists(sublists, clustering, w.catalog, 80.0, 80.0)
+        for cluster in clustering.multi_object_clusters():
+            homes = [i for i, s in enumerate(refined) if set(cluster.objects) & set(s)]
+            assert len(homes) == 1
+
+    def test_every_object_exactly_once(self):
+        w = self._workload(
+            [10.0] * 6,
+            [((0, 1, 2), 0.6), ((3, 4), 0.4)],
+        )
+        clustering = cluster_objects(w)
+        sublists = [[0, 3, 1], [4, 2, 5]]
+        refined = refine_sublists(sublists, clustering, w.catalog, 30.0, 30.0)
+        flat = sorted(o for s in refined for o in s)
+        assert flat == list(range(6))
+
+    def test_capacities_respected(self):
+        w = self._workload(
+            [10.0] * 6,
+            [((0, 1, 2), 0.6), ((3, 4), 0.4)],
+        )
+        clustering = cluster_objects(w)
+        sublists = [[0, 3, 1], [4, 2, 5]]
+        refined = refine_sublists(sublists, clustering, w.catalog, 30.0, 30.0)
+        assert sum(w.catalog.size_of(o) for o in refined[0]) <= 30.0
+        for s in refined[1:]:
+            assert sum(w.catalog.size_of(o) for o in s) <= 30.0
+
+    def test_densest_cluster_lands_in_first_sublist(self):
+        # Hot small cluster vs cold big cluster: density decides batch 0.
+        w = self._workload(
+            [10.0, 10.0, 40.0, 40.0],
+            [((0, 1), 0.9), ((2, 3), 0.1)],
+        )
+        clustering = cluster_objects(w)
+        sublists = [[0, 1, 2], [3]]
+        refined = refine_sublists(sublists, clustering, w.catalog, 80.0, 80.0)
+        assert {0, 1} <= set(refined[0])
+
+    def test_oversized_cluster_raises(self):
+        w = self._workload([50.0, 50.0], [((0, 1), 1.0)])
+        clustering = cluster_objects(w)  # one 100 MB cluster
+        with pytest.raises(PlacementError):
+            refine_sublists([[0], [1]], clustering, w.catalog, 60.0, 60.0)
+
+    def test_cluster_members_keep_density_order(self):
+        w = self._workload([10.0, 10.0, 10.0], [((0, 1, 2), 1.0)])
+        clustering = cluster_objects(w)
+        sublists = [[2, 0], [1]]  # arbitrary incoming order
+        refined = refine_sublists(sublists, clustering, w.catalog, 100.0, 100.0)
+        merged = [s for s in refined if s]
+        assert merged[0] == [2, 0, 1]  # original scan order preserved
+
+    def test_singleton_only_partition_is_stable(self):
+        w = self._workload([10.0] * 3, [((0,), 1.0)])
+        clustering = cluster_objects(w)
+        sublists = [[0, 1], [2]]
+        refined = refine_sublists(sublists, clustering, w.catalog, 20.0, 20.0)
+        assert sorted(o for s in refined for o in s) == [0, 1, 2]
+        assert refined[0] == [0, 1]

@@ -1,0 +1,80 @@
+"""Tests for the optional disk-stage bandwidth cap (Figure 1's disk cache)."""
+
+import pytest
+
+from repro.catalog import LocationIndex, Request
+from repro.hardware import (
+    DriveSpec,
+    LibrarySpec,
+    ObjectExtent,
+    SystemSpec,
+    TapeId,
+    TapeSpec,
+    TapeSystem,
+)
+from repro.sim import simulate_request
+
+
+def make_system(disk_bandwidth=None):
+    spec = SystemSpec(
+        num_libraries=1,
+        library=LibrarySpec(
+            num_drives=2,
+            num_tapes=4,
+            cell_to_drive_s=2.0,
+            drive=DriveSpec(transfer_rate_mb_s=10.0, load_s=5.0, unload_s=5.0),
+            tape=TapeSpec(capacity_mb=1000.0, max_rewind_s=10.0),
+        ),
+        disk_bandwidth_mb_s=disk_bandwidth,
+    )
+    system = TapeSystem(spec)
+    lib = system.library(0)
+    lib.tape(TapeId(0, 0)).write_layout([ObjectExtent(1, 0, 100.0)])
+    lib.tape(TapeId(0, 1)).write_layout([ObjectExtent(2, 0, 100.0)])
+    lib.drives[0].mount(lib.tape(TapeId(0, 0)))
+    lib.drives[1].mount(lib.tape(TapeId(0, 1)))
+    return system, LocationIndex.from_system(system)
+
+
+class TestSpec:
+    def test_default_unlimited(self):
+        assert SystemSpec().disk_streams is None
+
+    def test_streams_floor_of_ratio(self):
+        spec = SystemSpec(disk_bandwidth_mb_s=250.0)  # 250 / 80 -> 3
+        assert spec.disk_streams == 3
+
+    def test_streams_at_least_one(self):
+        spec = SystemSpec(disk_bandwidth_mb_s=10.0)
+        assert spec.disk_streams == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            SystemSpec(disk_bandwidth_mb_s=0.0)
+
+
+class TestEngineWithDiskCap:
+    def test_unlimited_disk_transfers_in_parallel(self):
+        system, index = make_system(disk_bandwidth=None)
+        m = simulate_request(system, index, Request(0, (1, 2), 1.0))
+        assert m.response_s == pytest.approx(10.0)  # both stream at once
+
+    def test_single_stream_serializes_transfers(self):
+        # 10 MB/s disk admits exactly one 10 MB/s drive stream.
+        system, index = make_system(disk_bandwidth=10.0)
+        m = simulate_request(system, index, Request(0, (1, 2), 1.0))
+        assert m.response_s == pytest.approx(20.0)
+
+    def test_wide_disk_behaves_like_unlimited(self):
+        system, index = make_system(disk_bandwidth=1000.0)
+        m = simulate_request(system, index, Request(0, (1, 2), 1.0))
+        assert m.response_s == pytest.approx(10.0)
+
+    def test_disk_wait_shows_up_as_switch_time(self):
+        """The paper's decomposition books non-seek/transfer time as switch;
+        disk queueing lands there for the critical drive."""
+        system, index = make_system(disk_bandwidth=10.0)
+        m = simulate_request(system, index, Request(0, (1, 2), 1.0))
+        # critical drive waited 10 s for the disk slot
+        assert m.switch_s == pytest.approx(10.0)
+        assert m.transfer_s == pytest.approx(10.0)

@@ -1,0 +1,137 @@
+"""Metamorphic tests: known transformations of the inputs must transform
+the simulator's outputs in predictable ways."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.hardware import DriveSpec, LibrarySpec, SystemSpec, TapeSpec
+from repro.placement import ObjectProbabilityPlacement, ParallelBatchPlacement
+from repro.sim import SimulationSession
+from repro.workload import generate_workload
+
+
+def base_spec(**drive_overrides):
+    drive = DriveSpec(transfer_rate_mb_s=10.0, load_s=5.0, unload_s=5.0)
+    if drive_overrides:
+        drive = dataclasses.replace(drive, **drive_overrides)
+    return SystemSpec(
+        num_libraries=2,
+        library=LibrarySpec(
+            num_drives=4,
+            num_tapes=24,
+            cell_to_drive_s=2.0,
+            drive=drive,
+            tape=TapeSpec(capacity_mb=10_000.0, max_rewind_s=10.0),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # ~150 GB of request-referenced data vs 72 GB of mounted batch
+    # capacity: requests must switch tapes.
+    return generate_workload(
+        num_objects=400,
+        num_requests=40,
+        request_size_bounds=(8, 16),
+        object_size_bounds_mb=(50.0, 600.0),
+        mean_object_size_mb=600.0,
+        seed=33,
+    )
+
+
+def run(workload, spec, scheme=None, samples=25, seed=6):
+    scheme = scheme or ParallelBatchPlacement(m=2)
+    return SimulationSession(workload, spec, scheme=scheme).evaluate(
+        num_samples=samples, seed=seed
+    )
+
+
+class TestTimeScaling:
+    def test_doubling_all_times_doubles_response(self, workload):
+        """All timing constants x2 (half rates, double constants) => every
+        duration in the system doubles, so responses double exactly."""
+        spec1 = base_spec()
+        lib1 = spec1.library
+        spec2 = SystemSpec(
+            num_libraries=2,
+            library=LibrarySpec(
+                num_drives=4,
+                num_tapes=24,
+                cell_to_drive_s=2 * lib1.cell_to_drive_s,
+                drive=DriveSpec(
+                    transfer_rate_mb_s=lib1.drive.transfer_rate_mb_s / 2,
+                    load_s=2 * lib1.drive.load_s,
+                    unload_s=2 * lib1.drive.unload_s,
+                ),
+                tape=TapeSpec(
+                    capacity_mb=lib1.tape.capacity_mb,
+                    max_rewind_s=2 * lib1.tape.max_rewind_s,
+                ),
+            ),
+        )
+        a = run(workload, spec1)
+        b = run(workload, spec2)
+        assert b.avg_response_s == pytest.approx(2 * a.avg_response_s, rel=1e-9)
+        assert b.avg_switch_s == pytest.approx(2 * a.avg_switch_s, rel=1e-6)
+        assert b.avg_bandwidth_mb_s == pytest.approx(a.avg_bandwidth_mb_s / 2, rel=1e-9)
+
+
+class TestRateScaling:
+    def test_faster_drives_cut_transfer_only(self, workload):
+        slow = run(workload, base_spec(transfer_rate_mb_s=10.0))
+        fast = run(workload, base_spec(transfer_rate_mb_s=20.0))
+        assert fast.avg_transfer_s == pytest.approx(slow.avg_transfer_s / 2, rel=0.05)
+        assert fast.avg_response_s < slow.avg_response_s
+
+    def test_faster_drives_never_hurt_any_request(self, workload):
+        slow = run(workload, base_spec(transfer_rate_mb_s=10.0))
+        fast = run(workload, base_spec(transfer_rate_mb_s=40.0))
+        for a, b in zip(fast.samples, slow.samples):
+            assert a.request_id == b.request_id
+            assert a.response_s <= b.response_s + 1e-6
+
+
+class TestSizeScaling:
+    def test_scaling_object_sizes_scales_transfer(self, workload):
+        """Object sizes x2 with everything else fixed: transfers double;
+        switch counts stay in the same ballpark (same tapes-per-request
+        structure up to capacity effects)."""
+        small = run(workload, base_spec())
+        big = run(workload.with_scaled_sizes(1.5), base_spec())
+        assert big.avg_request_size_mb == pytest.approx(
+            1.5 * small.avg_request_size_mb, rel=1e-9
+        )
+        assert big.avg_transfer_s > 1.2 * small.avg_transfer_s
+
+
+class TestWorkloadInvariance:
+    def test_request_order_within_seed_is_scheme_independent(self, workload):
+        """Different schemes see the identical sampled stream for a seed."""
+        a = run(workload, base_spec(), scheme=ParallelBatchPlacement(m=2))
+        b = run(workload, base_spec(), scheme=ObjectProbabilityPlacement())
+        assert [m.request_id for m in a.samples] == [m.request_id for m in b.samples]
+
+    def test_bytes_served_equals_request_bytes(self, workload):
+        result = run(workload, base_spec())
+        for m in result.samples:
+            request = workload.requests[m.request_id]
+            assert m.size_mb == pytest.approx(request.total_size_mb(workload.catalog))
+
+
+class TestRobotScaling:
+    def test_instant_robot_reduces_switch_time(self, workload):
+        slow_robot = base_spec()
+        fast_robot = SystemSpec(
+            num_libraries=2,
+            library=dataclasses.replace(slow_robot.library, cell_to_drive_s=1e-6),
+        )
+        a = run(workload, slow_robot)
+        b = run(workload, fast_robot)
+        assert b.avg_switch_s < a.avg_switch_s
+        # Transfer time is attributed to the *last-finishing* drive (the
+        # paper's metric); a faster robot can change which drive that is,
+        # so the attributed transfer may shift slightly -- but not much.
+        assert b.avg_transfer_s == pytest.approx(a.avg_transfer_s, rel=0.05)

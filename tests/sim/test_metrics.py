@@ -1,0 +1,80 @@
+"""Tests for metric definitions and aggregation."""
+
+import pytest
+
+from repro.sim import DriveServiceRecord, EvaluationResult, RequestMetrics
+
+
+def record(drive, completion, seek=0.0, transfer=0.0, switches=0):
+    return DriveServiceRecord(
+        drive=drive, completion_s=completion, seek_s=seek, transfer_s=transfer,
+        num_switches=switches,
+    )
+
+
+class TestRequestMetrics:
+    def test_critical_drive_defines_decomposition(self):
+        fast = record("a", completion=50, seek=5, transfer=40)
+        slow = record("b", completion=100, seek=10, transfer=60, switches=1)
+        m = RequestMetrics.from_drive_records(0, size_mb=8000, num_tapes=2, records=[fast, slow])
+        assert m.response_s == 100
+        assert m.seek_s == 10
+        assert m.transfer_s == 60
+        assert m.switch_s == pytest.approx(30)  # 100 - 10 - 60
+        assert m.num_switches == 1
+        assert m.num_drives == 2
+
+    def test_bandwidth(self):
+        m = RequestMetrics(0, size_mb=8000, response_s=100, seek_s=0, transfer_s=100,
+                           num_tapes=1, num_switches=0, num_drives=1)
+        assert m.bandwidth_mb_s == pytest.approx(80.0)
+
+    def test_no_records_rejected(self):
+        with pytest.raises(ValueError):
+            RequestMetrics.from_drive_records(0, 100, 1, [])
+
+    def test_nonpositive_response_rejected(self):
+        with pytest.raises(ValueError):
+            RequestMetrics(0, 10, 0.0, 0, 0, 1, 0, 1)
+
+    def test_overhead(self):
+        r = record("a", completion=100, seek=10, transfer=60)
+        assert r.overhead_s == pytest.approx(30)
+
+
+class TestEvaluationResult:
+    @pytest.fixture
+    def result(self):
+        res = EvaluationResult(scheme="test")
+        res.append(RequestMetrics(0, size_mb=1000, response_s=10, seek_s=1,
+                                  transfer_s=5, num_tapes=2, num_switches=1, num_drives=2))
+        res.append(RequestMetrics(1, size_mb=3000, response_s=20, seek_s=2,
+                                  transfer_s=10, num_tapes=4, num_switches=3, num_drives=4))
+        return res
+
+    def test_averages(self, result):
+        assert result.avg_response_s == pytest.approx(15)
+        assert result.avg_seek_s == pytest.approx(1.5)
+        assert result.avg_transfer_s == pytest.approx(7.5)
+        assert result.avg_switch_s == pytest.approx((4 + 8) / 2)
+
+    def test_avg_bandwidth_is_mean_of_ratios(self, result):
+        assert result.avg_bandwidth_mb_s == pytest.approx((100 + 150) / 2)
+
+    def test_aggregate_bandwidth_is_ratio_of_sums(self, result):
+        assert result.aggregate_bandwidth_mb_s == pytest.approx(4000 / 30)
+
+    def test_counts(self, result):
+        assert len(result) == 2
+        assert result.avg_switches_per_request == pytest.approx(2.0)
+        assert result.avg_drives_per_request == pytest.approx(3.0)
+        assert result.avg_request_size_mb == pytest.approx(2000)
+
+    def test_transfer_fraction(self, result):
+        assert result.transfer_fraction == pytest.approx(15 / 30)
+
+    def test_summary_keys(self, result):
+        s = result.summary()
+        assert s["scheme"] == "test"
+        assert s["samples"] == 2
+        assert "avg_bandwidth_mb_s" in s

@@ -1,0 +1,63 @@
+"""Tests for the multi-robot what-if extension (paper assumption 5 relaxed)."""
+
+import dataclasses
+
+import pytest
+
+from repro.catalog import LocationIndex, Request
+from repro.hardware import (
+    DriveSpec,
+    LibrarySpec,
+    ObjectExtent,
+    SystemSpec,
+    TapeId,
+    TapeSpec,
+    TapeSystem,
+)
+from repro.sim import simulate_request
+
+
+def make_system(num_robots):
+    spec = SystemSpec(
+        num_libraries=1,
+        library=LibrarySpec(
+            num_drives=2,
+            num_tapes=4,
+            cell_to_drive_s=2.0,
+            num_robots=num_robots,
+            drive=DriveSpec(transfer_rate_mb_s=10.0, load_s=5.0, unload_s=5.0),
+            tape=TapeSpec(capacity_mb=1000.0, max_rewind_s=10.0),
+        ),
+    )
+    system = TapeSystem(spec)
+    lib = system.library(0)
+    lib.tape(TapeId(0, 2)).write_layout([ObjectExtent(1, 0, 100.0)])
+    lib.tape(TapeId(0, 3)).write_layout([ObjectExtent(2, 0, 100.0)])
+    return system, LocationIndex.from_system(system)
+
+
+def test_spec_validates_num_robots():
+    with pytest.raises(ValueError):
+        LibrarySpec(num_robots=0)
+
+
+def test_single_robot_serializes_mounts():
+    system, index = make_system(num_robots=1)
+    m = simulate_request(system, index, Request(0, (1, 2), 1.0))
+    # drive A: robot [0,7], xfer [7,17]; drive B: robot [7,14], xfer [14,24]
+    assert m.response_s == pytest.approx(24.0)
+
+
+def test_two_robots_mount_in_parallel():
+    system, index = make_system(num_robots=2)
+    m = simulate_request(system, index, Request(0, (1, 2), 1.0))
+    # both drives: robot [0,7], xfer [7,17]
+    assert m.response_s == pytest.approx(17.0)
+
+
+def test_extra_robots_beyond_switches_change_nothing():
+    two, idx2 = make_system(num_robots=2)
+    four, idx4 = make_system(num_robots=4)
+    r2 = simulate_request(two, idx2, Request(0, (1, 2), 1.0))
+    r4 = simulate_request(four, idx4, Request(0, (1, 2), 1.0))
+    assert r2.response_s == pytest.approx(r4.response_s)

@@ -1,0 +1,102 @@
+"""Tests for the FCFS queueing extension."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import DriveSpec, LibrarySpec, SystemSpec, TapeSpec
+from repro.placement import ObjectProbabilityPlacement, ParallelBatchPlacement
+from repro.sim import QueuedRequestRecord, SimulationSession, simulate_fcfs_queue
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="module")
+def session():
+    workload = generate_workload(
+        num_objects=400,
+        num_requests=25,
+        request_size_bounds=(5, 12),
+        object_size_bounds_mb=(10.0, 500.0),
+        mean_object_size_mb=120.0,
+        seed=21,
+    )
+    spec = SystemSpec(
+        num_libraries=2,
+        library=LibrarySpec(
+            num_drives=4,
+            num_tapes=12,
+            cell_to_drive_s=2.0,
+            drive=DriveSpec(transfer_rate_mb_s=10.0, load_s=5.0, unload_s=5.0),
+            tape=TapeSpec(capacity_mb=10_000.0, max_rewind_s=10.0),
+        ),
+    )
+    return SimulationSession(workload, spec, scheme=ParallelBatchPlacement(m=2))
+
+
+class TestRecord:
+    def test_derived_times(self):
+        r = QueuedRequestRecord(0, arrival_s=10.0, start_s=15.0, finish_s=40.0, size_mb=100)
+        assert r.wait_s == 5.0
+        assert r.service_s == 25.0
+        assert r.sojourn_s == 30.0
+
+
+class TestSimulateFcfs:
+    def test_validates_args(self, session):
+        with pytest.raises(ValueError):
+            simulate_fcfs_queue(session, arrival_rate_per_hour=0)
+        with pytest.raises(ValueError):
+            simulate_fcfs_queue(session, 10.0, num_arrivals=0)
+
+    def test_records_one_per_arrival(self, session):
+        result = simulate_fcfs_queue(session, 5.0, num_arrivals=20, seed=1)
+        assert len(result) == 20
+
+    def test_fcfs_ordering_invariants(self, session):
+        result = simulate_fcfs_queue(session, 20.0, num_arrivals=25, seed=2)
+        prev_finish = 0.0
+        for r in result.records:
+            assert r.start_s >= r.arrival_s - 1e-9  # no time travel
+            assert r.start_s >= prev_finish - 1e-9  # one at a time, FCFS
+            assert r.finish_s > r.start_s
+            prev_finish = r.finish_s
+
+    def test_low_load_has_no_waiting(self, session):
+        """Arrivals much slower than service: waits collapse to ~zero."""
+        result = simulate_fcfs_queue(session, 0.5, num_arrivals=15, seed=3)
+        assert result.mean_wait_s < 0.05 * result.mean_service_s
+        assert result.utilization < 0.5
+
+    def test_overload_builds_queue(self, session):
+        """Arrivals much faster than service: waiting dominates."""
+        result = simulate_fcfs_queue(session, 2000.0, num_arrivals=30, seed=4)
+        assert result.offered_load > 1.0
+        assert result.mean_wait_s > result.mean_service_s
+        assert result.utilization > 0.95
+
+    def test_wait_increases_with_load(self, session):
+        slow = simulate_fcfs_queue(session, 1.0, num_arrivals=25, seed=5)
+        fast = simulate_fcfs_queue(session, 100.0, num_arrivals=25, seed=5)
+        assert fast.mean_sojourn_s > slow.mean_sojourn_s
+
+    def test_reproducible(self, session):
+        a = simulate_fcfs_queue(session, 10.0, num_arrivals=15, seed=6)
+        b = simulate_fcfs_queue(session, 10.0, num_arrivals=15, seed=6)
+        assert a.mean_sojourn_s == pytest.approx(b.mean_sojourn_s)
+
+    def test_percentiles_monotone(self, session):
+        result = simulate_fcfs_queue(session, 50.0, num_arrivals=30, seed=7)
+        assert result.sojourn_percentile(50) <= result.sojourn_percentile(95)
+
+    def test_better_placement_wins_more_under_load(self, session):
+        """The queueing amplification effect: the scheme gap in sojourn time
+        at high load exceeds the gap in bare service time."""
+        baseline = SimulationSession(
+            session.workload, session.spec, scheme=ObjectProbabilityPlacement()
+        )
+        rate = 40.0
+        pb = simulate_fcfs_queue(session, rate, num_arrivals=40, seed=8)
+        op = simulate_fcfs_queue(baseline, rate, num_arrivals=40, seed=8)
+        if op.mean_service_s > pb.mean_service_s:  # pb is the better scheme here
+            service_gap = op.mean_service_s / pb.mean_service_s
+            sojourn_gap = op.mean_sojourn_s / pb.mean_sojourn_s
+            assert sojourn_gap > 0.9 * service_gap  # at least comparable

@@ -1,0 +1,117 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.hardware import LibrarySpec, SystemSpec, TapeId, TapeSystem
+from repro.sim import available_policies, build_library_plan, replacement_key
+from repro.sim.scheduling import TapeJob
+from repro.hardware import ObjectExtent
+
+
+@pytest.fixture
+def library():
+    system = TapeSystem(
+        SystemSpec(num_libraries=1, library=LibrarySpec(num_drives=3, num_tapes=8))
+    )
+    return system.library(0)
+
+
+def mount(library, drive_idx, slot):
+    library.drives[drive_idx].mount(library.tape(TapeId(0, slot)))
+
+
+def plan_for(library, policy, priority):
+    jobs = {TapeId(0, 7): [ObjectExtent(1, 0, 10)]}
+    library.tape(TapeId(0, 7)).write_layout([ObjectExtent(1, 0, 10)])
+    return build_library_plan(library, jobs, priority, replacement_policy=policy)
+
+
+class TestPolicies:
+    def test_all_policies_listed(self):
+        assert set(available_policies()) == {
+            "least_popular",
+            "most_popular",
+            "oldest_mount",
+            "newest_mount",
+            "slot_order",
+        }
+
+    def test_unknown_policy_rejected(self, library):
+        mount(library, 0, 0)
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            replacement_key("magic", library.drives[0], {})
+
+    def test_least_popular_displaces_cold_tape_first(self, library):
+        mount(library, 0, 0)
+        mount(library, 1, 1)
+        mount(library, 2, 2)
+        priority = {TapeId(0, 0): 0.9, TapeId(0, 1): 0.1, TapeId(0, 2): 0.5}
+        plan = plan_for(library, "least_popular", priority)
+        assert plan.switch_order == [1, 2, 0]
+
+    def test_most_popular_is_inverse(self, library):
+        mount(library, 0, 0)
+        mount(library, 1, 1)
+        mount(library, 2, 2)
+        priority = {TapeId(0, 0): 0.9, TapeId(0, 1): 0.1, TapeId(0, 2): 0.5}
+        plan = plan_for(library, "most_popular", priority)
+        assert plan.switch_order == [0, 2, 1]
+
+    def test_oldest_mount_is_fifo(self, library):
+        mount(library, 2, 2)  # mounted first
+        mount(library, 0, 0)
+        mount(library, 1, 1)
+        plan = plan_for(library, "oldest_mount", {})
+        assert plan.switch_order == [2, 0, 1]
+
+    def test_newest_mount_is_lifo(self, library):
+        mount(library, 2, 2)
+        mount(library, 0, 0)
+        mount(library, 1, 1)
+        plan = plan_for(library, "newest_mount", {})
+        assert plan.switch_order == [1, 0, 2]
+
+    def test_slot_order_by_drive_index(self, library):
+        mount(library, 2, 2)
+        mount(library, 1, 1)
+        mount(library, 0, 0)
+        plan = plan_for(library, "slot_order", {})
+        assert plan.switch_order == [0, 1, 2]
+
+    def test_mount_serial_tracks_mount_order(self, library):
+        mount(library, 0, 0)
+        first = library.drives[0].mount_serial
+        library.drives[0].unmount()
+        mount(library, 0, 1)
+        assert library.drives[0].mount_serial > first
+
+    def test_unmounted_drive_serial_is_minus_one(self, library):
+        assert library.drives[0].mount_serial == -1
+
+
+class TestEndToEndPolicyEffect:
+    def test_policy_changes_displacement_victim(self):
+        """With least_popular the hot tape survives; with most_popular it
+        is displaced."""
+        from repro.catalog import LocationIndex, Request
+        from repro.sim import simulate_request
+
+        for policy, survivor_slot in [("least_popular", 0), ("most_popular", 1)]:
+            system = TapeSystem(
+                SystemSpec(num_libraries=1, library=LibrarySpec(num_drives=2, num_tapes=6))
+            )
+            lib = system.library(0)
+            lib.tape(TapeId(0, 0)).write_layout([ObjectExtent(10, 0, 10)])
+            lib.tape(TapeId(0, 1)).write_layout([ObjectExtent(11, 0, 10)])
+            lib.tape(TapeId(0, 5)).write_layout([ObjectExtent(1, 0, 10)])
+            lib.drives[0].mount(lib.tape(TapeId(0, 0)))  # hot
+            lib.drives[1].mount(lib.tape(TapeId(0, 1)))  # cold
+            index = LocationIndex.from_system(system)
+            priority = {TapeId(0, 0): 0.9, TapeId(0, 1): 0.1}
+
+            simulate_request(
+                system, index, Request(0, (1,), 1.0),
+                tape_priority=priority, replacement_policy=policy,
+            )
+            mounted = set(system.mounted_tape_ids())
+            assert TapeId(0, survivor_slot) in mounted, policy

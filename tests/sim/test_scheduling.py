@@ -1,0 +1,101 @@
+"""Tests for the pure scheduling policy (plan building)."""
+
+import pytest
+
+from repro.hardware import LibrarySpec, ObjectExtent, SystemSpec, TapeId, TapeSystem
+from repro.sim import build_library_plan, estimate_job_time
+from repro.sim.scheduling import TapeJob
+
+
+@pytest.fixture
+def system():
+    return TapeSystem(
+        SystemSpec(num_libraries=2, library=LibrarySpec(num_drives=3, num_tapes=6))
+    )
+
+
+def extents(*specs):
+    return [ObjectExtent(o, s, z) for o, s, z in specs]
+
+
+class TestTapeJob:
+    def test_bytes_and_len(self):
+        job = TapeJob(TapeId(0, 0), extents((1, 0, 100), (2, 200, 50)))
+        assert job.bytes_mb == 150
+        assert len(job) == 2
+
+
+class TestBuildLibraryPlan:
+    def test_only_local_tapes_considered(self, system):
+        lib = system.library(0)
+        jobs = {
+            TapeId(0, 0): extents((1, 0, 10)),
+            TapeId(1, 0): extents((2, 0, 10)),  # other library
+        }
+        plan = build_library_plan(lib, jobs, {})
+        all_tapes = [j.tape_id for j in plan.offline] + [
+            j.tape_id for _, j in plan.serving
+        ]
+        assert all_tapes == [TapeId(0, 0)]
+
+    def test_mounted_tapes_serve_in_place(self, system):
+        lib = system.library(0)
+        lib.drives[1].mount(lib.tape(TapeId(0, 0)))
+        jobs = {TapeId(0, 0): extents((1, 0, 10))}
+        plan = build_library_plan(lib, jobs, {})
+        assert plan.serving == [(1, plan.serving[0][1])]
+        assert plan.offline == []
+        assert plan.switch_order == []  # nothing offline -> no switching
+
+    def test_offline_jobs_sorted_lpt(self, system):
+        lib = system.library(0)
+        for slot, size in [(0, 10.0), (1, 500.0), (2, 100.0)]:
+            lib.tape(TapeId(0, slot)).write_layout(extents((slot + 1, 0, size)))
+        jobs = {
+            TapeId(0, 0): extents((1, 0, 10.0)),
+            TapeId(0, 1): extents((2, 0, 500.0)),
+            TapeId(0, 2): extents((3, 0, 100.0)),
+        }
+        plan = build_library_plan(lib, jobs, {})
+        assert [j.tape_id.slot for j in plan.offline] == [1, 2, 0]
+
+    def test_switch_order_prefers_empty_then_least_popular(self, system):
+        lib = system.library(0)
+        # drive 0: popular mounted tape; drive 1: unpopular; drive 2: empty
+        lib.drives[0].mount(lib.tape(TapeId(0, 3)))
+        lib.drives[1].mount(lib.tape(TapeId(0, 4)))
+        priority = {TapeId(0, 3): 0.9, TapeId(0, 4): 0.1}
+        jobs = {TapeId(0, 0): extents((1, 0, 10))}
+        plan = build_library_plan(lib, jobs, priority)
+        assert plan.switch_order == [2, 1, 0]
+
+    def test_serving_drives_switch_last(self, system):
+        lib = system.library(0)
+        lib.drives[0].mount(lib.tape(TapeId(0, 3)))  # will serve
+        jobs = {
+            TapeId(0, 3): extents((1, 0, 10)),
+            TapeId(0, 0): extents((2, 0, 10)),
+        }
+        plan = build_library_plan(lib, jobs, {})
+        assert plan.switch_order[-1] == 0
+        assert plan.switch_order[0] in (1, 2)  # empty drives first
+
+    def test_pinned_drives_excluded(self, system):
+        lib = system.library(0)
+        lib.drives[0].pinned = True
+        lib.drives[1].pinned = True
+        jobs = {TapeId(0, 0): extents((1, 0, 10))}
+        plan = build_library_plan(lib, jobs, {})
+        assert plan.switch_order == [2]
+
+    def test_empty_plan(self, system):
+        plan = build_library_plan(system.library(0), {}, {})
+        assert plan.is_empty
+
+    def test_estimate_includes_seek_and_transfer(self, system):
+        lib = system.library(0)
+        job = TapeJob(TapeId(0, 0), extents((1, 200_000.0, 8000.0)))
+        est = estimate_job_time(job, lib)
+        seek = lib.spec.tape.locate_time(0, 200_000.0)
+        transfer = lib.spec.drive.transfer_time(8000.0)
+        assert est == pytest.approx(seek + transfer)

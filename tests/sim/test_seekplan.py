@@ -1,0 +1,75 @@
+"""Tests for within-tape sweep planning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import ObjectExtent, TapeSpec
+from repro.sim import plan_retrieval, sweep_cost
+
+
+@pytest.fixture
+def spec():
+    # 1000 MB tape traversed in 10 s -> locate rate 100 MB/s.
+    return TapeSpec(capacity_mb=1000, max_rewind_s=10)
+
+
+def ext(oid, start, size=10.0):
+    return ObjectExtent(oid, start, size)
+
+
+class TestSweepCost:
+    def test_empty(self, spec):
+        assert sweep_cost([], 0.0, spec, ascending=True) == 0.0
+
+    def test_ascending_from_bot(self, spec):
+        # extents at 100 and 300 (sizes 10): seek 0->100 (1s), 110->300 (1.9s)
+        cost = sweep_cost([ext(1, 100), ext(2, 300)], 0.0, spec, ascending=True)
+        assert cost == pytest.approx(1.0 + 1.9)
+
+    def test_descending_from_eot(self, spec):
+        # head at 1000: 1000->300 (7s), read to 310, 310->100 (2.1s)
+        cost = sweep_cost([ext(1, 100), ext(2, 300)], 1000.0, spec, ascending=False)
+        assert cost == pytest.approx(7.0 + 2.1)
+
+
+class TestPlanRetrieval:
+    def test_empty(self, spec):
+        order, cost = plan_retrieval([], 50.0, spec)
+        assert order == [] and cost == 0.0
+
+    def test_prefers_ascending_from_bot(self, spec):
+        order, _ = plan_retrieval([ext(2, 300), ext(1, 100)], 0.0, spec)
+        assert [e.object_id for e in order] == [1, 2]
+
+    def test_prefers_descending_from_eot(self, spec):
+        order, _ = plan_retrieval([ext(1, 100), ext(2, 300)], 900.0, spec)
+        assert [e.object_id for e in order] == [2, 1]
+
+    def test_cost_matches_chosen_direction(self, spec):
+        extents = [ext(1, 100), ext(2, 300), ext(3, 700)]
+        _, cost = plan_retrieval(extents, 0.0, spec)
+        assert cost == pytest.approx(sweep_cost(extents, 0.0, spec, ascending=True))
+
+    def test_single_extent(self, spec):
+        order, cost = plan_retrieval([ext(1, 500)], 0.0, spec)
+        assert [e.object_id for e in order] == [1]
+        assert cost == pytest.approx(5.0)
+
+    @given(
+        starts=st.lists(
+            st.floats(min_value=0, max_value=900, allow_nan=False),
+            min_size=1,
+            max_size=10,
+            unique=True,
+        ),
+        head=st.floats(min_value=0, max_value=1000, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chosen_sweep_never_worse_than_either_direction(self, starts, head):
+        spec = TapeSpec(capacity_mb=2000, max_rewind_s=10)
+        extents = [ObjectExtent(i, s, 1.0) for i, s in enumerate(sorted(starts))]
+        _, cost = plan_retrieval(extents, head, spec)
+        up = sweep_cost(extents, head, spec, ascending=True)
+        down = sweep_cost(extents, head, spec, ascending=False)
+        assert cost == pytest.approx(min(up, down))

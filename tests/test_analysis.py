@@ -1,0 +1,108 @@
+"""Tests for the statistical analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PairedComparison, bootstrap_ci, compare_paired, metric_ci
+from repro.experiments import ExperimentSettings, default_schemes, paper_workload, run_comparison
+from repro.sim import EvaluationResult, RequestMetrics
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean_for_tight_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(100.0, 1.0, 500)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < 100.0 < hi
+        assert hi - lo < 1.0  # narrow for n=500, sd=1
+
+    def test_wider_for_noisier_data(self):
+        rng = np.random.default_rng(0)
+        tight = bootstrap_ci(rng.normal(0, 1, 200), seed=1)
+        noisy = bootstrap_ci(rng.normal(0, 10, 200), seed=1)
+        assert (noisy[1] - noisy[0]) > (tight[1] - tight[0])
+
+    def test_single_value_degenerate(self):
+        assert bootstrap_ci([5.0]) == (5.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_reproducible(self):
+        data = [1.0, 5.0, 3.0, 8.0, 2.0]
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_custom_statistic(self):
+        data = np.arange(100.0)
+        lo, hi = bootstrap_ci(data, stat=np.median, seed=2)
+        assert lo < 49.5 < hi or lo <= 49.5 <= hi
+
+
+def _result(scheme, responses, request_ids=None):
+    res = EvaluationResult(scheme=scheme)
+    ids = request_ids or list(range(len(responses)))
+    for rid, r in zip(ids, responses):
+        res.append(
+            RequestMetrics(rid, size_mb=1000.0, response_s=r, seek_s=1.0,
+                           transfer_s=r / 2, num_tapes=1, num_switches=0, num_drives=1)
+        )
+    return res
+
+
+class TestComparePaired:
+    def test_clear_difference_is_significant(self):
+        a = _result("fast", [10.0 + i * 0.1 for i in range(50)])
+        b = _result("slow", [20.0 + i * 0.1 for i in range(50)])
+        cmp = compare_paired(a, b)
+        assert cmp.significant
+        assert cmp.mean_diff == pytest.approx(-10.0)
+        assert cmp.frac_a_lower == 1.0
+
+    def test_identical_results_not_significant(self):
+        a = _result("x", [10.0, 12.0, 14.0])
+        b = _result("y", [10.0, 12.0, 14.0])
+        cmp = compare_paired(a, b)
+        assert not cmp.significant
+        assert cmp.mean_diff == 0.0
+
+    def test_mismatched_streams_rejected(self):
+        a = _result("x", [1.0, 2.0], request_ids=[0, 1])
+        b = _result("y", [1.0, 2.0], request_ids=[1, 0])
+        with pytest.raises(ValueError, match="same sampled request stream"):
+            compare_paired(a, b)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            compare_paired(_result("x", [1.0]), _result("y", [1.0, 2.0]))
+
+    def test_str_mentions_verdict(self):
+        a = _result("fast", [10.0] * 20)
+        b = _result("slow", [30.0] * 20)
+        assert "significant" in str(compare_paired(a, b))
+
+
+class TestOnRealRuns:
+    @pytest.fixture(scope="class")
+    def results(self):
+        settings = ExperimentSettings(scale="small", num_samples=30)
+        workload = paper_workload(settings)
+        return run_comparison(
+            workload, settings.spec(), default_schemes(), 30, seed=11
+        )
+
+    def test_metric_ci_brackets_the_mean(self, results):
+        r = results["parallel_batch"]
+        lo, hi = metric_ci(r, "response_s", seed=2)
+        assert lo <= r.avg_response_s <= hi
+
+    def test_parallel_batch_beats_object_probability_significantly(self, results):
+        cmp = compare_paired(
+            results["parallel_batch"], results["object_probability"], "response_s"
+        )
+        assert cmp.mean_diff < 0  # faster
+        assert cmp.significant

@@ -1,0 +1,97 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+import doctest
+
+import pytest
+
+import repro.des.core
+from repro.catalog import LocationIndex, Request
+from repro.hardware import LibrarySpec, ObjectExtent, SystemSpec, TapeId, TapeSystem
+from repro.sim import simulate_request
+
+
+def test_des_core_doctest_example():
+    """The Environment docstring example must stay true."""
+    results = doctest.testmod(repro.des.core, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+class TestEngineEdges:
+    @pytest.fixture
+    def system(self):
+        return TapeSystem(
+            SystemSpec(num_libraries=1, library=LibrarySpec(num_drives=2, num_tapes=4))
+        )
+
+    def test_request_for_unplaced_object_raises(self, system):
+        index = LocationIndex.from_system(system)
+        with pytest.raises(KeyError, match="has not been placed"):
+            simulate_request(system, index, Request(0, (42,), 1.0))
+
+    def test_single_object_request_minimal_metrics(self, system):
+        tape = system.tape(TapeId(0, 0))
+        tape.write_layout([ObjectExtent(1, 0, 80_000.0)])
+        system.library(0).drives[0].mount(tape)
+        index = LocationIndex.from_system(system)
+        m = simulate_request(system, index, Request(0, (1,), 1.0))
+        assert m.num_tapes == 1
+        assert m.num_drives == 1
+        assert m.response_s == pytest.approx(1000.0)  # 80 GB at 80 MB/s
+
+    def test_duplicate_requests_benefit_from_persistence(self, system):
+        tape = system.tape(TapeId(0, 2))
+        tape.write_layout([ObjectExtent(1, 0, 8000.0)])
+        index = LocationIndex.from_system(system)
+        request = Request(0, (1,), 1.0)
+        first = simulate_request(system, index, request)
+        second = simulate_request(system, index, request)
+        third = simulate_request(system, index, request)
+        assert first.num_switches == 1
+        assert second.num_switches == 0
+        assert second.response_s == pytest.approx(third.response_s)
+
+    def test_many_tiny_extents_on_one_tape(self, system):
+        tape = system.tape(TapeId(0, 0))
+        tape.write_layout([ObjectExtent(i, i * 10.0, 1.0) for i in range(200)])
+        system.library(0).drives[0].mount(tape)
+        index = LocationIndex.from_system(system)
+        m = simulate_request(system, index, Request(0, tuple(range(200)), 1.0))
+        # 200 MB transferred, in one ascending sweep of the 2 GB span.
+        assert m.transfer_s == pytest.approx(200 / 80)
+        spec = system.spec.library.tape
+        assert m.seek_s == pytest.approx(spec.locate_time(0, 1990.0) - m.transfer_s * 0 - 199 * spec.locate_time(0, 1.0), rel=0.2)
+
+
+class TestWorkloadEdges:
+    def test_single_object_single_request(self):
+        from repro.catalog import ObjectCatalog, RequestSet
+        from repro.workload import Workload
+
+        w = Workload(
+            ObjectCatalog([100.0]), RequestSet([Request(0, (0,), 1.0)])
+        )
+        assert w.average_request_size_mb == 100.0
+        assert w.max_request_size_mb == 100.0
+
+    def test_all_schemes_handle_single_object_workload(self):
+        from repro.catalog import ObjectCatalog, RequestSet
+        from repro.placement import (
+            ClusterProbabilityPlacement,
+            ObjectProbabilityPlacement,
+            ParallelBatchPlacement,
+        )
+        from repro.workload import Workload
+
+        w = Workload(ObjectCatalog([100.0]), RequestSet([Request(0, (0,), 1.0)]))
+        spec = SystemSpec(
+            num_libraries=1, library=LibrarySpec(num_drives=2, num_tapes=4)
+        )
+        for scheme in (
+            ParallelBatchPlacement(m=1),
+            ObjectProbabilityPlacement(),
+            ClusterProbabilityPlacement(),
+        ):
+            result = scheme.place(w, spec)
+            result.validate(w.catalog, spec)
+            assert result.objects_placed() == 1

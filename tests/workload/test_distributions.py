@@ -1,0 +1,111 @@
+"""Tests for workload distributions (bounded Pareto, Zipf)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    bounded_pareto,
+    bounded_pareto_int,
+    bounded_pareto_mean,
+    zipf_probabilities,
+)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self):
+        rng = np.random.default_rng(0)
+        x = bounded_pareto(rng, 10_000, 100.0, 20_000.0, 1.1)
+        assert x.min() >= 100.0
+        assert x.max() <= 20_000.0
+
+    def test_empirical_mean_matches_analytic(self):
+        rng = np.random.default_rng(1)
+        x = bounded_pareto(rng, 200_000, 100.0, 20_000.0, 1.1)
+        analytic = bounded_pareto_mean(100.0, 20_000.0, 1.1)
+        assert x.mean() == pytest.approx(analytic, rel=0.03)
+
+    def test_skewed_toward_lower_bound(self):
+        """Power law: the median is far below the midpoint of the range."""
+        rng = np.random.default_rng(2)
+        x = bounded_pareto(rng, 50_000, 1.0, 1000.0, 1.1)
+        assert np.median(x) < 10.0
+
+    def test_reproducible_with_seed(self):
+        a = bounded_pareto(np.random.default_rng(7), 100, 1, 10)
+        b = bounded_pareto(np.random.default_rng(7), 100, 1, 10)
+        assert np.array_equal(a, b)
+
+    def test_invalid_bounds_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 10, 0, 10)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 10, 10, 10)
+        with pytest.raises(ValueError):
+            bounded_pareto(rng, 10, 1, 10, shape=0)
+
+    @given(
+        lower=st.floats(min_value=0.5, max_value=100),
+        ratio=st.floats(min_value=1.5, max_value=1000),
+        shape=st.floats(min_value=0.3, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_hold_for_any_parameters(self, lower, ratio, shape, seed):
+        rng = np.random.default_rng(seed)
+        upper = lower * ratio
+        x = bounded_pareto(rng, 500, lower, upper, shape)
+        assert np.all(x >= lower * (1 - 1e-12))
+        assert np.all(x <= upper * (1 + 1e-12))
+
+
+class TestBoundedParetoInt:
+    def test_range_inclusive(self):
+        rng = np.random.default_rng(3)
+        x = bounded_pareto_int(rng, 50_000, 100, 150, 1.1)
+        assert x.min() == 100
+        assert x.max() == 150
+        assert x.dtype == np.int64
+
+    def test_upper_bound_has_mass(self):
+        rng = np.random.default_rng(4)
+        x = bounded_pareto_int(rng, 100_000, 1, 3, 0.5)
+        assert np.any(x == 3)
+
+    def test_power_law_favors_small_counts(self):
+        rng = np.random.default_rng(5)
+        x = bounded_pareto_int(rng, 50_000, 100, 150, 1.1)
+        assert np.mean(x < 125) > 0.5
+
+
+class TestZipf:
+    def test_normalized(self):
+        p = zipf_probabilities(300, 0.3)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_alpha_zero_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert p == pytest.approx(np.full(10, 0.1))
+
+    def test_monotone_decreasing_in_rank(self):
+        p = zipf_probabilities(100, 0.7)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_higher_alpha_more_skewed(self):
+        mild = zipf_probabilities(100, 0.3)
+        steep = zipf_probabilities(100, 1.0)
+        assert steep[0] > mild[0]
+        assert steep[-1] < mild[-1]
+
+    def test_exact_zipf_form(self):
+        p = zipf_probabilities(3, 1.0)
+        c = 1.0 / (1 + 0.5 + 1 / 3)
+        assert p == pytest.approx([c, c / 2, c / 3])
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 0.5)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -0.1)

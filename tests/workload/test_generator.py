@@ -1,0 +1,114 @@
+"""Tests for the workload generator and Workload container."""
+
+import numpy as np
+import pytest
+
+from repro.workload import WorkloadGenerator, WorkloadParams, generate_workload
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    # Small but structurally faithful workload: fast enough for unit tests.
+    return generate_workload(
+        num_objects=2000,
+        num_requests=60,
+        request_size_bounds=(10, 20),
+        seed=7,
+    )
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        p = WorkloadParams()
+        assert p.num_objects == 30_000
+        assert p.num_requests == 300
+        assert p.request_size_bounds == (100, 150)
+
+    def test_request_larger_than_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(num_objects=50, request_size_bounds=(100, 150))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(zipf_alpha=-0.5)
+
+    def test_with_alpha(self):
+        assert WorkloadParams().with_alpha(0.9).zipf_alpha == 0.9
+
+
+class TestGenerator:
+    def test_counts(self, small_workload):
+        assert small_workload.num_objects == 2000
+        assert small_workload.num_requests == 60
+
+    def test_request_sizes_within_bounds(self, small_workload):
+        for r in small_workload.requests:
+            assert 10 <= len(r) <= 20
+
+    def test_no_duplicate_objects_within_request(self, small_workload):
+        for r in small_workload.requests:
+            assert len(set(r.object_ids)) == len(r)
+
+    def test_mean_object_size_hits_target(self):
+        w = generate_workload(
+            num_objects=5000, num_requests=10, request_size_bounds=(5, 10),
+            mean_object_size_mb=1780.0, seed=3,
+        )
+        assert np.asarray(w.catalog.sizes_mb).mean() == pytest.approx(1780.0)
+
+    def test_without_mean_target_uses_raw_power_law(self):
+        w = generate_workload(
+            num_objects=5000, num_requests=10, request_size_bounds=(5, 10),
+            mean_object_size_mb=None, object_size_bounds_mb=(100.0, 1000.0), seed=3,
+        )
+        sizes = np.asarray(w.catalog.sizes_mb)
+        assert sizes.min() >= 100.0
+        assert sizes.max() <= 1000.0
+
+    def test_reproducibility(self):
+        kwargs = dict(num_objects=500, num_requests=20, request_size_bounds=(5, 10), seed=11)
+        a = generate_workload(**kwargs)
+        b = generate_workload(**kwargs)
+        assert np.array_equal(a.catalog.sizes_mb, b.catalog.sizes_mb)
+        assert all(x.object_ids == y.object_ids for x, y in zip(a.requests, b.requests))
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(num_objects=500, num_requests=20, request_size_bounds=(5, 10), seed=1)
+        b = generate_workload(num_objects=500, num_requests=20, request_size_bounds=(5, 10), seed=2)
+        assert not np.array_equal(a.catalog.sizes_mb, b.catalog.sizes_mb)
+
+    def test_object_probabilities_consistent_with_requests(self, small_workload):
+        expected = small_workload.requests.object_probabilities(small_workload.num_objects)
+        assert np.allclose(expected, small_workload.catalog.probabilities)
+
+    def test_zipf_popularity_rank_order(self, small_workload):
+        p = small_workload.requests.probabilities
+        assert np.all(np.diff(p) <= 1e-15)
+
+
+class TestWorkloadDerivations:
+    def test_with_scaled_sizes(self, small_workload):
+        scaled = small_workload.with_scaled_sizes(2.0)
+        assert scaled.average_request_size_mb == pytest.approx(
+            2.0 * small_workload.average_request_size_mb
+        )
+        # request memberships unchanged
+        assert scaled.requests[0].object_ids == small_workload.requests[0].object_ids
+
+    def test_scale_factor_must_be_positive(self, small_workload):
+        with pytest.raises(ValueError):
+            small_workload.with_scaled_sizes(0)
+
+    def test_with_zipf_alpha_preserves_membership(self, small_workload):
+        reskewed = small_workload.with_zipf_alpha(1.0)
+        assert reskewed.requests[0].object_ids == small_workload.requests[0].object_ids
+        p = reskewed.requests.probabilities
+        assert p[0] / p[-1] == pytest.approx(len(p) ** 1.0)
+
+    def test_with_zipf_alpha_zero_uniform(self, small_workload):
+        uniform = small_workload.with_zipf_alpha(0.0)
+        p = uniform.requests.probabilities
+        assert p == pytest.approx(np.full(len(p), 1.0 / len(p)))
+
+    def test_average_request_size_positive(self, small_workload):
+        assert small_workload.average_request_size_mb > 0

@@ -1,0 +1,83 @@
+"""Tests for workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ObjectCatalog, Request, RequestSet
+from repro.hardware import SystemSpec
+from repro.workload import (
+    Workload,
+    WorkloadProfile,
+    characterize,
+    fit_zipf_alpha,
+    generate_workload,
+    zipf_probabilities,
+)
+
+
+class TestFitZipfAlpha:
+    @pytest.mark.parametrize("alpha", [0.0, 0.3, 0.7, 1.0])
+    def test_recovers_true_exponent(self, alpha):
+        p = zipf_probabilities(300, alpha)
+        assert fit_zipf_alpha(p) == pytest.approx(alpha, abs=0.05)
+
+    def test_order_invariant(self):
+        p = zipf_probabilities(100, 0.5)
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(p)
+        assert fit_zipf_alpha(shuffled) == pytest.approx(fit_zipf_alpha(p))
+
+    def test_degenerate_inputs(self):
+        assert fit_zipf_alpha(np.array([1.0])) == 0.0
+        assert fit_zipf_alpha(np.array([0.5, 0.0])) == 0.0
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        workload = generate_workload(
+            num_objects=2000, num_requests=80, request_size_bounds=(10, 25),
+            zipf_alpha=0.6, seed=17,
+        )
+        return characterize(workload)
+
+    def test_counts(self, profile):
+        assert profile.num_objects == 2000
+        assert profile.num_requests == 80
+
+    def test_fitted_alpha_close_to_generated(self, profile):
+        assert profile.fitted_zipf_alpha == pytest.approx(0.6, abs=0.08)
+
+    def test_size_percentiles_ordered(self, profile):
+        assert (
+            profile.median_object_size_mb
+            <= profile.mean_object_size_mb
+            <= profile.p95_object_size_mb
+            <= profile.max_object_size_mb
+        )
+
+    def test_fractions_in_range(self, profile):
+        assert 0 <= profile.shared_object_fraction <= 1
+        assert 0 <= profile.cold_object_fraction <= 1
+        assert profile.mean_appearances >= 1.0
+
+    def test_format_mentions_key_numbers(self, profile):
+        out = profile.format()
+        assert "Zipf alpha" in out
+        assert "sharing" in out
+
+    def test_tape_pressure(self, profile):
+        pressure = profile.tape_pressure(SystemSpec.table1())
+        assert 0 < pressure["data_to_total_capacity"] < 1
+        assert pressure["max_object_to_tape"] < 1
+
+    def test_handcrafted_sharing(self):
+        catalog = ObjectCatalog([10.0] * 4)
+        requests = RequestSet(
+            [Request(0, (0, 1), 0.5), Request(1, (1, 2), 0.5)]
+        )
+        profile = characterize(Workload(catalog, requests))
+        # objects 0,1,2 referenced; only object 1 shared; object 3 cold
+        assert profile.shared_object_fraction == pytest.approx(1 / 3)
+        assert profile.cold_object_fraction == pytest.approx(1 / 4)
+        assert profile.mean_appearances == pytest.approx(4 / 3)

@@ -1,0 +1,114 @@
+"""Tests for workload JSON round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    dump_workload,
+    generate_workload,
+    load_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+@pytest.fixture
+def workload():
+    return generate_workload(
+        num_objects=200, num_requests=10, request_size_bounds=(3, 6), seed=5
+    )
+
+
+def test_round_trip_dict(workload):
+    clone = workload_from_dict(workload_to_dict(workload))
+    assert clone.num_objects == workload.num_objects
+    assert np.allclose(clone.catalog.sizes_mb, workload.catalog.sizes_mb)
+    assert all(a.object_ids == b.object_ids for a, b in zip(clone.requests, workload.requests))
+    assert np.allclose(clone.requests.probabilities, workload.requests.probabilities)
+    assert clone.params == workload.params
+
+
+def test_round_trip_file(tmp_path, workload):
+    path = tmp_path / "workload.json"
+    dump_workload(workload, path)
+    clone = load_workload(path)
+    assert np.allclose(clone.catalog.sizes_mb, workload.catalog.sizes_mb)
+    assert clone.params == workload.params
+
+
+def test_unknown_version_rejected(workload):
+    data = workload_to_dict(workload)
+    data["format_version"] = 99
+    with pytest.raises(ValueError):
+        workload_from_dict(data)
+
+
+def test_params_optional(workload):
+    data = workload_to_dict(workload)
+    data["params"] = None
+    clone = workload_from_dict(data)
+    assert clone.params is None
+    assert clone.num_objects == workload.num_objects
+
+
+class TestCsvImport:
+    def _write(self, tmp_path, objects_rows, requests_rows):
+        objects_csv = tmp_path / "objects.csv"
+        requests_csv = tmp_path / "requests.csv"
+        objects_csv.write_text("object_id,size_mb\n" + "\n".join(objects_rows) + "\n")
+        requests_csv.write_text(
+            "request_id,object_id,probability\n" + "\n".join(requests_rows) + "\n"
+        )
+        return objects_csv, requests_csv
+
+    def test_basic_import(self, tmp_path):
+        from repro.workload import load_workload_csv
+
+        o, r = self._write(
+            tmp_path,
+            ["0,100.0", "1,250.5", "2,30.0"],
+            ["0,0,0.7", "0,2,0.7", "1,1,0.3"],
+        )
+        w = load_workload_csv(o, r)
+        assert w.num_objects == 3
+        assert w.num_requests == 2
+        assert w.catalog.size_of(1) == 250.5
+        assert w.requests[0].object_ids == (0, 2)
+        assert w.requests.probabilities[0] == pytest.approx(0.7)
+
+    def test_sparse_object_ids_rejected(self, tmp_path):
+        from repro.workload import load_workload_csv
+
+        o, r = self._write(tmp_path, ["0,10.0", "5,20.0"], ["0,0,1.0"])
+        with pytest.raises(ValueError, match="dense"):
+            load_workload_csv(o, r)
+
+    def test_inconsistent_probability_rejected(self, tmp_path):
+        from repro.workload import load_workload_csv
+
+        o, r = self._write(
+            tmp_path, ["0,10.0", "1,20.0"], ["0,0,0.5", "0,1,0.9"]
+        )
+        with pytest.raises(ValueError, match="inconsistent"):
+            load_workload_csv(o, r)
+
+    def test_imported_workload_simulates(self, tmp_path):
+        from repro.hardware import LibrarySpec, SystemSpec, TapeSpec
+        from repro.placement import ObjectProbabilityPlacement
+        from repro.sim import SimulationSession
+        from repro.workload import load_workload_csv
+
+        o, r = self._write(
+            tmp_path,
+            [f"{i},{50.0 + i}" for i in range(20)],
+            [f"{rid},{obj},{1.0 + rid}" for rid in range(4) for obj in range(rid, rid + 5)],
+        )
+        workload = load_workload_csv(o, r)
+        spec = SystemSpec(
+            num_libraries=1,
+            library=LibrarySpec(num_drives=2, num_tapes=4, tape=TapeSpec(capacity_mb=2000, max_rewind_s=10)),
+        )
+        result = SimulationSession(
+            workload, spec, scheme=ObjectProbabilityPlacement()
+        ).evaluate(num_samples=5, seed=1)
+        assert result.avg_bandwidth_mb_s > 0
