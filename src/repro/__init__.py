@@ -58,9 +58,12 @@ from .placement import (
 )
 from .sim import (
     EvaluationResult,
+    OpenSystem,
+    OpenSystemResult,
     RequestMetrics,
     SimulationSession,
     evaluate_scheme,
+    simulate_open_system,
     simulate_request,
 )
 from .workload import (
@@ -119,6 +122,9 @@ __all__ = [
     "SimulationSession",
     "evaluate_scheme",
     "simulate_request",
+    "OpenSystem",
+    "OpenSystemResult",
+    "simulate_open_system",
     "RequestMetrics",
     "EvaluationResult",
     # workload

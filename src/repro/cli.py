@@ -4,6 +4,7 @@ Subcommands
 -----------
 ``experiment <id>``  run one of the paper's experiments (T1, F5–F9, E1–E3, A1)
 ``run``              evaluate one scheme on one configuration
+``open``             open-system serving: Poisson arrivals on one shared clock
 ``schemes``          list registered placement schemes
 ``workload``         generate and dump/inspect a workload trace
 
@@ -11,6 +12,7 @@ Examples::
 
     repro-tape experiment fig6 --scale small
     repro-tape run --scheme parallel_batch --m 4 --alpha 0.3 --samples 200
+    repro-tape open --policy concurrent --rate 8 --arrivals 60 --scale small
     repro-tape workload --out trace.json --alpha 0.6
 """
 
@@ -22,7 +24,7 @@ from typing import List, Optional
 
 from .experiments import ALL_EXPERIMENTS, ExperimentSettings, chart_table, default_settings
 from .placement import available_schemes, make_scheme
-from .sim import SimulationSession
+from .sim import SimulationSession, available_scheduling_policies
 from .workload import dump_workload, generate_workload
 
 __all__ = ["main", "build_parser"]
@@ -59,6 +61,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="evaluation sampling seed")
     run.add_argument("--workload-seed", type=int, default=20060814)
     _add_settings_args(run)
+
+    op = sub.add_parser(
+        "open", help="serve a Poisson arrival stream on one persistent environment"
+    )
+    op.add_argument(
+        "--policy",
+        default="concurrent",
+        choices=sorted(available_scheduling_policies()),
+        help="request-scheduling policy (serial-fcfs reproduces the closed loop)",
+    )
+    op.add_argument("--scheme", default="parallel_batch", choices=sorted(available_schemes()))
+    op.add_argument("--m", type=int, default=4, help="switch drives per library (parallel_batch)")
+    op.add_argument("--rate", type=float, default=4.0, help="Poisson arrival rate per hour")
+    op.add_argument("--arrivals", type=int, default=60, help="number of arrivals to serve")
+    op.add_argument("--seed", type=int, default=0, help="arrival/sampling seed")
+    op.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also print tumbling-window stats of this width",
+    )
+    _add_settings_args(op)
 
     cmp_p = sub.add_parser(
         "compare", help="paired statistical comparison of two schemes"
@@ -159,6 +184,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_open(args: argparse.Namespace) -> int:
+    from .experiments import paper_workload
+
+    settings = _settings(args)
+    workload = paper_workload(settings)
+    spec = settings.spec()
+    kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
+    session = SimulationSession(workload, spec, scheme=make_scheme(args.scheme, **kwargs))
+    result = session.open(policy=args.policy).run(
+        args.rate, num_arrivals=args.arrivals, seed=args.seed
+    )
+    print(f"policy:            {result.policy}")
+    print(f"scheme:            {result.scheme}")
+    print(f"arrival rate:      {result.arrival_rate_per_hour:10.1f} /h")
+    print(f"arrivals served:   {len(result):10d}")
+    print(f"horizon:           {result.horizon_s:10.1f} s")
+    print(f"mean sojourn:      {result.mean_sojourn_s:10.1f} s")
+    print(f"  mean wait:       {result.mean_wait_s:10.1f} s")
+    print(f"  mean service:    {result.mean_service_s:10.1f} s")
+    print(f"p50 sojourn:       {result.sojourn_percentile(50):10.1f} s")
+    print(f"p95 sojourn:       {result.sojourn_percentile(95):10.1f} s")
+    print(f"utilization:       {result.utilization:10.2%}")
+    print(f"peak in flight:    {result.peak_in_flight:10d}")
+    for name in sorted(result.resources):
+        summary = result.resources[name]
+        print(
+            f"resource {name:<10s} grants={summary['grants']:<6.0f}"
+            f" max_in_use={summary['max_in_use']:<4.0f}"
+            f" busy={summary['busy_s']:10.1f} s"
+        )
+    if args.window is not None:
+        print()
+        print(f"{'window':>20s} {'arr':>4s} {'done':>4s} {'in-flight':>9s} "
+              f"{'p50':>8s} {'p95':>8s}")
+        for w in result.windowed(args.window):
+            print(
+                f"[{w.start_s:8.0f},{w.end_s:8.0f}) {w.arrivals:4d} {w.completions:4d} "
+                f"{w.mean_in_flight:9.2f} {w.p50_sojourn_s:8.1f} {w.p95_sojourn_s:8.1f}"
+            )
+    return 0
+
+
 def _cmd_schemes(_args: argparse.Namespace) -> int:
     for name in available_schemes():
         print(name)
@@ -234,6 +301,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "reproduce": _cmd_reproduce,
     "run": _cmd_run,
+    "open": _cmd_open,
     "compare": _cmd_compare,
     "schemes": _cmd_schemes,
     "workload": _cmd_workload,

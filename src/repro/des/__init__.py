@@ -10,7 +10,7 @@ simulation dependency is required.
 from .core import Environment, Infinity
 from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
 from .exceptions import EmptySchedule, Interrupt, SimulationError
-from .monitor import Span, Trace
+from .monitor import ResourceUsageMonitor, Span, Trace
 from .process import Process
 from .resources import PriorityResource, ReleaseEvent, RequestEvent, Resource
 from .stores import Container, PriorityItem, PriorityStore, Store
@@ -38,4 +38,5 @@ __all__ = [
     "EmptySchedule",
     "Span",
     "Trace",
+    "ResourceUsageMonitor",
 ]

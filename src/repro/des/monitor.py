@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["Span", "Trace"]
+__all__ = ["Span", "Trace", "ResourceUsageMonitor"]
 
 
 @dataclass(frozen=True)
@@ -97,3 +97,71 @@ class Trace:
         if cur_start is not None:
             total += cur_end - cur_start
         return total
+
+
+class ResourceUsageMonitor:
+    """Occupancy accounting for one :class:`~repro.des.resources.Resource`.
+
+    Attach via :meth:`attach` (or assign to ``resource.monitor``); every
+    grant and release is then folded into:
+
+    * ``grants`` — total number of grants;
+    * ``max_in_use`` — peak concurrent occupancy (the concurrency-invariant
+      check: must never exceed the resource's capacity);
+    * ``busy_s`` — union time with at least one slot in use;
+    * ``slot_busy_s`` — ∫ occupancy dt (per-slot utilization numerator).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.grants = 0
+        self.in_use = 0
+        self.max_in_use = 0
+        self.busy_s = 0.0
+        self.slot_busy_s = 0.0
+        self._since: Optional[float] = None  # last occupancy change
+
+    def attach(self, resource) -> "ResourceUsageMonitor":
+        if resource.users:
+            raise ValueError(
+                f"cannot attach monitor {self.name!r}: resource already has users"
+            )
+        resource.monitor = self
+        return self
+
+    def _settle(self, now: float) -> None:
+        if self._since is not None and self.in_use > 0:
+            elapsed = now - self._since
+            self.busy_s += elapsed
+            self.slot_busy_s += elapsed * self.in_use
+        self._since = now
+
+    def on_grant(self, now: float) -> None:
+        self._settle(now)
+        self.grants += 1
+        self.in_use += 1
+        self.max_in_use = max(self.max_in_use, self.in_use)
+
+    def on_release(self, now: float) -> None:
+        self._settle(now)
+        self.in_use -= 1
+
+    def utilization(self, horizon_s: float, capacity: int = 1) -> float:
+        """Mean fraction of ``capacity`` slots busy over ``[0, horizon_s]``."""
+        if horizon_s <= 0:
+            return 0.0
+        return self.slot_busy_s / (horizon_s * capacity)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "grants": self.grants,
+            "max_in_use": self.max_in_use,
+            "busy_s": self.busy_s,
+            "slot_busy_s": self.slot_busy_s,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResourceUsageMonitor {self.name}: {self.grants} grants, "
+            f"peak {self.max_in_use}, busy {self.busy_s:.1f}s>"
+        )

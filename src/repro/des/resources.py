@@ -70,7 +70,15 @@ class ReleaseEvent(Event):
 
 
 class Resource:
-    """A pool of ``capacity`` slots with a FIFO queue."""
+    """A pool of ``capacity`` slots with a FIFO queue.
+
+    Setting :attr:`monitor` (see
+    :class:`~repro.des.monitor.ResourceUsageMonitor`) records every
+    grant/release with its simulation time — the open-system metrics layer
+    uses this for per-resource utilization, and tests use it to assert
+    concurrency invariants (e.g. a capacity-1 robot arm is never held
+    twice).
+    """
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity <= 0:
@@ -79,6 +87,9 @@ class Resource:
         self._capacity = capacity
         self.users: List[RequestEvent] = []
         self.queue: List[RequestEvent] = []
+        #: Optional grant/release observer (duck-typed: ``on_grant(now)`` /
+        #: ``on_release(now)``); None keeps the hot path branch-cheap.
+        self.monitor = None
 
     @property
     def capacity(self) -> int:
@@ -101,6 +112,8 @@ class Resource:
     def _do_request(self, request: RequestEvent) -> None:
         if len(self.users) < self._capacity:
             self.users.append(request)
+            if self.monitor is not None:
+                self.monitor.on_grant(self.env.now)
             request.succeed()
         else:
             self._enqueue(request)
@@ -121,6 +134,8 @@ class Resource:
     def _do_cancel(self, request: RequestEvent) -> None:
         if request in self.users:
             self.users.remove(request)
+            if self.monitor is not None:
+                self.monitor.on_release(self.env.now)
             self._grant_next()
         else:
             self._remove_queued(request)
@@ -133,6 +148,8 @@ class Resource:
             if nxt.triggered:  # withdrawn/cancelled while queued
                 continue
             self.users.append(nxt)
+            if self.monitor is not None:
+                self.monitor.on_grant(self.env.now)
             nxt.succeed()
 
 

@@ -23,6 +23,7 @@ from .extensions import (
     degraded,
     disk_stage,
     incremental,
+    open_system,
     queueing,
     robots,
     seek_model,
@@ -37,6 +38,7 @@ from .runner import (
     default_settings,
     paper_workload,
     run_comparison,
+    run_open_comparison,
 )
 
 __all__ = [
@@ -67,4 +69,6 @@ __all__ = [
     "robots",
     "degraded",
     "seek_model",
+    "open_system",
+    "run_open_comparison",
 ]

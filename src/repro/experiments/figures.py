@@ -476,6 +476,7 @@ def _extension_experiments():
         degraded,
         disk_stage,
         incremental,
+        open_system,
         queueing,
         robots,
         seek_model,
@@ -490,6 +491,7 @@ def _extension_experiments():
         "robots": robots,
         "degraded": degraded,
         "seek_model": seek_model,
+        "open_system": open_system,
     }
 
 

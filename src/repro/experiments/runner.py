@@ -21,7 +21,7 @@ from ..placement import (
     ParallelBatchPlacement,
     PlacementScheme,
 )
-from ..sim import EvaluationResult, SimulationSession
+from ..sim import EvaluationResult, OpenSystemResult, SimulationSession
 from ..workload import Workload, WorkloadParams, generate_workload
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "paper_workload",
     "default_schemes",
     "run_comparison",
+    "run_open_comparison",
     "SCHEME_LABELS",
 ]
 
@@ -140,4 +141,28 @@ def run_comparison(
     for scheme in schemes:
         session = SimulationSession(workload, spec, scheme=scheme)
         results[scheme.name] = session.evaluate(num_samples=num_samples, seed=seed)
+    return results
+
+
+def run_open_comparison(
+    workload: Workload,
+    spec: SystemSpec,
+    scheme: PlacementScheme,
+    arrival_rate_per_hour: float,
+    num_arrivals: int = 60,
+    seed: int = 0,
+    policies: Sequence[str] = ("serial-fcfs", "concurrent"),
+) -> Dict[str, OpenSystemResult]:
+    """Serve the *same* Poisson arrival stream under each scheduling policy.
+
+    Every policy gets a freshly placed session (identical initial mounts)
+    and an identical seeded arrival/sampling stream, so differences are
+    attributable to scheduling alone.
+    """
+    results: Dict[str, OpenSystemResult] = {}
+    for policy in policies:
+        session = SimulationSession(workload, spec, scheme=scheme)
+        results[policy] = session.open(policy=policy).run(
+            arrival_rate_per_hour, num_arrivals=num_arrivals, seed=seed
+        )
     return results

@@ -45,6 +45,11 @@ class Robot:
         self._resource = Resource(env, capacity=self.spec.num_robots)
 
     @property
+    def env(self) -> Optional[Environment]:
+        """The environment this robot is bound to (None before first bind)."""
+        return self._env
+
+    @property
     def resource(self) -> Resource:
         if self._resource is None:
             raise RuntimeError(f"robot of library {self.library} is not bound to an environment")

@@ -29,7 +29,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..hardware import DriveId, SystemSpec, TapeId
 from ..workload import Workload

@@ -1,9 +1,23 @@
 """The multiple-tape-library simulator (Sec. 6) and its metrics."""
 
 from .analytic import mounted_response, uncontended_switch_time
-from .engine import simulate_request
+from .engine import RequestExecution, simulate_request
 from .queueing import QueuedRequestRecord, QueueingResult, simulate_fcfs_queue
-from .metrics import DriveServiceRecord, EvaluationResult, RequestMetrics
+from .metrics import (
+    DriveServiceRecord,
+    EvaluationResult,
+    RequestMetrics,
+    WindowStat,
+    in_flight_profile,
+    sliding_window_stats,
+)
+from .opensystem import (
+    SCHEDULING_POLICIES,
+    OpenSystem,
+    OpenSystemResult,
+    available_scheduling_policies,
+    simulate_open_system,
+)
 from .replacement import REPLACEMENT_POLICIES, available_policies, replacement_key
 from .scheduling import LibraryPlan, TapeJob, build_library_plan, estimate_job_time
 from .seekplan import plan_retrieval, sweep_cost
@@ -11,14 +25,23 @@ from .session import SimulationSession, evaluate_scheme
 
 __all__ = [
     "simulate_request",
+    "RequestExecution",
     "QueuedRequestRecord",
     "QueueingResult",
     "simulate_fcfs_queue",
+    "OpenSystem",
+    "OpenSystemResult",
+    "simulate_open_system",
+    "SCHEDULING_POLICIES",
+    "available_scheduling_policies",
     "SimulationSession",
     "evaluate_scheme",
     "RequestMetrics",
     "DriveServiceRecord",
     "EvaluationResult",
+    "WindowStat",
+    "sliding_window_stats",
+    "in_flight_profile",
     "TapeJob",
     "LibraryPlan",
     "build_library_plan",

@@ -15,6 +15,13 @@ across calls, exactly like the paper's simulator where requests arrive one
 at a time with long gaps: a switching tape left mounted stays mounted, and
 its rewind is paid by whichever later request displaces it (T_switch
 explicitly includes rewind time, Sec. 4).
+
+The machinery is factored as :class:`RequestExecution` so the same
+planning / drive-process / failure-rescue logic can run either on a
+throwaway :class:`~repro.des.Environment` (this module's closed-loop
+:func:`simulate_request`) or as one of many concurrent request processes
+on a session's long-lived shared environment
+(:mod:`repro.sim.opensystem`).
 """
 
 from __future__ import annotations
@@ -29,9 +36,115 @@ from .metrics import DriveServiceRecord, RequestMetrics
 from .scheduling import TapeJob, build_library_plan
 from .seekplan import plan_retrieval
 
-__all__ = ["simulate_request"]
+__all__ = ["simulate_request", "RequestExecution"]
 
 _NULL_TRACE = Trace(enabled=False)
+
+
+class RequestExecution:
+    """One request admitted onto an environment (exclusive or shared).
+
+    Construction plans every library's work against the *current* hardware
+    state and spawns the drive processes; the caller then either drains the
+    environment (:func:`simulate_request`) or, on a shared clock, yields
+    from :meth:`wait` inside its own process.  :meth:`finalize` validates
+    that every queued tape job was served and builds the request's metrics,
+    measuring response time from ``env.now`` at admission — so on a shared
+    environment the numbers are identical to a private zero-based clock.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        system: TapeSystem,
+        index: LocationIndex,
+        request: Request,
+        tape_priority: Optional[Mapping[TapeId, float]] = None,
+        trace: Optional[Trace] = None,
+        replacement_policy: str = "least_popular",
+        failures: Optional[Mapping[str, float]] = None,
+        disk: Optional[Resource] = None,
+    ) -> None:
+        self.env = env
+        self.system = system
+        self.request = request
+        self.started_at = env.now
+        trace = trace if trace is not None else _NULL_TRACE
+
+        jobs = index.group_by_tape(request.object_ids)
+        self.num_tapes = len(jobs)
+        self.total_mb = sum(
+            extent.size_mb for extents in jobs.values() for extent in extents
+        )
+        self.records: Dict[str, DriveServiceRecord] = {}
+        self.queues: Dict[int, Deque[TapeJob]] = {}
+        self.runtimes: list[_LibraryRuntime] = []
+
+        tape_priority = tape_priority or {}
+        failures = dict(failures or {})
+
+        for library in system.libraries:
+            plan = build_library_plan(library, jobs, tape_priority, replacement_policy)
+            if plan.is_empty:
+                continue
+            if plan.offline and not plan.switch_order:
+                raise RuntimeError(
+                    f"library {library.id} has {len(plan.offline)} offline tapes to serve "
+                    "but no switchable drive (all pinned?)"
+                )
+            if library.robot.env is not env:
+                library.robot.bind(env)
+            queue: Deque[TapeJob] = deque(plan.offline)
+            self.queues[library.id] = queue
+            runtime = _LibraryRuntime(env, library, queue, self.records, trace, disk, failures)
+            self.runtimes.append(runtime)
+            serving_indices = {idx for idx, _ in plan.serving}
+            # Spawn order defines who pulls queued tapes first at t=0: idle
+            # switch drives in replacement-policy order, then serving drives
+            # (which join the pool only after finishing their in-place work).
+            for idx in plan.switch_order:
+                if idx in serving_indices:
+                    continue
+                runtime.spawn(library.drives[idx], None, switchable=True)
+            for idx, job in plan.serving:
+                runtime.spawn(library.drives[idx], job, switchable=idx in plan.switch_order)
+
+    def wait(self):
+        """Yield until every drive process (including rescuers) finishes."""
+        while True:
+            alive = [
+                proc
+                for runtime in self.runtimes
+                for proc in runtime.processes
+                if proc.is_alive
+            ]
+            if not alive:
+                return
+            yield self.env.all_of(alive)
+
+    def finalize(self) -> RequestMetrics:
+        """Check all work was served and aggregate the drive records."""
+        for lib_id, queue in self.queues.items():
+            if queue:
+                library = self.system.libraries[lib_id]
+                survivors = [
+                    d for d in library.drives if not d.pinned and not d.failed
+                ]
+                if not survivors:
+                    raise RuntimeError(
+                        f"library {lib_id} has {len(queue)} unserved tape jobs "
+                        "and no surviving switchable drive"
+                    )
+                raise RuntimeError(
+                    f"library {lib_id} finished with {len(queue)} unserved tape jobs"
+                )
+        return RequestMetrics.from_drive_records(
+            request_id=self.request.id,
+            size_mb=self.total_mb,
+            num_tapes=self.num_tapes,
+            records=list(self.records.values()),
+            start_s=self.started_at,
+        )
 
 
 def simulate_request(
@@ -44,6 +157,11 @@ def simulate_request(
     failures: Optional[Mapping[str, float]] = None,
 ) -> RequestMetrics:
     """Serve ``request`` on ``system``; returns its metrics.
+
+    This is the closed-loop wrapper: the request runs to completion on an
+    exclusive, throwaway environment, reproducing the paper's "one request
+    at a time with long gaps" assumption.  For overlapping in-flight
+    requests on one shared clock, see :mod:`repro.sim.opensystem`.
 
     ``tape_priority`` and ``replacement_policy`` control which mounted tapes
     are displaced first (default: the paper's least-popular policy);
@@ -58,66 +176,24 @@ def simulate_request(
     — the response time grows accordingly.  All requested bytes are still
     delivered unless a library has *no* surviving switchable drive.
     """
-    trace = trace if trace is not None else _NULL_TRACE
-    tape_priority = tape_priority or {}
-    failures = dict(failures or {})
-
-    jobs = index.group_by_tape(request.object_ids)
-    total_mb = sum(extent.size_mb for extents in jobs.values() for extent in extents)
-    records: Dict[str, DriveServiceRecord] = {}
-    queues: Dict[int, Deque[TapeJob]] = {}
-
     env = Environment()
     # Optional disk-stage admission control (spec.disk_bandwidth_mb_s):
     # at most `disk_streams` drives may stream to the staging disks at once.
     streams = system.spec.disk_streams
     disk = Resource(env, streams) if streams is not None else None
-    for library in system.libraries:
-        plan = build_library_plan(library, jobs, tape_priority, replacement_policy)
-        if plan.is_empty:
-            continue
-        if plan.offline and not plan.switch_order:
-            raise RuntimeError(
-                f"library {library.id} has {len(plan.offline)} offline tapes to serve "
-                "but no switchable drive (all pinned?)"
-            )
-        library.robot.bind(env)
-        queue: Deque[TapeJob] = deque(plan.offline)
-        queues[library.id] = queue
-        runtime = _LibraryRuntime(env, library, queue, records, trace, disk, failures)
-        serving_indices = {idx for idx, _ in plan.serving}
-        # Spawn order defines who pulls queued tapes first at t=0: idle
-        # switch drives in replacement-policy order, then serving drives
-        # (which join the pool only after finishing their in-place work).
-        for idx in plan.switch_order:
-            if idx in serving_indices:
-                continue
-            runtime.spawn(library.drives[idx], None, switchable=True)
-        for idx, job in plan.serving:
-            runtime.spawn(library.drives[idx], job, switchable=idx in plan.switch_order)
-    env.run()
-
-    for lib_id, queue in queues.items():
-        if queue:
-            library = system.libraries[lib_id]
-            survivors = [
-                d for d in library.drives if not d.pinned and not d.failed
-            ]
-            if not survivors:
-                raise RuntimeError(
-                    f"library {lib_id} has {len(queue)} unserved tape jobs "
-                    "and no surviving switchable drive"
-                )
-            raise RuntimeError(
-                f"library {lib_id} finished with {len(queue)} unserved tape jobs"
-            )
-
-    return RequestMetrics.from_drive_records(
-        request_id=request.id,
-        size_mb=total_mb,
-        num_tapes=len(jobs),
-        records=list(records.values()),
+    execution = RequestExecution(
+        env,
+        system,
+        index,
+        request,
+        tape_priority,
+        trace,
+        replacement_policy,
+        failures,
+        disk,
     )
+    env.run()
+    return execution.finalize()
 
 
 class _LibraryRuntime:
@@ -146,6 +222,9 @@ class _LibraryRuntime:
         self.disk = disk
         self.failures = failures
         self.active: set = set()
+        #: Every drive process spawned for this request (watchdogs excluded),
+        #: so a shared-environment caller can wait for their completion.
+        self.processes: list = []
 
     def spawn(self, drive: TapeDrive, first_job: Optional[TapeJob], switchable: bool) -> None:
         """Start a drive process, arming its failure watchdog if scheduled."""
@@ -153,6 +232,7 @@ class _LibraryRuntime:
             return
         self.active.add(drive.id.index)
         process = self.env.process(self._drive_process(drive, first_job, switchable))
+        self.processes.append(process)
         fail_at = self.failures.get(str(drive.id))
         if fail_at is not None and fail_at >= self.env.now:
 
@@ -214,8 +294,8 @@ class _LibraryRuntime:
                 drive.unmount()  # cartridge pulled for the rescuer
             if record is not None:
                 record.completion_s = env.now
-            if current is not None and current.extents:
-                queue.append(current)
+            if current is not None and not current.is_done:
+                queue.append(current.split_remaining())
             self.active.discard(drive.id.index)
             self.rescue()
         else:
@@ -232,12 +312,14 @@ def _serve_job(
 ):
     """Read all of a job's extents in the cheaper sweep order.
 
-    Completed extents are removed from ``job.extents`` as they finish so an
-    interrupting failure knows exactly what is left to re-queue.
+    The job's completion index advances as extents finish, so an
+    interrupting failure knows exactly what is left to re-queue without
+    scanning (the former per-extent ``list.remove`` was O(n²) per job).
     """
     tape = drive.mounted
     assert tape is not None and tape.id == job.tape_id, "job routed to wrong drive"
-    ordered, _ = plan_retrieval(job.extents, tape.head_mb, drive.tape_spec)
+    ordered, _ = plan_retrieval(job.remaining_extents, tape.head_mb, drive.tape_spec)
+    job.begin(ordered)
     drive_name = str(drive.id)
     for extent in ordered:
         seek, transfer = drive.read_extent(extent)
@@ -265,7 +347,7 @@ def _serve_job(
             trace.record("transfer", start, env.now, drive=drive_name, object=extent.object_id)
         record.transfer_s += transfer
         record.bytes_mb += extent.size_mb
-        job.extents.remove(extent)
+        job.advance()
 
 
 def _switch_to(

@@ -20,7 +20,14 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["DriveServiceRecord", "RequestMetrics", "EvaluationResult"]
+__all__ = [
+    "DriveServiceRecord",
+    "RequestMetrics",
+    "EvaluationResult",
+    "WindowStat",
+    "sliding_window_stats",
+    "in_flight_profile",
+]
 
 
 @dataclass
@@ -75,14 +82,21 @@ class RequestMetrics:
         size_mb: float,
         num_tapes: int,
         records: Sequence[DriveServiceRecord],
+        start_s: float = 0.0,
     ) -> "RequestMetrics":
+        """Aggregate one request's drive records.
+
+        ``start_s`` is the request's admission time on the environment's
+        clock: records carry absolute completion times, so response time is
+        measured relative to it (0 on a fresh closed-loop environment).
+        """
         if not records:
             raise ValueError("request was served by no drive")
         critical = max(records, key=lambda r: r.completion_s)
         return cls(
             request_id=request_id,
             size_mb=size_mb,
-            response_s=critical.completion_s,
+            response_s=critical.completion_s - start_s,
             seek_s=critical.seek_s,
             transfer_s=critical.transfer_s,
             num_tapes=num_tapes,
@@ -168,3 +182,111 @@ class EvaluationResult:
             "avg_switches_per_request": self.avg_switches_per_request,
             "avg_drives_per_request": self.avg_drives_per_request,
         }
+
+
+# -- time-windowed open-system metrics ------------------------------------
+#
+# The closed-loop metrics above average over a request *stream*; an
+# open-system run (repro.sim.opensystem) additionally needs load-over-time
+# views: how many requests are in flight, and how sojourn percentiles move
+# through a busy period.  These helpers operate on any sequence of objects
+# exposing ``arrival_s`` and ``finish_s`` (``repro.sim.queueing``'s
+# QueuedRequestRecord and the open-system records both qualify).
+
+
+@dataclass(frozen=True)
+class WindowStat:
+    """Aggregates over one time window of an open-system run."""
+
+    start_s: float
+    end_s: float
+    #: Requests that arrived inside the window.
+    arrivals: int
+    #: Requests that completed inside the window.
+    completions: int
+    #: Time-average number of in-flight requests over the window.
+    mean_in_flight: float
+    #: Sojourn percentiles of the requests completing in the window
+    #: (NaN when the window saw no completions).
+    p50_sojourn_s: float
+    p95_sojourn_s: float
+
+
+def in_flight_profile(records: Sequence) -> "tuple[np.ndarray, np.ndarray]":
+    """Step function of the in-flight request count.
+
+    Returns ``(times, counts)`` where ``counts[i]`` is the number of
+    requests in flight during ``[times[i], times[i+1])``.  Empty input
+    yields two empty arrays.
+    """
+    if not records:
+        return np.array([]), np.array([], dtype=np.int64)
+    events = []
+    for r in records:
+        events.append((float(r.arrival_s), 1))
+        events.append((float(r.finish_s), -1))
+    events.sort()
+    times = np.array([t for t, _ in events])
+    counts = np.cumsum([d for _, d in events])
+    return times, counts
+
+
+def sliding_window_stats(
+    records: Sequence,
+    window_s: float,
+    step_s: "float | None" = None,
+) -> List[WindowStat]:
+    """Sliding-window load/latency stats over an open-system run.
+
+    Windows of width ``window_s`` advance by ``step_s`` (default: the full
+    width, i.e. tumbling windows) from time 0 until the last completion.
+    """
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s}")
+    step = window_s if step_s is None else step_s
+    if step <= 0:
+        raise ValueError(f"step_s must be positive, got {step}")
+    if not records:
+        return []
+
+    arrivals = np.array([float(r.arrival_s) for r in records])
+    finishes = np.array([float(r.finish_s) for r in records])
+    sojourns = finishes - arrivals
+    horizon = float(finishes.max())
+
+    times, counts = in_flight_profile(records)
+    # Integral of the in-flight step function up to each event time.
+    deltas = np.diff(times, append=times[-1])
+    cum_area = np.concatenate([[0.0], np.cumsum(counts * deltas)])
+
+    def area_until(t: float) -> float:
+        """∫ in_flight(u) du for u in [0, t]."""
+        i = int(np.searchsorted(times, t, side="right"))
+        area = cum_area[i]
+        if 0 < i <= len(counts):
+            area -= counts[i - 1] * max(0.0, float(times[i - 1] + deltas[i - 1]) - t)
+        return float(area)
+
+    out: List[WindowStat] = []
+    start = 0.0
+    while start < horizon:
+        end = start + window_s
+        done = (finishes > start) & (finishes <= end)
+        done_sojourns = sojourns[done]
+        out.append(
+            WindowStat(
+                start_s=start,
+                end_s=end,
+                arrivals=int(((arrivals >= start) & (arrivals < end)).sum()),
+                completions=int(done.sum()),
+                mean_in_flight=(area_until(end) - area_until(start)) / window_s,
+                p50_sojourn_s=(
+                    float(np.percentile(done_sojourns, 50)) if done.any() else float("nan")
+                ),
+                p95_sojourn_s=(
+                    float(np.percentile(done_sojourns, 95)) if done.any() else float("nan")
+                ),
+            )
+        )
+        start += step
+    return out

@@ -1,0 +1,586 @@
+"""Persistent open-system simulation: concurrent in-flight requests.
+
+The paper's simulator (and :func:`repro.sim.engine.simulate_request`)
+assumes requests arrive "one by one with long time interval between two
+requests".  This module drops that assumption *structurally*: an
+:class:`OpenSystem` owns a single long-lived DES
+:class:`~repro.des.Environment`; a Poisson arrival process injects
+Zipf-sampled requests onto the shared clock; and a pluggable
+request-scheduling policy decides how much the in-flight requests may
+overlap:
+
+``serial-fcfs``
+    Whole requests serialize behind one capacity-1 lock, reproducing the
+    closed-loop :func:`~repro.sim.queueing.simulate_fcfs_queue` behaviour
+    (same seed ⇒ same sojourn times) — the regression anchor.
+
+``concurrent``
+    A per-library dispatcher with per-drive job queues admits tape jobs
+    from *multiple* requests simultaneously.  Requests touching disjoint
+    libraries — or disjoint drives of one library — overlap fully, while
+    the physical serialization points carry over unchanged: the robot arm
+    (capacity-1 per library), the disk-stream cap, and the
+    one-cartridge-one-drive invariant.  Drive failures interrupt the
+    persistent drive worker; leftover extents re-queue and surviving
+    drives rescue them, as in the closed-loop engine.
+
+Entry points: ``session.open(policy=...)`` or :func:`simulate_open_system`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..catalog import Request
+from ..des import Environment, Event, Interrupt, Resource, ResourceUsageMonitor
+from ..hardware import TapeDrive, TapeLibrary, TapeId
+from .engine import RequestExecution, _serve_job, _switch_to
+from .metrics import DriveServiceRecord, RequestMetrics, WindowStat, sliding_window_stats
+from .queueing import QueuedRequestRecord, QueueingResult
+from .replacement import replacement_key
+from .scheduling import TapeJob, estimate_job_time
+
+__all__ = [
+    "OpenSystem",
+    "OpenSystemResult",
+    "simulate_open_system",
+    "SCHEDULING_POLICIES",
+    "available_scheduling_policies",
+]
+
+#: (record, metrics) produced by one completed request.
+_Outcome = Tuple[QueuedRequestRecord, RequestMetrics]
+
+
+@dataclass
+class OpenSystemResult(QueueingResult):
+    """One open-system arrival stream's outcomes.
+
+    Extends :class:`~repro.sim.queueing.QueueingResult` (whose mean/percentile
+    and busy-union utilization views apply unchanged to overlapping services)
+    with the per-request paper metrics, per-resource occupancy accounting,
+    and sliding-window views.
+
+    Note that in an open system a request's ``RequestMetrics.response_s`` is
+    its *sojourn* (arrival to last byte), so queueing delay is included.
+    """
+
+    policy: str = ""
+    metrics: List[RequestMetrics] = field(default_factory=list)
+    #: Resource name -> occupancy summary (grants, max_in_use, busy_s,
+    #: slot_busy_s) from the attached ResourceUsageMonitors.
+    resources: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Simulation time when the environment drained.
+    horizon_s: float = 0.0
+
+    @property
+    def peak_in_flight(self) -> int:
+        """Largest number of simultaneously in-flight requests."""
+        from .metrics import in_flight_profile
+
+        _, counts = in_flight_profile(self.records)
+        return int(counts.max()) if len(counts) else 0
+
+    def windowed(self, window_s: float, step_s: Optional[float] = None) -> List[WindowStat]:
+        """Sliding-window arrivals/in-flight/sojourn-percentile stats."""
+        return sliding_window_stats(self.records, window_s, step_s)
+
+    def resource_utilization(self, name: str, capacity: int = 1) -> float:
+        """Mean busy fraction of one monitored resource over the horizon."""
+        stats = self.resources[name]
+        if self.horizon_s <= 0:
+            return 0.0
+        return stats["slot_busy_s"] / (self.horizon_s * capacity)
+
+
+# ---------------------------------------------------------------------------
+# Scheduling policies
+
+
+class SerialFCFSPolicy:
+    """Exclusive whole-request service: the closed-loop model on one clock.
+
+    Every request takes a global capacity-1 lock for its entire service, so
+    hardware-state evolution (mounted tapes, head positions) and therefore
+    every service duration is identical to running
+    :func:`~repro.sim.queueing.simulate_fcfs_queue` with the same seed.
+    """
+
+    name = "serial-fcfs"
+
+    def bind(self, opensys: "OpenSystem") -> None:
+        if opensys.failures:
+            raise ValueError(
+                "drive-failure injection requires the 'concurrent' policy "
+                "(serial-fcfs arms no watchdogs between requests)"
+            )
+        self.os = opensys
+        self.lock = Resource(opensys.env, capacity=1)
+
+    def serve(self, request: Request, arrival_s: float):
+        os = self.os
+        env = os.env
+        with self.lock.request() as grant:
+            yield grant
+            start = env.now
+            execution = RequestExecution(
+                env,
+                os.system,
+                os.index,
+                request,
+                os.tape_priority,
+                os.trace,
+                os.replacement_policy,
+                None,
+                os.disk,
+            )
+            yield from execution.wait()
+            metrics = execution.finalize()
+        record = QueuedRequestRecord(
+            request_id=request.id,
+            arrival_s=arrival_s,
+            start_s=start,
+            finish_s=env.now,
+            size_mb=metrics.size_mb,
+        )
+        return record, metrics
+
+    def check_drained(self) -> None:
+        if self.lock.users or self.lock.queue:
+            raise RuntimeError("serial-fcfs lock still held after the run drained")
+
+
+@dataclass
+class _DispatchedJob:
+    """One tape job in flight through a library dispatcher."""
+
+    job: TapeJob
+    request_id: int
+    #: The owning request's per-drive records (shared across its jobs).
+    records: Dict[str, DriveServiceRecord]
+    done: Event
+    #: When a drive first began working on this job (service start).
+    started_at: Optional[float] = None
+
+
+class ConcurrentPolicy:
+    """Overlap requests across libraries and drives.
+
+    Each request fans its tape jobs out to per-library dispatchers and
+    completes when the last job lands; dispatchers run jobs from any number
+    of in-flight requests on their drives simultaneously.
+    """
+
+    name = "concurrent"
+
+    def bind(self, opensys: "OpenSystem") -> None:
+        self.os = opensys
+        self.dispatchers = {
+            library.id: _LibraryDispatcher(opensys, library)
+            for library in opensys.system.libraries
+        }
+        for drive_name, fail_at in opensys.failures.items():
+            self._arm_failure(drive_name, fail_at)
+
+    def _arm_failure(self, drive_name: str, fail_at: float) -> None:
+        env = self.os.env
+        for dispatcher in self.dispatchers.values():
+            for drive in dispatcher.library.drives:
+                if str(drive.id) == drive_name:
+
+                    def watchdog(delay=fail_at - env.now, d=dispatcher, idx=drive.id.index):
+                        yield env.timeout(max(0.0, delay))
+                        worker = d.workers.get(idx)
+                        if worker is not None and worker.is_alive:
+                            worker.interrupt("drive-failure")
+
+                    env.process(watchdog())
+                    return
+        raise ValueError(f"unknown drive name {drive_name!r}")
+
+    def serve(self, request: Request, arrival_s: float):
+        os = self.os
+        env = os.env
+        jobs = os.index.group_by_tape(request.object_ids)
+        total_mb = sum(e.size_mb for extents in jobs.values() for e in extents)
+        records: Dict[str, DriveServiceRecord] = {}
+        djobs: List[_DispatchedJob] = []
+
+        by_library: Dict[int, List[TapeJob]] = {}
+        for tape_id, extents in jobs.items():
+            by_library.setdefault(tape_id.library, []).append(
+                TapeJob(tape_id, sorted(extents, key=lambda e: e.start_mb))
+            )
+        for library_id in sorted(by_library):
+            library = os.system.libraries[library_id]
+            tape_jobs = by_library[library_id]
+            # Longest-processing-time first, as in the closed-loop planner.
+            tape_jobs.sort(
+                key=lambda job: (-estimate_job_time(job, library), job.tape_id)
+            )
+            for job in tape_jobs:
+                djob = _DispatchedJob(
+                    job=job, request_id=request.id, records=records, done=env.event()
+                )
+                djobs.append(djob)
+                self.dispatchers[library_id].submit(djob)
+
+        yield env.all_of([dj.done for dj in djobs])
+
+        metrics = RequestMetrics.from_drive_records(
+            request_id=request.id,
+            size_mb=total_mb,
+            num_tapes=len(jobs),
+            records=list(records.values()),
+            start_s=arrival_s,
+        )
+        started = min(dj.started_at for dj in djobs if dj.started_at is not None)
+        record = QueuedRequestRecord(
+            request_id=request.id,
+            arrival_s=arrival_s,
+            start_s=started,
+            finish_s=env.now,
+            size_mb=total_mb,
+        )
+        return record, metrics
+
+    def check_drained(self) -> None:
+        for dispatcher in self.dispatchers.values():
+            unserved = len(dispatcher.pending) + len(dispatcher.inbox)
+            if unserved:
+                raise RuntimeError(
+                    f"library {dispatcher.library.id} finished with "
+                    f"{unserved} unserved tape jobs (no eligible drive survived?)"
+                )
+
+
+class _LibraryDispatcher:
+    """Per-library job queue feeding persistent per-drive worker processes.
+
+    Admission rules mirror the closed-loop planner, evaluated dynamically
+    against live hardware state instead of once per request:
+
+    * a job whose tape is mounted (or being mounted) waits for *that* drive
+      — a cartridge exists once — and serves in place when it frees up;
+    * an offline tape takes an idle empty switch drive first, otherwise
+      displaces an idle drive's mounted tape in replacement-policy order,
+      never displacing a tape that a queued job still needs;
+    * pinned drives serve their mounted tape but never switch, unless no
+      unpinned drive is left alive (degraded operation);
+    * a failing drive's unserved extents re-queue at the front and the
+      remaining drives pick them up.
+    """
+
+    def __init__(self, opensys: "OpenSystem", library: TapeLibrary) -> None:
+        self.env = opensys.env
+        self.library = library
+        self.trace = opensys.trace
+        self.disk = opensys.disk
+        self.replacement_policy = opensys.replacement_policy
+        self.tape_priority = opensys.tape_priority
+        self.pending: Deque[_DispatchedJob] = deque()
+        #: Drive index -> job handed over but not yet picked up.
+        self.inbox: Dict[int, _DispatchedJob] = {}
+        #: Drive indices currently assigned/working (inbox or serving).
+        self.busy: set = set()
+        #: Idle workers parked on these events.
+        self.wake: Dict[int, Event] = {}
+        #: Tape -> drive index responsible for it right now (assignment
+        #: through service; prevents two drives mounting one cartridge).
+        self.committed: Dict[TapeId, int] = {}
+        self.workers = {
+            drive.id.index: self.env.process(self._worker(drive))
+            for drive in library.drives
+            if not drive.failed
+        }
+
+    # -- admission ------------------------------------------------------
+    def submit(self, djob: _DispatchedJob) -> None:
+        if not self.workers:
+            raise RuntimeError(
+                f"library {self.library.id} has no live drives to serve "
+                f"tape {djob.job.tape_id}"
+            )
+        self.pending.append(djob)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self.pending and self._try_assign():
+            pass
+
+    def _try_assign(self) -> bool:
+        """Assign the first admissible pending job; True if one was placed."""
+        live = [d for d in self.library.drives if d.id.index in self.workers]
+        idle = [d for d in live if d.id.index not in self.busy]
+        if not idle:
+            return False
+        degraded = not any(not d.pinned for d in live)
+        protected = {dj.job.tape_id for dj in self.pending} | set(self.committed)
+        for djob in self.pending:
+            tape_id = djob.job.tape_id
+            holder_idx = self.committed.get(tape_id)
+            if holder_idx is None:
+                holder = self.library.drive_holding(tape_id)
+                if holder is not None and holder.id.index in self.workers:
+                    holder_idx = holder.id.index
+            if holder_idx is not None:
+                if holder_idx in self.busy:
+                    continue  # the cartridge lives in a busy drive: wait for it
+                chosen = self.library.drives[holder_idx]
+            else:
+                candidates = [d for d in idle if degraded or not d.pinned]
+                empty = [d for d in candidates if d.mounted is None]
+                if empty:
+                    chosen = min(empty, key=lambda d: d.id.index)
+                else:
+                    displaceable = [
+                        d for d in candidates if d.mounted.id not in protected
+                    ]
+                    if not displaceable:
+                        continue
+                    chosen = min(
+                        displaceable,
+                        key=lambda d: replacement_key(
+                            self.replacement_policy, d, self.tape_priority
+                        ),
+                    )
+            self.pending.remove(djob)
+            self._assign(djob, chosen)
+            return True
+        return False
+
+    def _assign(self, djob: _DispatchedJob, drive: TapeDrive) -> None:
+        idx = drive.id.index
+        self.busy.add(idx)
+        self.committed[djob.job.tape_id] = idx
+        self.inbox[idx] = djob
+        wake = self.wake.pop(idx, None)
+        if wake is not None:
+            wake.succeed()
+
+    # -- the drive worker ------------------------------------------------
+    def _worker(self, drive: TapeDrive):
+        """Persistent drive process: serve dispatched jobs until failure.
+
+        Lives for the whole session (re-used across requests); parks on a
+        wake event while idle, so a drained environment simply leaves it
+        suspended.
+        """
+        env = self.env
+        idx = drive.id.index
+        djob: Optional[_DispatchedJob] = None
+        try:
+            while True:
+                while idx not in self.inbox:
+                    event = env.event()
+                    self.wake[idx] = event
+                    yield event
+                djob = self.inbox.pop(idx)
+                job = djob.job
+                record = djob.records.setdefault(
+                    str(drive.id), DriveServiceRecord(str(drive.id))
+                )
+                if djob.started_at is None:
+                    djob.started_at = env.now
+                if drive.mounted is None or drive.mounted.id != job.tape_id:
+                    yield from _switch_to(
+                        env, self.library, drive, job.tape_id, record, self.trace
+                    )
+                yield from _serve_job(env, drive, job, record, self.trace, self.disk)
+                record.completion_s = env.now
+                self.committed.pop(job.tape_id, None)
+                self.busy.discard(idx)
+                finished, djob = djob, None
+                finished.done.succeed()
+                self._dispatch()
+        except Interrupt:
+            drive.failed = True
+            self.trace.record("drive_failure", env.now, env.now, drive=str(drive.id))
+            if drive.mounted is not None:
+                drive.unmount()  # cartridge pulled back to its cell
+            self.workers.pop(idx, None)
+            self.wake.pop(idx, None)
+            self.busy.discard(idx)
+            orphan = self.inbox.pop(idx, None) or djob
+            if orphan is not None:
+                self.committed.pop(orphan.job.tape_id, None)
+                record = orphan.records.get(str(drive.id))
+                if record is not None:
+                    record.completion_s = env.now
+                if orphan.job.is_done:
+                    orphan.done.succeed()
+                else:
+                    # The in-flight extent restarts from scratch elsewhere.
+                    orphan.job = orphan.job.split_remaining()
+                    self.pending.appendleft(orphan)
+            self._dispatch()
+
+
+#: Registered request-scheduling policies (name -> zero-arg factory).
+SCHEDULING_POLICIES: Dict[str, Callable[[], object]] = {
+    SerialFCFSPolicy.name: SerialFCFSPolicy,
+    ConcurrentPolicy.name: ConcurrentPolicy,
+}
+
+
+def available_scheduling_policies() -> Tuple[str, ...]:
+    return tuple(sorted(SCHEDULING_POLICIES))
+
+
+# ---------------------------------------------------------------------------
+# The open system itself
+
+
+class OpenSystem:
+    """A placed tape system serving an open arrival stream on one clock.
+
+    Created via :meth:`repro.sim.session.SimulationSession.open` (or
+    directly).  The environment, robot bindings, disk-stream cap, resource
+    monitors, and policy state persist across :meth:`run` calls, so several
+    arrival batches can share one warmed-up system.
+
+    Parameters
+    ----------
+    session:
+        The placed :class:`~repro.sim.session.SimulationSession`.
+    policy:
+        A name from :data:`SCHEDULING_POLICIES` (default ``"concurrent"``).
+    failures:
+        Optional drive name -> absolute failure time map (``concurrent``
+        policy only).
+    """
+
+    def __init__(
+        self,
+        session,
+        policy: str = "concurrent",
+        failures: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.session = session
+        self.system = session.system
+        self.trace = session.trace
+        self.replacement_policy = session.replacement_policy
+        self.tape_priority = session.placement.tape_priority
+        self.failures = dict(failures or {})
+        self.env = Environment()
+        self._ran = False
+
+        streams = self.system.spec.disk_streams
+        self.disk = Resource(self.env, streams) if streams is not None else None
+        self.monitors: Dict[str, ResourceUsageMonitor] = {}
+        for library in self.system.libraries:
+            library.robot.bind(self.env)
+            name = f"L{library.id}.robot"
+            self.monitors[name] = ResourceUsageMonitor(name).attach(
+                library.robot.resource
+            )
+        if self.disk is not None:
+            self.monitors["disk"] = ResourceUsageMonitor("disk").attach(self.disk)
+
+        try:
+            factory = SCHEDULING_POLICIES[policy]
+        except KeyError:
+            known = ", ".join(available_scheduling_policies())
+            raise ValueError(
+                f"unknown scheduling policy {policy!r}; known: {known}"
+            ) from None
+        self.policy_name = policy
+        self.policy = factory()
+        self.policy.bind(self)
+
+    @property
+    def index(self):
+        """The session's live location index (tracks ``session.reset()``)."""
+        return self.session.index
+
+    def run(
+        self,
+        arrival_rate_per_hour: float,
+        num_arrivals: int = 100,
+        seed: int = 0,
+        reset: bool = True,
+    ) -> OpenSystemResult:
+        """Inject a Poisson stream of Zipf-sampled requests; drain; report.
+
+        Arrival sampling matches
+        :func:`~repro.sim.queueing.simulate_fcfs_queue` draw-for-draw, so
+        the same seed produces the same arrival times and request sequence.
+        Subsequent calls continue on the same clock (pass ``reset=False``).
+        """
+        if arrival_rate_per_hour <= 0:
+            raise ValueError(
+                f"arrival rate must be positive, got {arrival_rate_per_hour}"
+            )
+        if num_arrivals <= 0:
+            raise ValueError(f"num_arrivals must be positive, got {num_arrivals}")
+        if reset:
+            if self._ran:
+                raise ValueError(
+                    "reset=True is only valid for the first run on this "
+                    "OpenSystem (the clock and hardware state have advanced); "
+                    "pass reset=False to continue the stream"
+                )
+            self.session.reset()
+        self._ran = True
+
+        rng = np.random.default_rng(seed)
+        inter = rng.exponential(3600.0 / arrival_rate_per_hour, size=num_arrivals)
+        arrivals = np.cumsum(inter) + self.env.now
+        sampled = self.session.workload.requests.sample(rng, num_arrivals)
+
+        outcomes: List[_Outcome] = []
+
+        def arrival_process():
+            for arrival, request in zip(arrivals, sampled):
+                delay = float(arrival) - self.env.now
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                self.env.process(self._request_runner(request, float(arrival), outcomes))
+
+        self.env.process(arrival_process())
+        self.env.run()
+        self.policy.check_drained()
+        if len(outcomes) != num_arrivals:
+            raise RuntimeError(
+                f"{num_arrivals - len(outcomes)} requests never completed "
+                "(environment drained early)"
+            )
+
+        outcomes.sort(key=lambda pair: pair[0].arrival_s)
+        return OpenSystemResult(
+            scheme=self.session.scheme_name,
+            arrival_rate_per_hour=arrival_rate_per_hour,
+            records=[record for record, _ in outcomes],
+            policy=self.policy_name,
+            metrics=[metrics for _, metrics in outcomes],
+            resources={name: mon.summary() for name, mon in self.monitors.items()},
+            horizon_s=self.env.now,
+        )
+
+    def _request_runner(self, request: Request, arrival_s: float, sink: List[_Outcome]):
+        outcome = yield from self.policy.serve(request, arrival_s)
+        sink.append(outcome)
+
+    def __repr__(self) -> str:
+        return (
+            f"<OpenSystem {self.policy_name} on {self.session.scheme_name}, "
+            f"t={self.env.now:.1f}s>"
+        )
+
+
+def simulate_open_system(
+    session,
+    arrival_rate_per_hour: float,
+    num_arrivals: int = 100,
+    seed: int = 0,
+    policy: str = "concurrent",
+    failures: Optional[Dict[str, float]] = None,
+) -> OpenSystemResult:
+    """One-shot convenience: build an :class:`OpenSystem`, run one stream."""
+    return OpenSystem(session, policy=policy, failures=failures).run(
+        arrival_rate_per_hour, num_arrivals=num_arrivals, seed=seed
+    )

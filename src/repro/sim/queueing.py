@@ -12,6 +12,10 @@ This quantifies something the paper's metric hides: a placement scheme's
 *bandwidth* advantage compounds under load, because shorter services drain
 the queue — near saturation the sojourn-time gap between schemes is much
 larger than the bare response-time gap (``benchmarks/bench_queueing.py``).
+
+For *overlapping* in-flight requests on one shared clock — the open-system
+model — see :mod:`repro.sim.opensystem`, whose ``serial-fcfs`` policy
+reproduces this module's closed-loop results seed-for-seed.
 """
 
 from __future__ import annotations
@@ -61,28 +65,54 @@ class QueueingResult:
     def _array(self, attr: str) -> np.ndarray:
         return np.array([getattr(r, attr) for r in self.records])
 
+    def _mean(self, attr: str) -> float:
+        """Mean of a per-record attribute; NaN when no records exist."""
+        if not self.records:
+            return float("nan")
+        return float(self._array(attr).mean())
+
     @property
     def mean_wait_s(self) -> float:
-        return float(self._array("wait_s").mean())
+        return self._mean("wait_s")
 
     @property
     def mean_service_s(self) -> float:
-        return float(self._array("service_s").mean())
+        return self._mean("service_s")
 
     @property
     def mean_sojourn_s(self) -> float:
-        return float(self._array("sojourn_s").mean())
+        return self._mean("sojourn_s")
 
     def sojourn_percentile(self, q: float) -> float:
+        if not self.records:
+            return float("nan")
         return float(np.percentile(self._array("sojourn_s"), q))
 
     @property
     def utilization(self) -> float:
-        """Fraction of the horizon the system was serving."""
+        """Fraction of the horizon at least one service was in progress.
+
+        Overlapping or out-of-order services (the open-system policies) are
+        handled by taking the *union* of the busy intervals against the
+        latest finish time — summed service over last-record finish would
+        overcount overlap and undercount the horizon.
+        """
         if not self.records:
             return 0.0
-        horizon = self.records[-1].finish_s
-        return float(self._array("service_s").sum() / horizon) if horizon > 0 else 0.0
+        horizon = float(self._array("finish_s").max())
+        if horizon <= 0:
+            return 0.0
+        intervals = sorted((r.start_s, r.finish_s) for r in self.records)
+        busy = 0.0
+        cur_start, cur_end = intervals[0]
+        for start, end in intervals[1:]:
+            if start <= cur_end:
+                cur_end = max(cur_end, end)
+            else:
+                busy += cur_end - cur_start
+                cur_start, cur_end = start, end
+        busy += cur_end - cur_start
+        return busy / horizon
 
     @property
     def offered_load(self) -> float:

@@ -29,14 +29,43 @@ __all__ = ["TapeJob", "LibraryPlan", "estimate_job_time", "build_library_plan"]
 
 @dataclass
 class TapeJob:
-    """All requested extents residing on one tape."""
+    """All requested extents residing on one tape.
+
+    ``completed`` is a completion *index* into ``extents``: the engine
+    reorders ``extents`` into sweep order when service begins and advances
+    the index as each extent finishes, so an interrupting drive failure can
+    see what is left in O(1) instead of scanning-and-removing per extent.
+    """
 
     tape_id: TapeId
     extents: List[ObjectExtent]
+    completed: int = 0
 
     @property
     def bytes_mb(self) -> float:
         return sum(e.size_mb for e in self.extents)
+
+    @property
+    def remaining_extents(self) -> List[ObjectExtent]:
+        """Extents not yet fully read (the in-flight one counts as unread)."""
+        return self.extents[self.completed :]
+
+    @property
+    def is_done(self) -> bool:
+        return self.completed >= len(self.extents)
+
+    def begin(self, ordered: List[ObjectExtent]) -> None:
+        """Install the sweep order chosen by the engine and reset progress."""
+        self.extents = ordered
+        self.completed = 0
+
+    def advance(self) -> None:
+        """Mark the next extent in ``extents`` as fully read."""
+        self.completed += 1
+
+    def split_remaining(self) -> "TapeJob":
+        """A fresh job holding only the unserved extents (for re-queueing)."""
+        return TapeJob(self.tape_id, list(self.remaining_extents))
 
     def __len__(self) -> int:
         return len(self.extents)

@@ -76,8 +76,27 @@ class SimulationSession:
     def scheme_name(self) -> str:
         return self.placement.scheme
 
+    def open(self, policy: str = "concurrent", failures: Optional[dict] = None):
+        """Open-system serving: concurrent in-flight requests on one clock.
+
+        Returns an :class:`~repro.sim.opensystem.OpenSystem` owning a
+        long-lived environment; its ``run(arrival_rate_per_hour, ...)``
+        injects a Poisson stream of Zipf-sampled requests scheduled by
+        ``policy`` (``"serial-fcfs"`` reproduces
+        :func:`~repro.sim.queueing.simulate_fcfs_queue` seed-for-seed;
+        ``"concurrent"`` overlaps requests across libraries and drives).
+        """
+        from .opensystem import OpenSystem
+
+        return OpenSystem(self, policy=policy, failures=failures)
+
     def serve(self, request: Request, failures: Optional[dict] = None) -> RequestMetrics:
-        """Serve one request; mounted tapes / head positions persist.
+        """Serve one request to completion on an exclusive environment.
+
+        This is the paper's closed-loop model (requests arrive "one by one
+        with long time interval"): mounted tapes / head positions persist
+        between calls, but no two requests are ever in flight together —
+        use :meth:`open` for that.
 
         ``failures`` optionally injects drive failures during *this*
         request (drive name -> failure time); see

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import Environment, EmptySchedule, Event, SimulationError
+from repro.des import Environment, EmptySchedule, SimulationError
 
 
 def test_initial_time_defaults_to_zero():

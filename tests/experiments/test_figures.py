@@ -162,6 +162,7 @@ class TestRegistry:
             "table1", "fig5", "fig6", "fig7", "fig8", "fig9",
             "extreme", "tech", "sensitivity", "ablation",
             "incremental", "queueing", "disk", "striping", "robots", "degraded", "seek_model",
+            "open_system",
         }
 
     def test_tables_format_without_error(self, settings):

@@ -21,7 +21,7 @@ class TestAsciiChart:
 
     def test_extremes_hit_top_and_bottom(self):
         chart = ascii_chart([1, 2], [[0.0, 100.0]], ["s"], height=10)
-        rows = [l for l in chart.splitlines() if "|" in l]
+        rows = [ln for ln in chart.splitlines() if "|" in ln]
         assert "a" in rows[0]    # max on the top plot row
         assert "a" in rows[-1]   # min on the bottom plot row
 
@@ -35,7 +35,7 @@ class TestAsciiChart:
 
     def test_monotone_series_is_monotone_on_grid(self):
         chart = ascii_chart([1, 2, 3, 4], [[1.0, 2.0, 3.0, 4.0]], ["up"], height=12)
-        rows = [l.split("|", 1)[1] for l in chart.splitlines() if "|" in l]
+        rows = [ln.split("|", 1)[1] for ln in chart.splitlines() if "|" in ln]
         cols = [row.index("a") for row in rows if "a" in row]
         # scanning top to bottom, the x position must strictly decrease
         assert cols == sorted(cols, reverse=True)

@@ -1,6 +1,5 @@
 """Tests for epoch splitting and incremental (append-only) placement."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import ExperimentSettings

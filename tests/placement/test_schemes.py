@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hardware import DriveId, LibrarySpec, SystemSpec, TapeSpec, TapeSystem
+from repro.hardware import LibrarySpec, SystemSpec, TapeSpec, TapeSystem
 from repro.placement import (
     ClusterProbabilityPlacement,
     ObjectProbabilityPlacement,

@@ -1,6 +1,5 @@
 """Tests for the multi-robot what-if extension (paper assumption 5 relaxed)."""
 
-import dataclasses
 
 import pytest
 

@@ -1,0 +1,429 @@
+"""Tests for the persistent open-system engine (`repro.sim.opensystem`).
+
+Covers the refactor's contract from three sides:
+
+* **Regression** — the closed-loop wrappers (`session.evaluate`,
+  `simulate_fcfs_queue`) still produce the pre-refactor numbers, and the
+  ``serial-fcfs`` policy reproduces `simulate_fcfs_queue` record-for-record
+  on the shared clock.
+* **Concurrency invariants** — the robot arm is never held by two drives at
+  once, the disk-stream cap is never exceeded, a cartridge is never in two
+  drives, and the concurrent policy never loses to serial FCFS.
+* **Instrumentation** — windowed metrics, in-flight profile, and the
+  overlap-aware `QueueingResult` aggregates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import DriveSpec, LibrarySpec, ObjectExtent, SystemSpec, TapeId, TapeSpec
+from repro.placement import (
+    ClusterProbabilityPlacement,
+    ObjectProbabilityPlacement,
+    ParallelBatchPlacement,
+)
+from repro.sim import (
+    OpenSystem,
+    QueuedRequestRecord,
+    QueueingResult,
+    SimulationSession,
+    TapeJob,
+    available_scheduling_policies,
+    in_flight_profile,
+    simulate_fcfs_queue,
+    simulate_open_system,
+    sliding_window_stats,
+)
+from repro.workload import generate_workload
+
+
+def _workload(**overrides):
+    params = dict(
+        num_objects=400,
+        num_requests=25,
+        request_size_bounds=(5, 12),
+        object_size_bounds_mb=(10.0, 500.0),
+        mean_object_size_mb=120.0,
+        seed=21,
+    )
+    params.update(overrides)
+    return generate_workload(**params)
+
+
+def _spec(
+    num_drives=4,
+    num_tapes=12,
+    num_libraries=2,
+    disk_bandwidth_mb_s=None,
+    tape_capacity_mb=10_000.0,
+):
+    return SystemSpec(
+        num_libraries=num_libraries,
+        disk_bandwidth_mb_s=disk_bandwidth_mb_s,
+        library=LibrarySpec(
+            num_drives=num_drives,
+            num_tapes=num_tapes,
+            cell_to_drive_s=2.0,
+            drive=DriveSpec(transfer_rate_mb_s=10.0, load_s=5.0, unload_s=5.0),
+            tape=TapeSpec(capacity_mb=tape_capacity_mb, max_rewind_s=10.0),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return _spec()
+
+
+def _session(workload, spec, scheme=None):
+    return SimulationSession(workload, spec, scheme=scheme or ParallelBatchPlacement(m=2))
+
+
+# ---------------------------------------------------------------------------
+# Regression: the refactor must not move the closed-loop numbers
+# ---------------------------------------------------------------------------
+
+
+class TestClosedLoopRegression:
+    """`session.evaluate()` golden values captured before the refactor."""
+
+    GOLDEN_AVG_RESPONSE_S = [
+        (ParallelBatchPlacement(m=2), 55.402534371552925),
+        (ObjectProbabilityPlacement(), 44.743189844267576),
+        (ClusterProbabilityPlacement(), 83.95834191883735),
+    ]
+
+    @pytest.mark.parametrize(
+        "scheme,golden", GOLDEN_AVG_RESPONSE_S, ids=lambda v: getattr(v, "name", "")
+    )
+    def test_evaluate_unchanged(self, workload, spec, scheme, golden):
+        session = _session(workload, spec, scheme=scheme)
+        result = session.evaluate(num_samples=30, seed=5)
+        assert result.avg_response_s == pytest.approx(golden, rel=1e-12)
+
+
+class TestSerialFcfsRegression:
+    """serial-fcfs on the shared clock == the closed-loop FCFS queue."""
+
+    def test_matches_simulate_fcfs_queue_record_for_record(self, workload, spec):
+        closed = simulate_fcfs_queue(
+            _session(workload, spec), 30.0, num_arrivals=25, seed=7
+        )
+        opened = simulate_open_system(
+            _session(workload, spec), 30.0, num_arrivals=25, seed=7,
+            policy="serial-fcfs",
+        )
+        assert opened.policy == "serial-fcfs"
+        assert len(opened) == len(closed)
+        for a, b in zip(opened.records, closed.records):
+            assert a.request_id == b.request_id
+            assert a.arrival_s == pytest.approx(b.arrival_s)
+            # Absolute-clock arithmetic differs in the last ulp only.
+            assert a.start_s == pytest.approx(b.start_s, rel=1e-9)
+            assert a.finish_s == pytest.approx(b.finish_s, rel=1e-9)
+        assert opened.mean_sojourn_s == pytest.approx(closed.mean_sojourn_s, rel=1e-9)
+
+    def test_serial_services_never_overlap(self, workload, spec):
+        result = simulate_open_system(
+            _session(workload, spec), 60.0, num_arrivals=20, seed=3,
+            policy="serial-fcfs",
+        )
+        by_start = sorted(result.records, key=lambda r: r.start_s)
+        for prev, cur in zip(by_start, by_start[1:]):
+            assert cur.start_s >= prev.finish_s - 1e-9
+
+    def test_rejects_failure_injection(self, workload, spec):
+        session = _session(workload, spec)
+        with pytest.raises(ValueError, match="concurrent"):
+            session.open(policy="serial-fcfs", failures={"L0.D0": 100.0})
+
+
+# ---------------------------------------------------------------------------
+# The concurrent policy
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentPolicy:
+    def test_never_loses_to_serial(self, workload, spec):
+        serial = simulate_open_system(
+            _session(workload, spec), 120.0, num_arrivals=40, seed=7,
+            policy="serial-fcfs",
+        )
+        concurrent = simulate_open_system(
+            _session(workload, spec), 120.0, num_arrivals=40, seed=7,
+            policy="concurrent",
+        )
+        assert concurrent.mean_sojourn_s <= serial.mean_sojourn_s * 1.02
+        # At this offered load with 2 libraries the win must be strict.
+        assert concurrent.mean_sojourn_s < serial.mean_sojourn_s
+        assert concurrent.peak_in_flight >= 2
+
+    def test_all_bytes_served(self, workload, spec):
+        result = simulate_open_system(
+            _session(workload, spec), 60.0, num_arrivals=15, seed=1
+        )
+        assert len(result.metrics) == 15
+        for record, metrics in zip(result.records, result.metrics):
+            assert record.request_id == metrics.request_id
+            assert record.size_mb == pytest.approx(metrics.size_mb)
+            assert metrics.size_mb > 0
+            # Open-system response is the sojourn: arrival -> last byte.
+            assert metrics.response_s == pytest.approx(record.sojourn_s, rel=1e-9)
+
+    def test_low_load_matches_serial(self, workload, spec):
+        """With arrivals far apart there is no overlap to exploit: both
+        policies serve an idle system and agree on every sojourn."""
+        serial = simulate_open_system(
+            _session(workload, spec), 0.5, num_arrivals=10, seed=2,
+            policy="serial-fcfs",
+        )
+        concurrent = simulate_open_system(
+            _session(workload, spec), 0.5, num_arrivals=10, seed=2,
+            policy="concurrent",
+        )
+        assert concurrent.peak_in_flight == 1
+        assert concurrent.mean_sojourn_s == pytest.approx(
+            serial.mean_sojourn_s, rel=1e-6
+        )
+
+    def test_reproducible(self, workload, spec):
+        a = simulate_open_system(_session(workload, spec), 60.0, 20, seed=9)
+        b = simulate_open_system(_session(workload, spec), 60.0, 20, seed=9)
+        assert [r.finish_s for r in a.records] == [r.finish_s for r in b.records]
+
+
+class TestConcurrentFailures:
+    def test_drive_failure_is_rescued(self, workload, spec):
+        """Failing a drive mid-stream loses no request: survivors rescue."""
+        healthy = simulate_open_system(
+            _session(workload, spec), 120.0, num_arrivals=20, seed=4
+        )
+        failures = {"L0.D0": healthy.horizon_s / 4, "L0.D1": healthy.horizon_s / 2}
+        session = _session(workload, spec)
+        result = simulate_open_system(
+            session, 120.0, num_arrivals=20, seed=4, failures=failures
+        )
+        assert len(result) == 20
+        for drive in session.system.libraries[0].drives:
+            if str(drive.id) in failures:
+                assert drive.failed
+        # Same bytes served despite the failures.
+        assert sum(m.size_mb for m in result.metrics) == pytest.approx(
+            sum(m.size_mb for m in healthy.metrics)
+        )
+        assert result.mean_sojourn_s >= healthy.mean_sojourn_s
+
+    def test_unknown_drive_name_rejected(self, workload, spec):
+        with pytest.raises(ValueError, match="unknown drive"):
+            _session(workload, spec).open(failures={"L9.D9": 10.0})
+
+
+# ---------------------------------------------------------------------------
+# Concurrency invariants on the physical resources
+# ---------------------------------------------------------------------------
+
+
+class TestResourceInvariants:
+    @pytest.fixture(scope="class")
+    def starved(self):
+        """A drive-starved system: small tapes spread even the popular
+        objects across many cartridges while only two drives serve each
+        library, so every request forces tape switches and the robot arm
+        and the displacement logic are genuinely contended."""
+        workload = _workload(
+            num_objects=600, request_size_bounds=(8, 16), mean_object_size_mb=None
+        )
+        spec = _spec(
+            num_drives=2, num_tapes=40, disk_bandwidth_mb_s=20.0,
+            tape_capacity_mb=2_000.0,
+        )
+        return SimulationSession(workload, spec, scheme=ObjectProbabilityPlacement())
+
+    @pytest.fixture(scope="class")
+    def starved_result(self, starved):
+        return simulate_open_system(starved, 240.0, num_arrivals=30, seed=11)
+
+    def test_switches_actually_happen(self, starved_result):
+        assert sum(m.num_switches for m in starved_result.metrics) > 0
+
+    def test_robot_never_held_twice(self, starved_result):
+        for name, stats in starved_result.resources.items():
+            if name.endswith(".robot"):
+                assert stats["grants"] > 0
+                assert stats["max_in_use"] <= 1
+                assert stats["busy_s"] <= starved_result.horizon_s
+
+    def test_disk_stream_cap_respected(self, starved, starved_result):
+        cap = starved.spec.disk_streams
+        assert cap == 2
+        disk = starved_result.resources["disk"]
+        assert disk["max_in_use"] <= cap
+        # The slot-time integral can exceed single-resource busy time only
+        # through genuine multi-stream overlap, and never beyond the cap.
+        assert disk["slot_busy_s"] <= cap * starved_result.horizon_s
+        assert starved_result.resource_utilization("disk", capacity=cap) <= 1.0
+
+    def test_cartridge_exists_once(self, starved, starved_result):
+        """After draining, every tape is mounted in at most one drive."""
+        seen = {}
+        for library in starved.system.libraries:
+            for drive in library.drives:
+                if drive.mounted is not None:
+                    assert drive.mounted.id not in seen
+                    seen[drive.mounted.id] = drive.id
+
+
+# ---------------------------------------------------------------------------
+# OpenSystem lifecycle and validation
+# ---------------------------------------------------------------------------
+
+
+class TestOpenSystemLifecycle:
+    def test_policies_registered(self):
+        assert available_scheduling_policies() == ("concurrent", "serial-fcfs")
+
+    def test_unknown_policy(self, workload, spec):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            _session(workload, spec).open(policy="shortest-job-first")
+
+    def test_validates_run_args(self, workload, spec):
+        osys = _session(workload, spec).open()
+        with pytest.raises(ValueError):
+            osys.run(0.0)
+        with pytest.raises(ValueError):
+            osys.run(10.0, num_arrivals=0)
+
+    def test_second_run_continues_the_clock(self, workload, spec):
+        osys = _session(workload, spec).open()
+        first = osys.run(60.0, num_arrivals=10, seed=0)
+        with pytest.raises(ValueError, match="reset"):
+            osys.run(60.0, num_arrivals=10, seed=1)
+        second = osys.run(60.0, num_arrivals=10, seed=1, reset=False)
+        assert second.records[0].arrival_s > first.horizon_s - 1e-9
+        assert second.horizon_s > first.horizon_s
+
+    def test_session_open_entry_point(self, workload, spec):
+        osys = _session(workload, spec).open(policy="concurrent")
+        assert isinstance(osys, OpenSystem)
+        assert "concurrent" in repr(osys)
+
+
+# ---------------------------------------------------------------------------
+# Windowed metrics and the in-flight profile
+# ---------------------------------------------------------------------------
+
+
+class TestWindowedMetrics:
+    @pytest.fixture(scope="class")
+    def result(self, workload, spec):
+        return simulate_open_system(
+            _session(workload, spec), 120.0, num_arrivals=30, seed=7
+        )
+
+    def test_profile_counts(self, result):
+        times, counts = in_flight_profile(result.records)
+        assert len(times) == len(counts)
+        assert (counts >= 0).all()
+        assert counts.max() == result.peak_in_flight
+        assert counts[-1] == 0  # everything eventually completes
+
+    def test_windows_partition_the_horizon(self, result):
+        windows = result.windowed(window_s=600.0)
+        assert windows
+        assert windows[0].start_s == 0.0
+        for prev, cur in zip(windows, windows[1:]):
+            assert cur.start_s == pytest.approx(prev.end_s)
+        assert sum(w.arrivals for w in windows) == len(result)
+        assert sum(w.completions for w in windows) == len(result)
+
+    def test_window_stats_bounded(self, result):
+        for w in result.windowed(window_s=600.0):
+            assert 0 <= w.mean_in_flight <= result.peak_in_flight
+            if w.completions:
+                assert w.p50_sojourn_s <= w.p95_sojourn_s
+            else:
+                assert np.isnan(w.p50_sojourn_s)
+
+    def test_sliding_step(self, result):
+        overlapping = sliding_window_stats(result.records, 1200.0, step_s=600.0)
+        tumbling = result.windowed(1200.0)
+        assert len(overlapping) >= len(tumbling)
+
+    def test_empty_records(self):
+        assert sliding_window_stats([], 100.0) == []
+        times, counts = in_flight_profile([])
+        assert len(times) == 0 and len(counts) == 0
+
+
+# ---------------------------------------------------------------------------
+# QueueingResult aggregates (satellite: NaN guards + busy-union utilization)
+# ---------------------------------------------------------------------------
+
+
+class TestQueueingResultAggregates:
+    def test_empty_records_yield_nan_not_crash(self):
+        empty = QueueingResult("s", 1.0)
+        assert np.isnan(empty.mean_wait_s)
+        assert np.isnan(empty.mean_service_s)
+        assert np.isnan(empty.mean_sojourn_s)
+        assert np.isnan(empty.sojourn_percentile(50))
+        assert empty.utilization == 0.0
+
+    def test_utilization_unions_overlap(self):
+        result = QueueingResult("s", 1.0)
+        result.records = [
+            QueuedRequestRecord(0, 0.0, 0.0, 10.0, 1.0),
+            QueuedRequestRecord(1, 0.0, 5.0, 15.0, 1.0),  # overlaps the first
+            QueuedRequestRecord(2, 0.0, 30.0, 40.0, 1.0),
+        ]
+        # union busy = [0, 15] + [30, 40] = 25 over horizon 40.
+        assert result.utilization == pytest.approx(25.0 / 40.0)
+
+    def test_utilization_out_of_order_records(self):
+        result = QueueingResult("s", 1.0)
+        result.records = [
+            QueuedRequestRecord(1, 0.0, 20.0, 30.0, 1.0),
+            QueuedRequestRecord(0, 0.0, 0.0, 10.0, 1.0),
+        ]
+        assert result.utilization == pytest.approx(20.0 / 30.0)
+
+
+# ---------------------------------------------------------------------------
+# TapeJob completion index (satellite: O(n) extent consumption)
+# ---------------------------------------------------------------------------
+
+
+class TestTapeJobCompletion:
+    def _job(self, n=4):
+        extents = [
+            ObjectExtent(object_id=i, start_mb=10.0 * i, size_mb=5.0)
+            for i in range(n)
+        ]
+        return TapeJob(TapeId(0, 0), extents)
+
+    def test_begin_advance(self):
+        job = self._job(3)
+        ordered = list(reversed(job.extents))
+        job.begin(ordered)
+        assert job.extents == ordered
+        assert not job.is_done
+        for i in range(3):
+            assert len(job.remaining_extents) == 3 - i
+            job.advance()
+        assert job.is_done
+        assert job.remaining_extents == []
+
+    def test_split_remaining(self):
+        job = self._job(4)
+        job.begin(list(job.extents))
+        job.advance()
+        job.advance()
+        rest = job.split_remaining()
+        assert rest.tape_id == job.tape_id
+        assert rest.completed == 0
+        assert rest.extents == job.extents[2:]

@@ -1,6 +1,5 @@
 """Tests for the FCFS queueing extension."""
 
-import numpy as np
 import pytest
 
 from repro.hardware import DriveSpec, LibrarySpec, SystemSpec, TapeSpec

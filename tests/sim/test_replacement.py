@@ -4,7 +4,6 @@ import pytest
 
 from repro.hardware import LibrarySpec, SystemSpec, TapeId, TapeSystem
 from repro.sim import available_policies, build_library_plan, replacement_key
-from repro.sim.scheduling import TapeJob
 from repro.hardware import ObjectExtent
 
 

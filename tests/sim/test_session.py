@@ -1,6 +1,5 @@
 """End-to-end integration tests: workload -> placement -> simulation."""
 
-import numpy as np
 import pytest
 
 from repro.hardware import DriveSpec, LibrarySpec, SystemSpec, TapeSpec

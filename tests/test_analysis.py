@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import PairedComparison, bootstrap_ci, compare_paired, metric_ci
+from repro.analysis import bootstrap_ci, compare_paired, metric_ci
 from repro.experiments import ExperimentSettings, default_schemes, paper_workload, run_comparison
 from repro.sim import EvaluationResult, RequestMetrics
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.workload import WorkloadGenerator, WorkloadParams, generate_workload
+from repro.workload import WorkloadParams, generate_workload
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,6 @@ from repro.catalog import ObjectCatalog, Request, RequestSet
 from repro.hardware import SystemSpec
 from repro.workload import (
     Workload,
-    WorkloadProfile,
     characterize,
     fit_zipf_alpha,
     generate_workload,
