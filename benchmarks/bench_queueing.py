@@ -10,6 +10,8 @@ constraint: concurrent in-flight requests overlap across libraries and
 drives, so sojourns can only improve over serial FCFS.
 """
 
+import json
+
 from repro.experiments import open_system, queueing
 
 
@@ -53,3 +55,31 @@ def test_open_system_concurrency(run_once, settings):
     # long enough that some overlap always materializes.
     assert concurrent[-1] < serial[-1]
     assert table.data["peak_in_flight"][-1] >= 2
+
+
+def test_bench_opensystem_json(settings, timed_open_run, bench_json):
+    """Emit ``BENCH_opensystem.json``: the open-system perf trajectory.
+
+    Wall time and DES events/sec for one identical arrival stream under
+    each scheduling policy — the engine-throughput numbers CI archives so
+    regressions show up as a trajectory, not an anecdote.
+    """
+    rate, arrivals = 8.0, 60
+    section = {
+        "scale": settings.scale,
+        "rate_per_hour": rate,
+        "num_arrivals": arrivals,
+        "policies": {},
+    }
+    for policy in ("serial-fcfs", "concurrent"):
+        wall_s, events, spans, result = timed_open_run(policy, rate, arrivals)
+        assert wall_s > 0 and events > 0
+        section["policies"][policy] = {
+            "wall_s": round(wall_s, 4),
+            "events_processed": events,
+            "events_per_s": round(events / wall_s),
+            "spans_recorded": spans,
+            "mean_sojourn_s": round(result.mean_sojourn_s, 2),
+        }
+    path = bench_json("open_system", section)
+    print(f"\n{json.dumps(section, indent=2)}\nwritten to {path}")

@@ -11,14 +11,66 @@ index, prints the table the paper's figure reports, and asserts the
 reproduced *shape* (who wins, where curves peak, which component dominates).
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import default_settings
+
+#: Repo-root JSON where open-system benches record the perf trajectory
+#: (wall time, events/sec, tracing overhead); uploaded as a CI artifact.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_opensystem.json"
 
 
 @pytest.fixture(scope="session")
 def settings():
     return default_settings()
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Merge one named section into ``BENCH_opensystem.json``."""
+
+    def merge(section: str, payload: dict) -> Path:
+        data = {}
+        if BENCH_JSON_PATH.exists():
+            data = json.loads(BENCH_JSON_PATH.read_text())
+        data[section] = payload
+        BENCH_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        return BENCH_JSON_PATH
+
+    return merge
+
+
+@pytest.fixture(scope="session")
+def timed_open_run(settings):
+    """Run one open-system arrival stream under a wall-clock timer.
+
+    Workload generation and placement happen outside the timed region, so
+    the measurement isolates the DES engine (arrivals, scheduling, spans).
+    Returns ``(wall_s, events_processed, num_spans, result)``.
+    """
+
+    def run(policy: str, rate_per_hour: float = 8.0, num_arrivals: int = 60):
+        from time import perf_counter
+
+        from repro.experiments import paper_workload
+        from repro.placement import ParallelBatchPlacement
+        from repro.sim import SimulationSession
+
+        workload = paper_workload(settings)
+        spec = settings.spec()
+        session = SimulationSession(
+            workload, spec, scheme=ParallelBatchPlacement(m=settings.m)
+        )
+        opensys = session.open(policy=policy)
+        start = perf_counter()
+        result = opensys.run(rate_per_hour, num_arrivals=num_arrivals, seed=settings.eval_seed)
+        wall_s = perf_counter() - start
+        return wall_s, opensys.env.events_processed, len(result.spans()), result
+
+    return run
 
 
 @pytest.fixture

@@ -5,6 +5,7 @@ Subcommands
 ``experiment <id>``  run one of the paper's experiments (T1, F5–F9, E1–E3, A1)
 ``run``              evaluate one scheme on one configuration
 ``open``             open-system serving: Poisson arrivals on one shared clock
+``trace``            run a workload and export telemetry (Perfetto trace + metrics)
 ``schemes``          list registered placement schemes
 ``workload``         generate and dump/inspect a workload trace
 
@@ -13,6 +14,7 @@ Examples::
     repro-tape experiment fig6 --scale small
     repro-tape run --scheme parallel_batch --m 4 --alpha 0.3 --samples 200
     repro-tape open --policy concurrent --rate 8 --arrivals 60 --scale small
+    repro-tape trace --requests 50 --policy concurrent --out-dir telemetry
     repro-tape workload --out trace.json --alpha 0.6
 """
 
@@ -84,6 +86,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print tumbling-window stats of this width",
     )
     _add_settings_args(op)
+
+    tr = sub.add_parser(
+        "trace",
+        help="serve an open-system workload and export its telemetry artifacts",
+        description=(
+            "Runs a Poisson arrival stream (like `open`) with full telemetry: "
+            "writes a Chrome/Perfetto trace_event JSON (load it at "
+            "https://ui.perfetto.dev) and a metrics JSONL time series, then "
+            "prints the critical-path stage-attribution table and a text "
+            "flame of the slowest request.  See docs/observability.md."
+        ),
+    )
+    tr.add_argument(
+        "--policy",
+        default="concurrent",
+        choices=sorted(available_scheduling_policies()),
+        help="request-scheduling policy",
+    )
+    tr.add_argument("--scheme", default="parallel_batch", choices=sorted(available_schemes()))
+    tr.add_argument("--m", type=int, default=4, help="switch drives per library (parallel_batch)")
+    tr.add_argument("--rate", type=float, default=8.0, help="Poisson arrival rate per hour")
+    tr.add_argument("--requests", type=int, default=50, help="number of arrivals to serve")
+    tr.add_argument("--seed", type=int, default=0, help="arrival/sampling seed")
+    tr.add_argument(
+        "--sample-period",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="metrics snapshot period in simulated seconds",
+    )
+    tr.add_argument(
+        "--out-dir", default="telemetry", help="artifact directory (default: telemetry/)"
+    )
+    tr.add_argument(
+        "--flames", type=int, default=1, metavar="N",
+        help="print text flame trees of the N slowest requests",
+    )
+    tr.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the exported trace against the trace_event schema; "
+        "non-zero exit on problems",
+    )
+    _add_settings_args(tr)
 
     cmp_p = sub.add_parser(
         "compare", help="paired statistical comparison of two schemes"
@@ -226,6 +272,71 @@ def _cmd_open(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .des import trace_enabled_by_env
+    from .experiments import paper_workload
+    from .obs import render_request_flame, validate_chrome_trace
+
+    if not trace_enabled_by_env():
+        print(
+            "error: tracing is disabled by REPRO_TRACE in the environment; "
+            "unset it (or set REPRO_TRACE=1) to export a trace",
+            file=sys.stderr,
+        )
+        return 2
+
+    settings = _settings(args)
+    workload = paper_workload(settings)
+    spec = settings.spec()
+    kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
+    session = SimulationSession(workload, spec, scheme=make_scheme(args.scheme, **kwargs))
+    result = session.open(policy=args.policy).run(
+        args.rate,
+        num_arrivals=args.requests,
+        seed=args.seed,
+        sample_period_s=args.sample_period,
+    )
+
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = out / "trace.json"
+    metrics_path = out / "metrics.jsonl"
+    doc = result.write_trace(trace_path)
+    lines = result.write_metrics(metrics_path)
+    print(f"policy:            {result.policy}")
+    print(f"scheme:            {result.scheme}")
+    print(f"requests served:   {len(result):10d}")
+    print(f"horizon:           {result.horizon_s:10.1f} s")
+    print(f"spans recorded:    {len(result.spans()):10d}")
+    print(f"trace:             {trace_path}  (open at https://ui.perfetto.dev)")
+    print(f"metrics:           {metrics_path}  ({lines} lines)")
+    print()
+
+    report = result.stage_report()
+    print(report.format())
+
+    if args.flames > 0:
+        spans = result.spans()
+        slowest = sorted(report.requests, key=lambda r: -r.response_s)[: args.flames]
+        for attribution in slowest:
+            print()
+            print(render_request_flame(spans, attribution.request_id))
+
+    if args.validate:
+        problems = validate_chrome_trace(doc)
+        print()
+        if problems:
+            print(f"trace validation FAILED ({len(problems)} problems):")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("trace validation OK: spans parented, durations non-negative, "
+              "tracks per drive")
+    return 0
+
+
 def _cmd_schemes(_args: argparse.Namespace) -> int:
     for name in available_schemes():
         print(name)
@@ -302,6 +413,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "run": _cmd_run,
     "open": _cmd_open,
+    "trace": _cmd_trace,
     "compare": _cmd_compare,
     "schemes": _cmd_schemes,
     "workload": _cmd_workload,

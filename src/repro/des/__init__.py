@@ -10,7 +10,7 @@ simulation dependency is required.
 from .core import Environment, Infinity
 from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
 from .exceptions import EmptySchedule, Interrupt, SimulationError
-from .monitor import ResourceUsageMonitor, Span, Trace
+from .monitor import ResourceUsageMonitor, Span, SpanContext, Trace, trace_enabled_by_env
 from .process import Process
 from .resources import PriorityResource, ReleaseEvent, RequestEvent, Resource
 from .stores import Container, PriorityItem, PriorityStore, Store
@@ -37,6 +37,8 @@ __all__ = [
     "SimulationError",
     "EmptySchedule",
     "Span",
+    "SpanContext",
     "Trace",
     "ResourceUsageMonitor",
+    "trace_enabled_by_env",
 ]

@@ -49,6 +49,8 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Events processed since construction (throughput telemetry).
+        self.events_processed = 0
 
     # -- introspection ----------------------------------------------------
     @property
@@ -107,6 +109,7 @@ class Environment:
         except IndexError:
             raise EmptySchedule("no scheduled events left") from None
 
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
         for callback in callbacks:

@@ -3,14 +3,46 @@
 The tape simulator records *spans* (named intervals with attributes) so that
 the metrics layer can decompose response times and tests can assert on
 scheduling decisions without reaching into engine internals.
+
+Spans form **causal trees**: every span carries a unique ``span_id``, an
+optional ``parent_id`` (the enclosing stage) and an optional ``request_id``
+(the retrieval request whose service it belongs to).  Instrumentation points
+open spans with the :meth:`Trace.span` context manager, which reads the
+simulation clock at entry and exit::
+
+    with trace.span(env, "seek", parent=job_ctx.id, request=req.id, drive=name):
+        yield env.timeout(seek_s)
+
+A span closed by an exception (e.g. a drive-failure :class:`Interrupt`
+unwinding a worker) is still recorded exactly once, tagged
+``aborted=True`` so duration accounting can exclude work that restarted
+elsewhere.
+
+Tracing can be globally disabled with ``REPRO_TRACE=0`` in the environment;
+a disabled trace's :meth:`~Trace.record` is a bound no-op that allocates no
+span, and :meth:`~Trace.span` returns a shared null context manager.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["Span", "Trace", "ResourceUsageMonitor"]
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Trace",
+    "ResourceUsageMonitor",
+    "trace_enabled_by_env",
+]
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def trace_enabled_by_env() -> bool:
+    """False when ``REPRO_TRACE`` is set to ``0``/``false``/``off``/``no``."""
+    return os.environ.get("REPRO_TRACE", "1").strip().lower() not in _FALSY
 
 
 @dataclass(frozen=True)
@@ -25,40 +57,200 @@ class Span:
         Simulation timestamps; ``end >= start``.
     attrs:
         Free-form context (drive id, tape id, object id, …).
+    span_id:
+        Unique id within the owning :class:`Trace` (0 for bare literals).
+    parent_id:
+        The enclosing span's id, or None for a root span.
+    request_id:
+        The request whose service this span belongs to, if any.
     """
 
     name: str
     start: float
     end: float
     attrs: Dict[str, Any] = field(default_factory=dict)
+    span_id: int = 0
+    parent_id: Optional[int] = None
+    request_id: Optional[int] = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def aborted(self) -> bool:
+        """True when the instrumented stage unwound with an exception."""
+        return bool(self.attrs.get("aborted", False))
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise ValueError(f"span {self.name!r} ends ({self.end}) before it starts ({self.start})")
 
 
+class _NullSpanContext:
+    """Shared no-op stand-in returned by a disabled trace (no allocation)."""
+
+    __slots__ = ()
+    id: Optional[int] = None
+    span: Optional[Span] = None
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class SpanContext:
+    """An *open* span: a context manager timing one stage on the DES clock.
+
+    The id is allocated eagerly so nested stages can name this span as
+    their parent while it is still open.  ``__exit__`` appends the closed
+    span exactly once — re-entering a finished context raises, and an
+    exception unwinding the block (worker interrupt) closes the span at the
+    interruption time with ``aborted=True``.
+    """
+
+    __slots__ = ("_trace", "_env", "name", "attrs", "id", "parent_id", "request_id", "_start", "span")
+
+    def __init__(self, trace: "Trace", env, name: str, parent: Optional[int], request: Optional[int], attrs: Dict[str, Any]) -> None:
+        self._trace = trace
+        self._env = env
+        self.name = name
+        self.attrs = attrs
+        self.id = trace._reserve_id()
+        self.parent_id = parent
+        self.request_id = request
+        self._start: Optional[float] = None
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> "SpanContext":
+        if self.span is not None:
+            raise RuntimeError(f"span context {self.name!r} (id {self.id}) already closed")
+        self._start = self._env.now
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        if self.span is None:  # close exactly once
+            attrs = self.attrs
+            if exc_type is not None:
+                attrs = dict(attrs)
+                attrs["aborted"] = True
+            self.span = self._trace._append(
+                self.name, self._start, self._env.now, attrs,
+                self.id, self.parent_id, self.request_id,
+            )
+        return False
+
+
+def _record_disabled(name: str, start: float, end: float, **attrs: Any) -> None:
+    """No-op ``record`` bound onto disabled traces: no span, no append."""
+    return None
+
+
+def _span_disabled(env, name: str, parent=None, request=None, **attrs: Any) -> _NullSpanContext:
+    """``span`` shadow for disabled traces: shared null context, no state."""
+    return _NULL_SPAN_CONTEXT
+
+
 class Trace:
-    """An append-only collection of spans with simple query helpers."""
+    """An append-only collection of spans with causal-tree query helpers."""
 
     def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
+        self.enabled = bool(enabled) and trace_enabled_by_env()
         self._spans: List[Span] = []
-
-    def record(self, name: str, start: float, end: float, **attrs: Any) -> Optional[Span]:
-        """Append a span (no-op when disabled)."""
+        self._next_id = 1
         if not self.enabled:
-            return None
-        span = Span(name, start, end, attrs)
+            # Shadow the bound methods so the disabled hot path is a plain
+            # function call that touches no instance state.
+            self.record = _record_disabled  # type: ignore[method-assign]
+            self.span = _span_disabled  # type: ignore[method-assign]
+
+    # -- recording --------------------------------------------------------
+    def _reserve_id(self) -> int:
+        sid = self._next_id
+        self._next_id += 1
+        return sid
+
+    def _append(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: Dict[str, Any],
+        span_id: int,
+        parent_id: Optional[int],
+        request_id: Optional[int],
+    ) -> Span:
+        span = Span(name, start, end, attrs, span_id, parent_id, request_id)
         self._spans.append(span)
         return span
 
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Optional[int] = None,
+        request: Optional[int] = None,
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """Append a closed span (no-op when disabled)."""
+        if not self.enabled:
+            return None
+        return self._append(name, start, end, attrs, self._reserve_id(), parent, request)
+
+    def reserve_id(self) -> Optional[int]:
+        """Reserve a span id to close later via :meth:`record_reserved`.
+
+        Lets a span that *ends* after its children (e.g. a request root
+        finalized once every drive lands) still be named as their parent.
+        Returns None when disabled.
+        """
+        if not self.enabled:
+            return None
+        return self._reserve_id()
+
+    def record_reserved(
+        self,
+        span_id: Optional[int],
+        name: str,
+        start: float,
+        end: float,
+        parent: Optional[int] = None,
+        request: Optional[int] = None,
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """Close a span whose id was handed out by :meth:`reserve_id`."""
+        if not self.enabled or span_id is None:
+            return None
+        return self._append(name, start, end, attrs, span_id, parent, request)
+
+    def span(
+        self,
+        env,
+        name: str,
+        parent: Optional[int] = None,
+        request: Optional[int] = None,
+        **attrs: Any,
+    ):
+        """Open a span as a context manager clocked by ``env.now``.
+
+        Returns a shared null context (``id is None``) when disabled, so
+        instrumentation points cost one call and no allocation.
+        """
+        if not self.enabled:
+            return _NULL_SPAN_CONTEXT
+        return SpanContext(self, env, name, parent, request, attrs)
+
     def clear(self) -> None:
         self._spans.clear()
+        self._next_id = 1
 
+    # -- queries ------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._spans)
 
@@ -98,6 +290,46 @@ class Trace:
             total += cur_end - cur_start
         return total
 
+    # -- causal-tree views ---------------------------------------------------
+    def by_id(self) -> Dict[int, Span]:
+        """Map span_id -> span (bare spans with id 0 are excluded)."""
+        return {s.span_id: s for s in self._spans if s.span_id}
+
+    def children(self, span_id: int) -> List[Span]:
+        """Direct children of one span, in recording order."""
+        return [s for s in self._spans if s.parent_id == span_id]
+
+    def roots(self, request_id: Optional[int] = None) -> List[Span]:
+        """Parentless spans (optionally restricted to one request)."""
+        return [
+            s
+            for s in self._spans
+            if s.parent_id is None
+            and (request_id is None or s.request_id == request_id)
+        ]
+
+    def request_spans(self, request_id: int) -> List[Span]:
+        """Every span attributed to one request, in recording order."""
+        return [s for s in self._spans if s.request_id == request_id]
+
+    def leaves(self, request_id: Optional[int] = None) -> List[Span]:
+        """Spans with no children (optionally restricted to one request)."""
+        parents = {s.parent_id for s in self._spans if s.parent_id is not None}
+        return [
+            s
+            for s in self._spans
+            if s.span_id not in parents
+            and (request_id is None or s.request_id == request_id)
+        ]
+
+    def request_ids(self) -> List[int]:
+        """Distinct request ids present, in first-seen order."""
+        seen: Dict[int, None] = {}
+        for s in self._spans:
+            if s.request_id is not None:
+                seen.setdefault(s.request_id, None)
+        return list(seen)
+
 
 class ResourceUsageMonitor:
     """Occupancy accounting for one :class:`~repro.des.resources.Resource`.
@@ -109,10 +341,17 @@ class ResourceUsageMonitor:
     * ``max_in_use`` — peak concurrent occupancy (the concurrency-invariant
       check: must never exceed the resource's capacity);
     * ``busy_s`` — union time with at least one slot in use;
-    * ``slot_busy_s`` — ∫ occupancy dt (per-slot utilization numerator).
+    * ``slot_busy_s`` — ∫ occupancy dt (per-slot utilization numerator);
+    * ``queue_depth`` / ``max_queue_depth`` / ``queue_wait_s`` — live wait
+      queue length, its peak, and ∫ depth dt (mean waiters via Little's law).
+
+    Pass a :class:`~repro.obs.MetricsRegistry` to additionally publish the
+    live occupancy and queue depth as gauges and the grant count as a
+    counter (names ``resource.<name>.in_use`` / ``.queue_depth`` /
+    ``.grants``), sampled by the registry's periodic snapshots.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, registry=None) -> None:
         self.name = name
         self.grants = 0
         self.in_use = 0
@@ -120,6 +359,26 @@ class ResourceUsageMonitor:
         self.busy_s = 0.0
         self.slot_busy_s = 0.0
         self._since: Optional[float] = None  # last occupancy change
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self.queue_wait_s = 0.0
+        self._queue_since: Optional[float] = None
+        self._grants_counter = None
+        self._in_use_gauge = None
+        self._queue_gauge = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry) -> "ResourceUsageMonitor":
+        """Publish live occupancy/queue metrics into ``registry``."""
+        self._grants_counter = registry.counter(
+            f"resource.{self.name}.grants", unit="grants"
+        )
+        self._in_use_gauge = registry.gauge(f"resource.{self.name}.in_use", unit="slots")
+        self._queue_gauge = registry.gauge(
+            f"resource.{self.name}.queue_depth", unit="requests"
+        )
+        return self
 
     def attach(self, resource) -> "ResourceUsageMonitor":
         if resource.users:
@@ -136,15 +395,38 @@ class ResourceUsageMonitor:
             self.slot_busy_s += elapsed * self.in_use
         self._since = now
 
+    def _settle_queue(self, now: float) -> None:
+        if self._queue_since is not None and self.queue_depth > 0:
+            self.queue_wait_s += (now - self._queue_since) * self.queue_depth
+        self._queue_since = now
+
     def on_grant(self, now: float) -> None:
         self._settle(now)
         self.grants += 1
         self.in_use += 1
         self.max_in_use = max(self.max_in_use, self.in_use)
+        if self._grants_counter is not None:
+            self._grants_counter.inc()
+            self._in_use_gauge.set(self.in_use, now)
 
     def on_release(self, now: float) -> None:
         self._settle(now)
         self.in_use -= 1
+        if self._in_use_gauge is not None:
+            self._in_use_gauge.set(self.in_use, now)
+
+    def on_enqueue(self, now: float) -> None:
+        self._settle_queue(now)
+        self.queue_depth += 1
+        self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(self.queue_depth, now)
+
+    def on_dequeue(self, now: float) -> None:
+        self._settle_queue(now)
+        self.queue_depth -= 1
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(self.queue_depth, now)
 
     def utilization(self, horizon_s: float, capacity: int = 1) -> float:
         """Mean fraction of ``capacity`` slots busy over ``[0, horizon_s]``."""
@@ -158,6 +440,8 @@ class ResourceUsageMonitor:
             "max_in_use": self.max_in_use,
             "busy_s": self.busy_s,
             "slot_busy_s": self.slot_busy_s,
+            "max_queue_depth": self.max_queue_depth,
+            "queue_wait_s": self.queue_wait_s,
         }
 
     def __repr__(self) -> str:

@@ -87,8 +87,9 @@ class Resource:
         self._capacity = capacity
         self.users: List[RequestEvent] = []
         self.queue: List[RequestEvent] = []
-        #: Optional grant/release observer (duck-typed: ``on_grant(now)`` /
-        #: ``on_release(now)``); None keeps the hot path branch-cheap.
+        #: Optional occupancy observer (duck-typed: ``on_grant(now)`` /
+        #: ``on_release(now)`` / ``on_enqueue(now)`` / ``on_dequeue(now)``);
+        #: None keeps the hot path branch-cheap.
         self.monitor = None
 
     @property
@@ -117,6 +118,8 @@ class Resource:
             request.succeed()
         else:
             self._enqueue(request)
+            if self.monitor is not None:
+                self.monitor.on_enqueue(self.env.now)
 
     def _enqueue(self, request: RequestEvent) -> None:
         self.queue.append(request)
@@ -138,13 +141,16 @@ class Resource:
                 self.monitor.on_release(self.env.now)
             self._grant_next()
         else:
-            self._remove_queued(request)
+            if self._remove_queued(request) and self.monitor is not None:
+                self.monitor.on_dequeue(self.env.now)
 
     def _grant_next(self) -> None:
         while len(self.users) < self._capacity:
             nxt = self._dequeue()
             if nxt is None:
                 return
+            if self.monitor is not None:
+                self.monitor.on_dequeue(self.env.now)
             if nxt.triggered:  # withdrawn/cancelled while queued
                 continue
             self.users.append(nxt)

@@ -1,0 +1,50 @@
+"""End-to-end simulation telemetry (``repro.obs``).
+
+Three layers over the DES core's causal span trees
+(:class:`~repro.des.Trace` / :class:`~repro.des.Span`):
+
+* :mod:`repro.obs.registry` — counters, gauges and time-weighted
+  histograms with periodic snapshot sampling on the simulation clock;
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
+  metrics JSONL exporters plus a schema validator and lossless importer;
+* :mod:`repro.obs.report` — critical-path stage attribution and text
+  flame rendering, agreeing with the paper's
+  ``T_switch + T_seek + T_transfer`` decomposition.
+
+See ``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from .export import (
+    read_metrics_jsonl,
+    spans_from_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .registry import Counter, Gauge, MetricsRegistry, TimeWeightedHistogram
+from .report import (
+    STAGE_ORDER,
+    RequestAttribution,
+    StageReport,
+    attribute_requests,
+    render_request_flame,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "TimeWeightedHistogram",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "spans_from_chrome_trace",
+    "validate_chrome_trace",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "RequestAttribution",
+    "StageReport",
+    "attribute_requests",
+    "render_request_flame",
+    "STAGE_ORDER",
+]

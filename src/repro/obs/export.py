@@ -1,0 +1,244 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and metrics JSONL.
+
+:func:`to_chrome_trace` turns a causal span tree
+(:class:`~repro.des.Trace`) into the Trace Event Format that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* **hardware process** — one track (thread) per drive and per robot arm;
+  switch stages, seeks and transfers nest by time containment exactly as
+  they nested causally, because a drive executes one request stage at a
+  time;
+* **requests process** — one track per request id carrying the request
+  root span and its scheduling stages (queue wait, tape jobs, dispatch
+  waits), so sojourn composition is visible even while the hardware
+  tracks interleave many requests.
+
+Every event's ``args`` carries the span's ``span``/``parent``/``request``
+ids and its exact ``start_s``/``end_s`` in simulated seconds, so
+:func:`spans_from_chrome_trace` reconstructs the tree losslessly — the
+round-trip the telemetry tests rely on.  Timestamps are microseconds (the
+format's unit); zero-duration spans (e.g. ``drive_failure``) become
+instant events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..des.monitor import Span
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "spans_from_chrome_trace",
+    "validate_chrome_trace",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+]
+
+#: Span names that occupy the library's robot arm (not just the drive).
+_ROBOT_SPAN_NAMES = frozenset({"robot_exchange", "robot_fetch"})
+
+_HARDWARE_PID = 1
+_REQUESTS_PID = 2
+
+#: args keys reserved for causality; everything else round-trips as attrs.
+_RESERVED_ARGS = frozenset({"span", "parent", "request", "start_s", "end_s"})
+
+
+def _robot_track(drive_name: str) -> str:
+    """``"L0.D3"`` → ``"L0.robot"`` (the arm the drive's library owns)."""
+    return drive_name.split(".", 1)[0] + ".robot"
+
+
+def _track_for(span: Span) -> "tuple[int, str]":
+    """(pid, track name) for one span."""
+    drive = span.attrs.get("drive")
+    if drive is not None:
+        if span.name in _ROBOT_SPAN_NAMES:
+            return _HARDWARE_PID, _robot_track(str(drive))
+        return _HARDWARE_PID, str(drive)
+    if span.request_id is not None:
+        return _REQUESTS_PID, f"request {span.request_id}"
+    return _REQUESTS_PID, "untracked"
+
+
+def to_chrome_trace(spans: Iterable[Span], label: str = "repro-tape") -> Dict[str, Any]:
+    """Render spans as a Chrome/Perfetto ``trace_event`` document."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[tuple, int] = {}
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tids[key],
+                    "args": {"name": track},
+                }
+            )
+        return tids[key]
+
+    for pid, name in ((_HARDWARE_PID, "hardware"), (_REQUESTS_PID, "requests")):
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "args": {"name": name}}
+        )
+
+    for span in spans:
+        pid, track = _track_for(span)
+        args: Dict[str, Any] = {
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "request": span.request_id,
+            "start_s": span.start,
+            "end_s": span.end,
+        }
+        args.update(span.attrs)
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": "sim",
+            "pid": pid,
+            "tid": tid_for(pid, track),
+            "ts": span.start * 1e6,
+            "args": args,
+        }
+        if span.end > span.start:
+            event["ph"] = "X"
+            event["dur"] = (span.end - span.start) * 1e6
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        events.append(event)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": label, "clock": "simulated seconds"},
+    }
+
+
+def write_chrome_trace(spans: Iterable[Span], path, label: str = "repro-tape") -> Dict[str, Any]:
+    """Write the trace document to ``path``; returns the document."""
+    doc = to_chrome_trace(spans, label=label)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def spans_from_chrome_trace(doc: Dict[str, Any]) -> List[Span]:
+    """Rebuild the span list from an exported document (lossless)."""
+    spans: List[Span] = []
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") not in ("X", "i"):
+            continue
+        args = event.get("args", {})
+        if "span" not in args:
+            continue
+        attrs = {k: v for k, v in args.items() if k not in _RESERVED_ARGS}
+        spans.append(
+            Span(
+                name=event["name"],
+                start=args["start_s"],
+                end=args["end_s"],
+                attrs=attrs,
+                span_id=args["span"],
+                parent_id=args.get("parent"),
+                request_id=args.get("request"),
+            )
+        )
+    spans.sort(key=lambda s: (s.start, s.span_id))
+    return spans
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
+    """Schema/consistency check for an exported trace; returns problems.
+
+    An empty list means the document is well-formed: every duration event
+    has non-negative ``ts``/``dur``, every span's ``parent`` id exists,
+    every request has a ``request`` root span, and every drive referenced
+    by a span has its own named track.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no traceEvents list"]
+
+    span_events = [e for e in events if e.get("ph") in ("X", "i") and "span" in e.get("args", {})]
+    thread_names = {
+        e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    ids = {e["args"]["span"] for e in span_events}
+
+    requests_seen = set()
+    drives_seen = set()
+    for event in span_events:
+        name = event.get("name", "<unnamed>")
+        args = event["args"]
+        if "tid" not in event or "pid" not in event:
+            problems.append(f"{name} (span {args['span']}): missing pid/tid")
+        if event.get("ts", -1) < 0:
+            problems.append(f"{name} (span {args['span']}): negative ts {event.get('ts')}")
+        if event.get("ph") == "X" and event.get("dur", -1) < 0:
+            problems.append(f"{name} (span {args['span']}): negative dur {event.get('dur')}")
+        if args["end_s"] < args["start_s"]:
+            problems.append(
+                f"{name} (span {args['span']}): end_s {args['end_s']} < start_s {args['start_s']}"
+            )
+        parent = args.get("parent")
+        if parent is not None and parent not in ids:
+            problems.append(f"{name} (span {args['span']}): parent {parent} does not exist")
+        if args.get("request") is not None:
+            requests_seen.add(args["request"])
+        if args.get("drive") is not None:
+            drives_seen.add(str(args["drive"]))
+
+    roots = {
+        e["args"]["request"]
+        for e in span_events
+        if e.get("name") == "request" and e["args"].get("parent") is None
+    }
+    for request_id in sorted(requests_seen - roots):
+        problems.append(f"request {request_id} has spans but no 'request' root span")
+
+    for drive in sorted(drives_seen - thread_names):
+        problems.append(f"drive {drive} has spans but no named track")
+
+    return problems
+
+
+def write_metrics_jsonl(registry, path) -> int:
+    """Dump a registry's snapshot series as JSONL; returns lines written.
+
+    The first line is a ``meta`` record carrying instrument units; each
+    following line is one snapshot (``{"type": "snapshot", "t_s": …}``).
+    """
+    lines = [json.dumps({"type": "meta", "units": registry.units()})]
+    for snap in registry.snapshots:
+        lines.append(json.dumps({"type": "snapshot", **snap}))
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def read_metrics_jsonl(path) -> "tuple[Dict[str, str], List[Dict[str, Any]]]":
+    """Load a metrics dump back as ``(units, snapshots)``."""
+    units: Dict[str, str] = {}
+    snapshots: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "meta":
+                units = record.get("units", {})
+            elif record.get("type") == "snapshot":
+                snapshots.append(record)
+    return units, snapshots

@@ -1,0 +1,286 @@
+"""Critical-path stage attribution and text flame reports.
+
+The paper decomposes response time into ``T_switch + T_seek +
+T_transfer`` (Sec. 4); this module recovers that decomposition — and a
+finer one — from the causal span tree, so a policy comparison can say
+*where* each request's sojourn went instead of only how long it was.
+
+For every request we locate its **critical drive** (the drive whose last
+stage finishes the request) and attribute the sojourn to the stages on
+that path: scheduling waits (``queue_wait``/``dispatch_wait``), the
+switch components (rewind, robot wait, unload, robot exchange/fetch,
+load), ``seek``, ``disk_wait`` and ``transfer``.  Whatever the critical
+drive's stages don't cover — time its work sat behind other in-flight
+jobs — lands in ``blocked``.  By construction::
+
+    seek == RequestMetrics.seek_s        (critical drive's seeks)
+    transfer == RequestMetrics.transfer_s
+    switch == RequestMetrics.switch_s == everything else
+
+so the report's aggregates agree with ``EvaluationResult.summary()``.
+
+Aborted spans (stages cut short by a drive failure; the work restarted
+elsewhere) are excluded from attribution but kept in the flame view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..des.monitor import Span
+
+__all__ = [
+    "RequestAttribution",
+    "StageReport",
+    "attribute_requests",
+    "render_request_flame",
+]
+
+#: Stage (leaf-span) names in report order.
+STAGE_ORDER = [
+    "queue_wait",
+    "dispatch_wait",
+    "rewind",
+    "robot_wait",
+    "unload",
+    "robot_exchange",
+    "robot_fetch",
+    "load",
+    "seek",
+    "disk_wait",
+    "transfer",
+]
+
+#: Stages the paper folds into T_switch (everything but seek/transfer).
+SWITCH_STAGES = frozenset(STAGE_ORDER) - {"seek", "transfer"}
+
+
+@dataclass
+class RequestAttribution:
+    """One request's sojourn, attributed to its critical-path stages."""
+
+    request_id: int
+    response_s: float
+    critical_drive: Optional[str]
+    #: Stage name -> seconds spent in that stage on the critical path.
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: Critical-path time not covered by any instrumented stage (waiting
+    #: behind other in-flight work on the shared hardware).
+    blocked_s: float = 0.0
+
+    @property
+    def seek_s(self) -> float:
+        return self.stages.get("seek", 0.0)
+
+    @property
+    def transfer_s(self) -> float:
+        return self.stages.get("transfer", 0.0)
+
+    @property
+    def switch_s(self) -> float:
+        """Everything that is neither seek nor transfer (paper's T_switch)."""
+        return self.response_s - self.seek_s - self.transfer_s
+
+    @property
+    def top_stage(self) -> str:
+        """The longest single attribution bucket (including ``blocked``)."""
+        candidates = dict(self.stages)
+        candidates["blocked"] = self.blocked_s
+        return max(candidates, key=lambda k: candidates[k])
+
+
+@dataclass
+class StageReport:
+    """Aggregated stage attribution over a request stream."""
+
+    requests: List[RequestAttribution] = field(default_factory=list)
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def totals(self) -> Dict[str, float]:
+        """Summed seconds per stage (plus ``blocked`` and ``response``)."""
+        out: Dict[str, float] = {name: 0.0 for name in STAGE_ORDER}
+        out["blocked"] = 0.0
+        out["response"] = 0.0
+        for req in self.requests:
+            for name, seconds in req.stages.items():
+                out[name] = out.get(name, 0.0) + seconds
+            out["blocked"] += req.blocked_s
+            out["response"] += req.response_s
+        return out
+
+    def means(self) -> Dict[str, float]:
+        n = len(self.requests)
+        if n == 0:
+            return {}
+        return {name: total / n for name, total in self.totals().items()}
+
+    # -- the paper's decomposition, for agreement checks -----------------------
+    @property
+    def avg_response_s(self) -> float:
+        return self._avg("response_s")
+
+    @property
+    def avg_seek_s(self) -> float:
+        return self._avg("seek_s")
+
+    @property
+    def avg_transfer_s(self) -> float:
+        return self._avg("transfer_s")
+
+    @property
+    def avg_switch_s(self) -> float:
+        return self._avg("switch_s")
+
+    def _avg(self, attr: str) -> float:
+        if not self.requests:
+            return float("nan")
+        return sum(getattr(r, attr) for r in self.requests) / len(self.requests)
+
+    def top_stage_counts(self) -> Dict[str, int]:
+        """How many requests were dominated by each stage."""
+        counts: Dict[str, int] = {}
+        for req in self.requests:
+            counts[req.top_stage] = counts.get(req.top_stage, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+    def format(self, bar_width: int = 30) -> str:
+        """Text table: per-stage totals, share of response, dominance."""
+        totals = self.totals()
+        response = totals["response"] or float("nan")
+        dominant = self.top_stage_counts()
+        title = f"Stage attribution ({len(self.requests)} requests"
+        title += f", {self.label})" if self.label else ")"
+        lines = [
+            title,
+            f"{'stage':<16} {'total (s)':>12} {'mean (s)':>10} {'% resp':>7} "
+            f"{'top-blocker':>11}  profile",
+        ]
+        n = max(len(self.requests), 1)
+        rows = [name for name in STAGE_ORDER if totals.get(name, 0.0) > 0.0] + ["blocked"]
+        for name in rows:
+            total = totals.get(name, 0.0)
+            share = total / response if response else float("nan")
+            bar = "#" * int(round(share * bar_width))
+            lines.append(
+                f"{name:<16} {total:>12.1f} {total / n:>10.1f} {share:>6.1%} "
+                f"{dominant.get(name, 0):>11d}  {bar}"
+            )
+        lines.append(
+            f"{'response':<16} {totals['response']:>12.1f} "
+            f"{totals['response'] / n:>10.1f} {1:>6.0%}"
+        )
+        lines.append(
+            f"(switch = response - seek - transfer = "
+            f"{self.avg_switch_s:.1f} s mean; blocked = critical-path time "
+            f"behind other in-flight work)"
+        )
+        return "\n".join(lines)
+
+
+def _group_by_request(spans: Iterable[Span]) -> Dict[int, List[Span]]:
+    grouped: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.request_id is not None:
+            grouped.setdefault(span.request_id, []).append(span)
+    return grouped
+
+
+def _leaves(spans: Sequence[Span]) -> List[Span]:
+    parents = {s.parent_id for s in spans if s.parent_id is not None}
+    return [s for s in spans if s.span_id not in parents]
+
+
+def attribute_requests(spans: Iterable[Span], label: str = "") -> StageReport:
+    """Build a :class:`StageReport` from a span tree (live or re-imported).
+
+    Requests without a ``request`` root span (e.g. traced with tracing
+    enabled mid-run) are skipped rather than mis-attributed.
+    """
+    report = StageReport(label=label)
+    for request_id, request_spans in sorted(_group_by_request(spans).items()):
+        root = next(
+            (s for s in request_spans if s.name == "request" and s.parent_id is None),
+            None,
+        )
+        if root is None:
+            continue
+        live = [s for s in request_spans if not s.aborted]
+        leaves = _leaves(live)
+
+        drive_leaves = [s for s in leaves if s.attrs.get("drive") is not None]
+        critical_drive: Optional[str] = None
+        if drive_leaves:
+            critical_drive = str(max(drive_leaves, key=lambda s: s.end).attrs["drive"])
+
+        stages: Dict[str, float] = {}
+        for leaf in leaves:
+            drive = leaf.attrs.get("drive")
+            if drive is None:
+                # Request-level scheduling waits gate every drive, hence the
+                # critical path too.
+                if leaf.name in SWITCH_STAGES:
+                    stages[leaf.name] = stages.get(leaf.name, 0.0) + leaf.duration
+            elif str(drive) == critical_drive:
+                stages[leaf.name] = stages.get(leaf.name, 0.0) + leaf.duration
+
+        attribution = RequestAttribution(
+            request_id=request_id,
+            response_s=root.duration,
+            critical_drive=critical_drive,
+            stages=stages,
+        )
+        covered = sum(s for name, s in stages.items() if name in SWITCH_STAGES)
+        attribution.blocked_s = max(0.0, attribution.switch_s - covered)
+        report.requests.append(attribution)
+    return report
+
+
+def render_request_flame(
+    spans: Iterable[Span], request_id: int, width: int = 48
+) -> str:
+    """Indented text flame of one request's span tree.
+
+    Each line shows the stage, its duration, and a bar positioned and
+    scaled against the request's response time — a causality-faithful
+    poor-man's flame chart for terminals and test failures.
+    """
+    request_spans = [s for s in spans if s.request_id == request_id]
+    root = next(
+        (s for s in request_spans if s.name == "request" and s.parent_id is None),
+        None,
+    )
+    if root is None:
+        return f"(no request root span for request {request_id})"
+    span_children: Dict[int, List[Span]] = {}
+    for span in request_spans:
+        if span.parent_id is not None:
+            span_children.setdefault(span.parent_id, []).append(span)
+    for children in span_children.values():
+        children.sort(key=lambda s: (s.start, s.span_id))
+
+    total = root.duration or 1.0
+    lines = [f"request {request_id}: {root.duration:.1f} s sojourn"]
+
+    def emit(span: Span, depth: int) -> None:
+        offset = int((span.start - root.start) / total * width)
+        length = max(1, int(span.duration / total * width))
+        bar = " " * offset + "█" * min(length, width - offset)
+        label = span.name + (" (aborted)" if span.aborted else "")
+        detail = ", ".join(
+            str(span.attrs[k]) for k in ("drive", "tape", "object") if k in span.attrs
+        )
+        lines.append(
+            f"  {'  ' * depth}{label:<{max(2, 24 - 2 * depth)}} "
+            f"{span.duration:>9.1f}s |{bar:<{width}}|"
+            + (f"  {detail}" if detail else "")
+        )
+        for child in span_children.get(span.span_id, []):
+            emit(child, depth + 1)
+
+    for child in span_children.get(root.span_id, []):
+        emit(child, 0)
+    return "\n".join(lines)

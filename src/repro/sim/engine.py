@@ -51,6 +51,11 @@ class RequestExecution:
     that every queued tape job was served and builds the request's metrics,
     measuring response time from ``env.now`` at admission — so on a shared
     environment the numbers are identical to a private zero-based clock.
+
+    When tracing is enabled, every stage lands in a causal span tree.  A
+    shared-clock caller passes ``parent`` (its own open ``request`` span);
+    the closed-loop wrapper leaves it None and the execution reserves its
+    own ``request`` root span, closed in :meth:`finalize`.
     """
 
     def __init__(
@@ -64,12 +69,24 @@ class RequestExecution:
         replacement_policy: str = "least_popular",
         failures: Optional[Mapping[str, float]] = None,
         disk: Optional[Resource] = None,
+        parent: Optional[int] = None,
+        trace_request: Optional[int] = None,
     ) -> None:
         self.env = env
         self.system = system
         self.request = request
         self.started_at = env.now
         trace = trace if trace is not None else _NULL_TRACE
+        self.trace = trace
+        # The span-tree grouping key.  Open-system callers pass a unique
+        # per-arrival token (the same catalog request can arrive repeatedly);
+        # closed-loop executions default to the catalog id.
+        self._trace_request = trace_request if trace_request is not None else request.id
+        self._root_id: Optional[int] = None
+        if parent is None:
+            # Closed loop: this execution owns the request root span.
+            self._root_id = trace.reserve_id()
+            parent = self._root_id
 
         jobs = index.group_by_tape(request.object_ids)
         self.num_tapes = len(jobs)
@@ -96,7 +113,10 @@ class RequestExecution:
                 library.robot.bind(env)
             queue: Deque[TapeJob] = deque(plan.offline)
             self.queues[library.id] = queue
-            runtime = _LibraryRuntime(env, library, queue, self.records, trace, disk, failures)
+            runtime = _LibraryRuntime(
+                env, library, queue, self.records, trace, disk, failures,
+                request_id=self._trace_request, parent_id=parent,
+            )
             self.runtimes.append(runtime)
             serving_indices = {idx for idx, _ in plan.serving}
             # Spawn order defines who pulls queued tapes first at t=0: idle
@@ -138,13 +158,25 @@ class RequestExecution:
                 raise RuntimeError(
                     f"library {lib_id} finished with {len(queue)} unserved tape jobs"
                 )
-        return RequestMetrics.from_drive_records(
+        metrics = RequestMetrics.from_drive_records(
             request_id=self.request.id,
             size_mb=self.total_mb,
             num_tapes=self.num_tapes,
             records=list(self.records.values()),
             start_s=self.started_at,
         )
+        if self._root_id is not None:
+            self.trace.record_reserved(
+                self._root_id,
+                "request",
+                self.started_at,
+                self.started_at + metrics.response_s,
+                request=self._trace_request,
+                catalog_id=self.request.id,
+                size_mb=self.total_mb,
+                num_tapes=self.num_tapes,
+            )
+        return metrics
 
 
 def simulate_request(
@@ -213,6 +245,8 @@ class _LibraryRuntime:
         trace: Trace,
         disk: Optional[Resource],
         failures: Mapping[str, float],
+        request_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
     ) -> None:
         self.env = env
         self.library = library
@@ -221,6 +255,8 @@ class _LibraryRuntime:
         self.trace = trace
         self.disk = disk
         self.failures = failures
+        self.request_id = request_id
+        self.parent_id = parent_id
         self.active: set = set()
         #: Every drive process spawned for this request (watchdogs excluded),
         #: so a shared-environment caller can wait for their completion.
@@ -268,12 +304,20 @@ class _LibraryRuntime:
         """
         env, library, queue = self.env, self.library, self.queue
         records, trace, disk = self.records, self.trace, self.disk
+        request_id, parent_id = self.request_id, self.parent_id
         record = None
         current: Optional[TapeJob] = first_job
         try:
             if first_job is not None:
                 record = records.setdefault(str(drive.id), DriveServiceRecord(str(drive.id)))
-                yield from _serve_job(env, drive, first_job, record, trace, disk)
+                with trace.span(
+                    env, "tape_job", parent=parent_id, request=request_id,
+                    drive=str(drive.id), tape=str(first_job.tape_id), mounted=True,
+                ) as job_ctx:
+                    yield from _serve_job(
+                        env, drive, first_job, record, trace, disk,
+                        parent=job_ctx.id, request=request_id,
+                    )
                 record.completion_s = env.now
             current = None
             if not switchable:
@@ -283,13 +327,26 @@ class _LibraryRuntime:
                 current = job
                 if record is None:
                     record = records.setdefault(str(drive.id), DriveServiceRecord(str(drive.id)))
-                yield from _switch_to(env, library, drive, job.tape_id, record, trace)
-                yield from _serve_job(env, drive, job, record, trace, disk)
+                with trace.span(
+                    env, "tape_job", parent=parent_id, request=request_id,
+                    drive=str(drive.id), tape=str(job.tape_id),
+                ) as job_ctx:
+                    yield from _switch_to(
+                        env, library, drive, job.tape_id, record, trace,
+                        parent=job_ctx.id, request=request_id,
+                    )
+                    yield from _serve_job(
+                        env, drive, job, record, trace, disk,
+                        parent=job_ctx.id, request=request_id,
+                    )
                 current = None
                 record.completion_s = env.now
         except Interrupt:
             drive.failed = True
-            trace.record("drive_failure", env.now, env.now, drive=str(drive.id))
+            trace.record(
+                "drive_failure", env.now, env.now,
+                parent=parent_id, request=request_id, drive=str(drive.id),
+            )
             if drive.mounted is not None:
                 drive.unmount()  # cartridge pulled for the rescuer
             if record is not None:
@@ -309,24 +366,39 @@ def _serve_job(
     record: DriveServiceRecord,
     trace: Trace,
     disk: Optional[Resource] = None,
+    parent: Optional[int] = None,
+    request: Optional[int] = None,
 ):
     """Read all of a job's extents in the cheaper sweep order.
 
     The job's completion index advances as extents finish, so an
     interrupting failure knows exactly what is left to re-queue without
     scanning (the former per-extent ``list.remove`` was O(n²) per job).
+
+    A failure interrupt arriving mid-stage unwinds through the span
+    context managers, closing the in-flight span with ``aborted=True`` —
+    the stage's time is *not* folded into ``record`` (the extent restarts
+    from scratch elsewhere), and attribution skips aborted spans.
     """
     tape = drive.mounted
     assert tape is not None and tape.id == job.tape_id, "job routed to wrong drive"
     ordered, _ = plan_retrieval(job.remaining_extents, tape.head_mb, drive.tape_spec)
     job.begin(ordered)
     drive_name = str(drive.id)
+    # The per-extent loop is the engine's hot path: with tracing off, even a
+    # null-context call per seek/transfer is measurable, so hoist the check.
+    tracing = trace.enabled
     for extent in ordered:
         seek, transfer = drive.read_extent(extent)
         if seek > 0:
-            start = env.now
-            yield env.timeout(seek)
-            trace.record("seek", start, env.now, drive=drive_name, object=extent.object_id)
+            if tracing:
+                with trace.span(
+                    env, "seek", parent=parent, request=request,
+                    drive=drive_name, object=extent.object_id,
+                ):
+                    yield env.timeout(seek)
+            else:
+                yield env.timeout(seek)
         record.seek_s += seek
         if disk is not None:
             requested_at = env.now
@@ -334,17 +406,25 @@ def _serve_job(
                 yield slot
                 if env.now > requested_at:
                     trace.record(
-                        "disk_wait", requested_at, env.now, drive=drive_name
+                        "disk_wait", requested_at, env.now,
+                        parent=parent, request=request, drive=drive_name,
                     )
-                start = env.now
+                if tracing:
+                    with trace.span(
+                        env, "transfer", parent=parent, request=request,
+                        drive=drive_name, object=extent.object_id,
+                    ):
+                        yield env.timeout(transfer)
+                else:
+                    yield env.timeout(transfer)
+        elif tracing:
+            with trace.span(
+                env, "transfer", parent=parent, request=request,
+                drive=drive_name, object=extent.object_id,
+            ):
                 yield env.timeout(transfer)
-                trace.record(
-                    "transfer", start, env.now, drive=drive_name, object=extent.object_id
-                )
         else:
-            start = env.now
             yield env.timeout(transfer)
-            trace.record("transfer", start, env.now, drive=drive_name, object=extent.object_id)
         record.transfer_s += transfer
         record.bytes_mb += extent.size_mb
         job.advance()
@@ -357,54 +437,70 @@ def _switch_to(
     tape_id: TapeId,
     record: DriveServiceRecord,
     trace: Trace,
+    parent: Optional[int] = None,
+    request: Optional[int] = None,
 ):
     """Full tape switch: rewind, unload, robot exchange, load-and-thread."""
     new_tape = library.tape(tape_id)
     drive_name = str(drive.id)
     robot = library.robot
 
-    if drive.mounted is not None:
-        rewind = drive.rewind_time()
-        if rewind > 0:
-            start = env.now
-            yield env.timeout(rewind)
-            trace.record("rewind", start, env.now, drive=drive_name)
+    with trace.span(
+        env, "switch", parent=parent, request=request,
+        drive=drive_name, tape=str(tape_id),
+    ) as sw:
+        if drive.mounted is not None:
+            rewind = drive.rewind_time()
+            if rewind > 0:
+                with trace.span(env, "rewind", parent=sw.id, request=request, drive=drive_name):
+                    yield env.timeout(rewind)
 
-        requested_at = env.now
-        with robot.resource.request() as grant:
-            yield grant
-            wait = env.now - requested_at
-            if wait > 0:
-                trace.record("robot_wait", requested_at, env.now, drive=drive_name)
-            record.robot_wait_s += wait
-            # The paper "models robotic arm mount/unmount operations as
-            # constant time values": the arm is held for the whole
-            # unload + return-to-cell + fetch + mount sequence.
-            start = env.now
-            yield env.timeout(drive.unload_time)
-            trace.record("unload", start, env.now, drive=drive_name)
-            start = env.now
-            yield env.timeout(robot.exchange_time)
-            trace.record("robot_exchange", start, env.now, drive=drive_name)
-            drive.unmount()
-            drive.mount(new_tape)
-            start = env.now
-            yield env.timeout(drive.load_time)
-            trace.record("load", start, env.now, drive=drive_name, tape=str(tape_id))
-    else:
-        requested_at = env.now
-        with robot.resource.request() as grant:
-            yield grant
-            wait = env.now - requested_at
-            if wait > 0:
-                trace.record("robot_wait", requested_at, env.now, drive=drive_name)
-            record.robot_wait_s += wait
-            start = env.now
-            yield env.timeout(robot.move_time)  # fetch only: drive was empty
-            trace.record("robot_fetch", start, env.now, drive=drive_name)
-            drive.mount(new_tape)
-            start = env.now
-            yield env.timeout(drive.load_time)
-            trace.record("load", start, env.now, drive=drive_name, tape=str(tape_id))
+            requested_at = env.now
+            with robot.resource.request() as grant:
+                yield grant
+                wait = env.now - requested_at
+                if wait > 0:
+                    trace.record(
+                        "robot_wait", requested_at, env.now,
+                        parent=sw.id, request=request, drive=drive_name,
+                    )
+                record.robot_wait_s += wait
+                # The paper "models robotic arm mount/unmount operations as
+                # constant time values": the arm is held for the whole
+                # unload + return-to-cell + fetch + mount sequence.
+                with trace.span(env, "unload", parent=sw.id, request=request, drive=drive_name):
+                    yield env.timeout(drive.unload_time)
+                with trace.span(
+                    env, "robot_exchange", parent=sw.id, request=request, drive=drive_name
+                ):
+                    yield env.timeout(robot.exchange_time)
+                drive.unmount()
+                drive.mount(new_tape)
+                with trace.span(
+                    env, "load", parent=sw.id, request=request,
+                    drive=drive_name, tape=str(tape_id),
+                ):
+                    yield env.timeout(drive.load_time)
+        else:
+            requested_at = env.now
+            with robot.resource.request() as grant:
+                yield grant
+                wait = env.now - requested_at
+                if wait > 0:
+                    trace.record(
+                        "robot_wait", requested_at, env.now,
+                        parent=sw.id, request=request, drive=drive_name,
+                    )
+                record.robot_wait_s += wait
+                with trace.span(
+                    env, "robot_fetch", parent=sw.id, request=request, drive=drive_name
+                ):
+                    yield env.timeout(robot.move_time)  # fetch only: drive was empty
+                drive.mount(new_tape)
+                with trace.span(
+                    env, "load", parent=sw.id, request=request,
+                    drive=drive_name, tape=str(tape_id),
+                ):
+                    yield env.timeout(drive.load_time)
 
     record.num_switches += 1

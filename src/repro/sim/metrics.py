@@ -240,6 +240,11 @@ def sliding_window_stats(
 
     Windows of width ``window_s`` advance by ``step_s`` (default: the full
     width, i.e. tumbling windows) from time 0 until the last completion.
+    The final window is clamped to the horizon, and ``mean_in_flight``
+    divides by the clamped width — a window wider than the whole run thus
+    reports the true time-average load over ``[0, horizon]`` instead of
+    diluting it across simulated time that never happened.  Empty record
+    sets yield an empty list.
     """
     if window_s <= 0:
         raise ValueError(f"window_s must be positive, got {window_s}")
@@ -270,7 +275,7 @@ def sliding_window_stats(
     out: List[WindowStat] = []
     start = 0.0
     while start < horizon:
-        end = start + window_s
+        end = min(start + window_s, horizon)
         done = (finishes > start) & (finishes <= end)
         done_sojourns = sojourns[done]
         out.append(
@@ -279,7 +284,7 @@ def sliding_window_stats(
                 end_s=end,
                 arrivals=int(((arrivals >= start) & (arrivals < end)).sum()),
                 completions=int(done.sum()),
-                mean_in_flight=(area_until(end) - area_until(start)) / window_s,
+                mean_in_flight=(area_until(end) - area_until(start)) / (end - start),
                 p50_sojourn_s=(
                     float(np.percentile(done_sojourns, 50)) if done.any() else float("nan")
                 ),

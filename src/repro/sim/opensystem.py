@@ -36,8 +36,9 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..catalog import Request
-from ..des import Environment, Event, Interrupt, Resource, ResourceUsageMonitor
+from ..des import Environment, Event, Interrupt, Resource, ResourceUsageMonitor, Trace
 from ..hardware import TapeDrive, TapeLibrary, TapeId
+from ..obs import MetricsRegistry
 from .engine import RequestExecution, _serve_job, _switch_to
 from .metrics import DriveServiceRecord, RequestMetrics, WindowStat, sliding_window_stats
 from .queueing import QueuedRequestRecord, QueueingResult
@@ -72,10 +73,45 @@ class OpenSystemResult(QueueingResult):
     policy: str = ""
     metrics: List[RequestMetrics] = field(default_factory=list)
     #: Resource name -> occupancy summary (grants, max_in_use, busy_s,
-    #: slot_busy_s) from the attached ResourceUsageMonitors.
+    #: slot_busy_s, queue stats) from the attached ResourceUsageMonitors.
     resources: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Simulation time when the environment drained.
     horizon_s: float = 0.0
+    #: The session's causal span tree (empty Trace when tracing was off).
+    trace: Optional[Trace] = None
+    #: Live-instrument registry with its snapshot series.
+    registry: Optional[MetricsRegistry] = None
+
+    # -- telemetry views -------------------------------------------------
+    def spans(self) -> list:
+        """Every recorded span (empty when tracing was disabled)."""
+        return list(self.trace) if self.trace is not None else []
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome/Perfetto ``trace_event`` document of this run's spans."""
+        from ..obs import to_chrome_trace
+
+        return to_chrome_trace(self.spans(), label=f"{self.scheme}/{self.policy}")
+
+    def write_trace(self, path) -> dict:
+        """Write the Perfetto-loadable trace JSON; returns the document."""
+        from ..obs import write_chrome_trace
+
+        return write_chrome_trace(self.spans(), path, label=f"{self.scheme}/{self.policy}")
+
+    def write_metrics(self, path) -> int:
+        """Dump the registry's snapshot series as JSONL; lines written."""
+        from ..obs import write_metrics_jsonl
+
+        if self.registry is None:
+            raise ValueError("this result carries no metrics registry")
+        return write_metrics_jsonl(self.registry, path)
+
+    def stage_report(self):
+        """Critical-path stage attribution (see :mod:`repro.obs.report`)."""
+        from ..obs import attribute_requests
+
+        return attribute_requests(self.spans(), label=f"{self.scheme}/{self.policy}")
 
     @property
     def peak_in_flight(self) -> int:
@@ -121,11 +157,21 @@ class SerialFCFSPolicy:
         self.os = opensys
         self.lock = Resource(opensys.env, capacity=1)
 
-    def serve(self, request: Request, arrival_s: float):
+    def serve(
+        self,
+        request: Request,
+        arrival_s: float,
+        parent: Optional[int] = None,
+        token: Optional[int] = None,
+    ):
         os = self.os
         env = os.env
+        trace_key = token if token is not None else request.id
         with self.lock.request() as grant:
-            yield grant
+            with os.trace.span(
+                env, "queue_wait", parent=parent, request=trace_key, policy=self.name
+            ):
+                yield grant
             start = env.now
             execution = RequestExecution(
                 env,
@@ -137,9 +183,21 @@ class SerialFCFSPolicy:
                 os.replacement_policy,
                 None,
                 os.disk,
+                parent=parent,
+                trace_request=trace_key,
             )
             yield from execution.wait()
             metrics = execution.finalize()
+        # Open-system semantics: response is the sojourn (arrival to last
+        # byte), so time queued behind the serial lock is part of T_switch —
+        # finalize() measured from the lock grant, re-base onto the arrival.
+        metrics = RequestMetrics.from_drive_records(
+            request_id=request.id,
+            size_mb=metrics.size_mb,
+            num_tapes=metrics.num_tapes,
+            records=list(execution.records.values()),
+            start_s=arrival_s,
+        )
         record = QueuedRequestRecord(
             request_id=request.id,
             arrival_s=arrival_s,
@@ -159,12 +217,19 @@ class _DispatchedJob:
     """One tape job in flight through a library dispatcher."""
 
     job: TapeJob
+    #: Span-tree grouping key of the owning arrival (unique per arrival).
     request_id: int
     #: The owning request's per-drive records (shared across its jobs).
     records: Dict[str, DriveServiceRecord]
     done: Event
     #: When a drive first began working on this job (service start).
     started_at: Optional[float] = None
+    #: When the job entered the dispatcher (for queue/span accounting).
+    submitted_at: float = 0.0
+    #: Reserved ``tape_job`` span id (closed when the job lands) and the
+    #: owning request's root span id.
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
 
 
 class ConcurrentPolicy:
@@ -202,9 +267,16 @@ class ConcurrentPolicy:
                     return
         raise ValueError(f"unknown drive name {drive_name!r}")
 
-    def serve(self, request: Request, arrival_s: float):
+    def serve(
+        self,
+        request: Request,
+        arrival_s: float,
+        parent: Optional[int] = None,
+        token: Optional[int] = None,
+    ):
         os = self.os
         env = os.env
+        trace_key = token if token is not None else request.id
         jobs = os.index.group_by_tape(request.object_ids)
         total_mb = sum(e.size_mb for extents in jobs.values() for e in extents)
         records: Dict[str, DriveServiceRecord] = {}
@@ -224,7 +296,9 @@ class ConcurrentPolicy:
             )
             for job in tape_jobs:
                 djob = _DispatchedJob(
-                    job=job, request_id=request.id, records=records, done=env.event()
+                    job=job, request_id=trace_key, records=records, done=env.event(),
+                    submitted_at=env.now, span_id=os.trace.reserve_id(),
+                    parent_id=parent,
                 )
                 djobs.append(djob)
                 self.dispatchers[library_id].submit(djob)
@@ -282,6 +356,9 @@ class _LibraryDispatcher:
         self.disk = opensys.disk
         self.replacement_policy = opensys.replacement_policy
         self.tape_priority = opensys.tape_priority
+        self.pending_gauge = opensys.registry.gauge(
+            f"dispatch.L{library.id}.pending", unit="jobs"
+        )
         self.pending: Deque[_DispatchedJob] = deque()
         #: Drive index -> job handed over but not yet picked up.
         self.inbox: Dict[int, _DispatchedJob] = {}
@@ -311,6 +388,7 @@ class _LibraryDispatcher:
     def _dispatch(self) -> None:
         while self.pending and self._try_assign():
             pass
+        self.pending_gauge.set(len(self.pending), self.env.now)
 
     def _try_assign(self) -> bool:
         """Assign the first admissible pending job; True if one was placed."""
@@ -371,7 +449,9 @@ class _LibraryDispatcher:
         suspended.
         """
         env = self.env
+        trace = self.trace
         idx = drive.id.index
+        drive_name = str(drive.id)
         djob: Optional[_DispatchedJob] = None
         try:
             while True:
@@ -382,24 +462,40 @@ class _LibraryDispatcher:
                 djob = self.inbox.pop(idx)
                 job = djob.job
                 record = djob.records.setdefault(
-                    str(drive.id), DriveServiceRecord(str(drive.id))
+                    drive_name, DriveServiceRecord(drive_name)
                 )
                 if djob.started_at is None:
                     djob.started_at = env.now
+                if env.now > djob.submitted_at:
+                    trace.record(
+                        "dispatch_wait", djob.submitted_at, env.now,
+                        parent=djob.span_id, request=djob.request_id,
+                        drive=drive_name,
+                    )
                 if drive.mounted is None or drive.mounted.id != job.tape_id:
                     yield from _switch_to(
-                        env, self.library, drive, job.tape_id, record, self.trace
+                        env, self.library, drive, job.tape_id, record, trace,
+                        parent=djob.span_id, request=djob.request_id,
                     )
-                yield from _serve_job(env, drive, job, record, self.trace, self.disk)
+                yield from _serve_job(
+                    env, drive, job, record, trace, self.disk,
+                    parent=djob.span_id, request=djob.request_id,
+                )
                 record.completion_s = env.now
                 self.committed.pop(job.tape_id, None)
                 self.busy.discard(idx)
                 finished, djob = djob, None
+                self._close_job_span(finished, drive_name)
                 finished.done.succeed()
                 self._dispatch()
         except Interrupt:
             drive.failed = True
-            self.trace.record("drive_failure", env.now, env.now, drive=str(drive.id))
+            trace.record(
+                "drive_failure", env.now, env.now,
+                parent=djob.span_id if djob is not None else None,
+                request=djob.request_id if djob is not None else None,
+                drive=drive_name,
+            )
             if drive.mounted is not None:
                 drive.unmount()  # cartridge pulled back to its cell
             self.workers.pop(idx, None)
@@ -408,16 +504,33 @@ class _LibraryDispatcher:
             orphan = self.inbox.pop(idx, None) or djob
             if orphan is not None:
                 self.committed.pop(orphan.job.tape_id, None)
-                record = orphan.records.get(str(drive.id))
+                record = orphan.records.get(drive_name)
                 if record is not None:
                     record.completion_s = env.now
                 if orphan.job.is_done:
+                    self._close_job_span(orphan, drive_name)
                     orphan.done.succeed()
                 else:
-                    # The in-flight extent restarts from scratch elsewhere.
+                    # The in-flight extent restarts from scratch elsewhere;
+                    # the job keeps its reserved span id, so the rescuing
+                    # drive's stages stay in the same causal subtree and the
+                    # span still closes exactly once — when the job lands.
                     orphan.job = orphan.job.split_remaining()
                     self.pending.appendleft(orphan)
             self._dispatch()
+
+    def _close_job_span(self, djob: _DispatchedJob, drive_name: str) -> None:
+        """Close the job's reserved ``tape_job`` span (exactly once)."""
+        self.trace.record_reserved(
+            djob.span_id,
+            "tape_job",
+            djob.submitted_at,
+            self.env.now,
+            parent=djob.parent_id,
+            request=djob.request_id,
+            tape=str(djob.job.tape_id),
+            drive=drive_name,
+        )
 
 
 #: Registered request-scheduling policies (name -> zero-arg factory).
@@ -462,12 +575,24 @@ class OpenSystem:
     ) -> None:
         self.session = session
         self.system = session.system
-        self.trace = session.trace
+        # Share the session's trace when it enabled one (closed-loop spans
+        # and open-system spans then interleave with distinct ids); otherwise
+        # trace this system by default — REPRO_TRACE=0 still disables it.
+        self.trace = session.trace if session.trace.enabled else Trace()
         self.replacement_policy = session.replacement_policy
         self.tape_priority = session.placement.tape_priority
         self.failures = dict(failures or {})
         self.env = Environment()
         self._ran = False
+
+        # Registry first: policy binding and monitor attachment publish
+        # instruments into it.
+        self.registry = MetricsRegistry()
+        self._arrival_seq = 0
+        self._in_flight = self.registry.gauge("requests.in_flight", unit="requests")
+        self._arrived = self.registry.counter("requests.arrived", unit="requests")
+        self._completed = self.registry.counter("requests.completed", unit="requests")
+        self._switches = self.registry.counter("tape.switches", unit="switches")
 
         streams = self.system.spec.disk_streams
         self.disk = Resource(self.env, streams) if streams is not None else None
@@ -475,11 +600,13 @@ class OpenSystem:
         for library in self.system.libraries:
             library.robot.bind(self.env)
             name = f"L{library.id}.robot"
-            self.monitors[name] = ResourceUsageMonitor(name).attach(
-                library.robot.resource
-            )
+            self.monitors[name] = ResourceUsageMonitor(
+                name, registry=self.registry
+            ).attach(library.robot.resource)
         if self.disk is not None:
-            self.monitors["disk"] = ResourceUsageMonitor("disk").attach(self.disk)
+            self.monitors["disk"] = ResourceUsageMonitor(
+                "disk", registry=self.registry
+            ).attach(self.disk)
 
         try:
             factory = SCHEDULING_POLICIES[policy]
@@ -503,6 +630,7 @@ class OpenSystem:
         num_arrivals: int = 100,
         seed: int = 0,
         reset: bool = True,
+        sample_period_s: Optional[float] = None,
     ) -> OpenSystemResult:
         """Inject a Poisson stream of Zipf-sampled requests; drain; report.
 
@@ -510,6 +638,8 @@ class OpenSystem:
         :func:`~repro.sim.queueing.simulate_fcfs_queue` draw-for-draw, so
         the same seed produces the same arrival times and request sequence.
         Subsequent calls continue on the same clock (pass ``reset=False``).
+        ``sample_period_s`` installs a periodic registry snapshot sampler
+        on the shared clock (it stops re-arming once the system drains).
         """
         if arrival_rate_per_hour <= 0:
             raise ValueError(
@@ -542,8 +672,11 @@ class OpenSystem:
                 self.env.process(self._request_runner(request, float(arrival), outcomes))
 
         self.env.process(arrival_process())
+        if sample_period_s is not None:
+            self.registry.install_sampler(self.env, sample_period_s)
         self.env.run()
         self.policy.check_drained()
+        self.registry.snapshot(self.env.now)
         if len(outcomes) != num_arrivals:
             raise RuntimeError(
                 f"{num_arrivals - len(outcomes)} requests never completed "
@@ -559,10 +692,28 @@ class OpenSystem:
             metrics=[metrics for _, metrics in outcomes],
             resources={name: mon.summary() for name, mon in self.monitors.items()},
             horizon_s=self.env.now,
+            trace=self.trace,
+            registry=self.registry,
         )
 
     def _request_runner(self, request: Request, arrival_s: float, sink: List[_Outcome]):
-        outcome = yield from self.policy.serve(request, arrival_s)
+        # Catalog requests can be sampled repeatedly, so the span tree is
+        # keyed by a unique per-arrival token; the catalog id rides along as
+        # a root-span attribute.
+        token = self._arrival_seq
+        self._arrival_seq += 1
+        self._arrived.inc()
+        self._in_flight.add(1, self.env.now)
+        with self.trace.span(
+            self.env, "request", request=token,
+            catalog_id=request.id, policy=self.policy_name,
+        ) as ctx:
+            outcome = yield from self.policy.serve(
+                request, arrival_s, parent=ctx.id, token=token
+            )
+        self._in_flight.add(-1, self.env.now)
+        self._completed.inc()
+        self._switches.inc(outcome[1].num_switches)
         sink.append(outcome)
 
     def __repr__(self) -> str:
@@ -579,8 +730,12 @@ def simulate_open_system(
     seed: int = 0,
     policy: str = "concurrent",
     failures: Optional[Dict[str, float]] = None,
+    sample_period_s: Optional[float] = None,
 ) -> OpenSystemResult:
     """One-shot convenience: build an :class:`OpenSystem`, run one stream."""
     return OpenSystem(session, policy=policy, failures=failures).run(
-        arrival_rate_per_hour, num_arrivals=num_arrivals, seed=seed
+        arrival_rate_per_hour,
+        num_arrivals=num_arrivals,
+        seed=seed,
+        sample_period_s=sample_period_s,
     )

@@ -107,3 +107,26 @@ class TestCommands:
         assert (out / "fig9.csv").exists()
         index = (out / "INDEX.md").read_text()
         assert "T1" in index and "F9" in index
+
+    def test_trace_command_exports_and_validates(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        out = tmp_path / "telemetry"
+        rc = main(
+            ["trace", "--requests", "20", "--policy", "concurrent",
+             "--scale", "small", "--out-dir", str(out), "--validate"]
+        )
+        assert rc == 0
+        assert (out / "trace.json").exists()
+        assert (out / "metrics.jsonl").exists()
+        stdout = capsys.readouterr().out
+        assert "Stage attribution" in stdout
+        assert "trace validation OK" in stdout
+        assert "sojourn" in stdout  # at least one flame rendered
+
+    def test_trace_command_refuses_when_tracing_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        rc = main(
+            ["trace", "--requests", "5", "--scale", "small",
+             "--out-dir", str(tmp_path / "t")]
+        )
+        assert rc == 2

@@ -1,0 +1,144 @@
+"""Tests for the Chrome/Perfetto trace exporter and metrics JSONL dump."""
+
+import pytest
+
+from repro.des import Environment, Span
+from repro.obs import (
+    MetricsRegistry,
+    read_metrics_jsonl,
+    spans_from_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+
+
+def _sample_spans():
+    return [
+        Span("request", 0.0, 90.0, {"catalog_id": 3}, span_id=1, request_id=7),
+        Span("queue_wait", 0.0, 5.0, {}, span_id=2, parent_id=1, request_id=7),
+        Span("tape_job", 5.0, 90.0, {"tape": 12}, span_id=3, parent_id=1, request_id=7),
+        Span(
+            "robot_exchange", 5.0, 9.0, {"drive": "L0.D1"},
+            span_id=4, parent_id=3, request_id=7,
+        ),
+        Span(
+            "seek", 9.0, 20.0, {"drive": "L0.D1", "object": 42},
+            span_id=5, parent_id=3, request_id=7,
+        ),
+        Span(
+            "transfer", 20.0, 90.0, {"drive": "L0.D1", "object": 42},
+            span_id=6, parent_id=3, request_id=7,
+        ),
+        Span(
+            "drive_failure", 40.0, 40.0, {"drive": "L0.D1"},
+            span_id=7, parent_id=3, request_id=7,
+        ),
+    ]
+
+
+class TestChromeTrace:
+    def test_round_trip_is_lossless(self):
+        spans = _sample_spans()
+        restored = spans_from_chrome_trace(to_chrome_trace(spans))
+        assert sorted(restored, key=lambda s: s.span_id) == spans
+
+    def test_write_round_trips_through_disk(self, tmp_path):
+        import json
+
+        spans = _sample_spans()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(spans, path)
+        restored = spans_from_chrome_trace(json.loads(path.read_text()))
+        assert sorted(restored, key=lambda s: s.span_id) == spans
+
+    def test_timestamps_are_microseconds(self):
+        doc = to_chrome_trace(_sample_spans())
+        seek = next(e for e in doc["traceEvents"] if e["name"] == "seek")
+        assert seek["ph"] == "X"
+        assert seek["ts"] == pytest.approx(9.0 * 1e6)
+        assert seek["dur"] == pytest.approx(11.0 * 1e6)
+
+    def test_zero_duration_span_becomes_instant(self):
+        doc = to_chrome_trace(_sample_spans())
+        failure = next(e for e in doc["traceEvents"] if e["name"] == "drive_failure")
+        assert failure["ph"] == "i"
+        assert "dur" not in failure
+
+    def test_robot_spans_get_the_library_arm_track(self):
+        doc = to_chrome_trace(_sample_spans())
+        tracks = {
+            e["args"]["name"]: (e["pid"], e["tid"])
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert "L0.robot" in tracks and "L0.D1" in tracks
+        exchange = next(e for e in doc["traceEvents"] if e["name"] == "robot_exchange")
+        assert (exchange["pid"], exchange["tid"]) == tracks["L0.robot"]
+        seek = next(e for e in doc["traceEvents"] if e["name"] == "seek")
+        assert (seek["pid"], seek["tid"]) == tracks["L0.D1"]
+
+    def test_request_spans_get_per_request_tracks(self):
+        doc = to_chrome_trace(_sample_spans())
+        root = next(e for e in doc["traceEvents"] if e["name"] == "request")
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert names[(root["pid"], root["tid"])] == "request 7"
+
+
+class TestValidateChromeTrace:
+    def test_valid_document_has_no_problems(self):
+        assert validate_chrome_trace(to_chrome_trace(_sample_spans())) == []
+
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["document has no traceEvents list"]
+
+    def test_dangling_parent_reported(self):
+        spans = _sample_spans()
+        spans.append(Span("seek", 1.0, 2.0, {}, span_id=99, parent_id=1234, request_id=7))
+        problems = validate_chrome_trace(to_chrome_trace(spans))
+        assert any("parent 1234 does not exist" in p for p in problems)
+
+    def test_negative_duration_reported(self):
+        doc = to_chrome_trace(_sample_spans())
+        seek = next(e for e in doc["traceEvents"] if e["name"] == "seek")
+        seek["dur"] = -5.0
+        seek["args"]["end_s"] = seek["args"]["start_s"] - 1.0
+        problems = validate_chrome_trace(doc)
+        assert any("negative dur" in p for p in problems)
+        assert any("end_s" in p for p in problems)
+
+    def test_request_without_root_reported(self):
+        spans = [Span("seek", 0.0, 1.0, {"drive": "L0.D0"}, span_id=1, request_id=5)]
+        problems = validate_chrome_trace(to_chrome_trace(spans))
+        assert any("request 5 has spans but no 'request' root span" in p for p in problems)
+
+
+class TestMetricsJsonl:
+    def test_round_trip(self, tmp_path):
+        env = Environment()
+        reg = MetricsRegistry()
+        reg.counter("switches", unit="switches").inc(4)
+        gauge = reg.gauge("in_flight", unit="requests")
+
+        def workload():
+            gauge.add(1, now=env.now)
+            yield env.timeout(5.0)
+            gauge.add(-1, now=env.now)
+
+        env.process(workload())
+        reg.install_sampler(env, period_s=2.0)
+        env.run()
+
+        path = tmp_path / "metrics.jsonl"
+        lines = write_metrics_jsonl(reg, path)
+        units, snapshots = read_metrics_jsonl(path)
+        assert lines == 1 + len(snapshots)
+        assert units == {"switches": "switches", "in_flight": "requests"}
+        assert snapshots[0]["counters"]["switches"] == 4
+        assert [s["t_s"] for s in snapshots] == [0.0, 2.0, 4.0, 6.0]
+        assert [s["gauges"]["in_flight"] for s in snapshots] == [1, 1, 1, 0]

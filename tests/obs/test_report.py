@@ -1,0 +1,140 @@
+"""Tests for critical-path stage attribution and the text flame report."""
+
+import pytest
+
+from repro.des import Span
+from repro.obs import StageReport, attribute_requests, render_request_flame
+from repro.obs.report import SWITCH_STAGES, STAGE_ORDER
+
+
+def _single_drive_tree():
+    """request 7: 10s queue wait, then one tape job on L0.D0.
+
+    The switch stages cover 30 of the 40 switch seconds, so 10s of the
+    critical path is unattributed ("blocked").
+    """
+    return [
+        Span("request", 0.0, 100.0, {}, span_id=1, request_id=7),
+        Span("queue_wait", 0.0, 10.0, {}, span_id=2, parent_id=1, request_id=7),
+        Span("tape_job", 10.0, 100.0, {}, span_id=3, parent_id=1, request_id=7),
+        Span("switch", 10.0, 40.0, {"drive": "L0.D0"}, span_id=4, parent_id=3, request_id=7),
+        Span("load", 15.0, 35.0, {"drive": "L0.D0"}, span_id=5, parent_id=4, request_id=7),
+        Span("seek", 40.0, 50.0, {"drive": "L0.D0"}, span_id=6, parent_id=3, request_id=7),
+        Span("transfer", 50.0, 100.0, {"drive": "L0.D0"}, span_id=7, parent_id=3, request_id=7),
+    ]
+
+
+def _two_drive_tree():
+    """request 9: two parallel tape jobs; L1.D1 finishes last (critical)."""
+    return [
+        Span("request", 0.0, 95.0, {}, span_id=10, request_id=9),
+        Span("tape_job", 0.0, 80.0, {}, span_id=11, parent_id=10, request_id=9),
+        Span("seek", 0.0, 10.0, {"drive": "L1.D0"}, span_id=12, parent_id=11, request_id=9),
+        Span("transfer", 10.0, 80.0, {"drive": "L1.D0"}, span_id=13, parent_id=11, request_id=9),
+        Span("tape_job", 0.0, 95.0, {}, span_id=14, parent_id=10, request_id=9),
+        Span("seek", 0.0, 15.0, {"drive": "L1.D1"}, span_id=15, parent_id=14, request_id=9),
+        Span("transfer", 15.0, 95.0, {"drive": "L1.D1"}, span_id=16, parent_id=14, request_id=9),
+    ]
+
+
+class TestAttributeRequests:
+    def test_stage_taxonomy_is_consistent(self):
+        assert SWITCH_STAGES == frozenset(STAGE_ORDER) - {"seek", "transfer"}
+
+    def test_single_drive_decomposition(self):
+        report = attribute_requests(_single_drive_tree())
+        assert len(report) == 1
+        req = report.requests[0]
+        assert req.request_id == 7
+        assert req.critical_drive == "L0.D0"
+        assert req.response_s == 100.0
+        assert req.seek_s == 10.0
+        assert req.transfer_s == 50.0
+        assert req.switch_s == 40.0  # response - seek - transfer
+        # queue_wait (10) + load (20) cover 30 of the 40 switch seconds.
+        assert req.stages["queue_wait"] == 10.0
+        assert req.stages["load"] == 20.0
+        assert req.blocked_s == pytest.approx(10.0)
+        assert req.top_stage == "transfer"
+
+    def test_critical_drive_is_the_last_to_finish(self):
+        report = attribute_requests(_two_drive_tree())
+        req = report.requests[0]
+        assert req.critical_drive == "L1.D1"
+        # Only the critical drive's stages are attributed.
+        assert req.seek_s == 15.0
+        assert req.transfer_s == 80.0
+        assert req.switch_s == 0.0
+
+    def test_aborted_spans_are_excluded(self):
+        spans = _single_drive_tree()
+        spans.append(
+            Span(
+                "seek", 40.0, 45.0, {"drive": "L0.D0", "aborted": True},
+                span_id=8, parent_id=3, request_id=7,
+            )
+        )
+        report = attribute_requests(spans)
+        assert report.requests[0].seek_s == 10.0  # unchanged
+
+    def test_request_without_root_is_skipped(self):
+        spans = [Span("seek", 0.0, 1.0, {"drive": "L0.D0"}, span_id=1, request_id=3)]
+        assert len(attribute_requests(spans)) == 0
+
+
+class TestStageReport:
+    def test_totals_and_means_aggregate_requests(self):
+        report = attribute_requests(_single_drive_tree() + _two_drive_tree())
+        totals = report.totals()
+        assert totals["seek"] == 10.0 + 15.0
+        assert totals["transfer"] == 50.0 + 80.0
+        assert totals["response"] == 100.0 + 95.0
+        means = report.means()
+        assert means["seek"] == pytest.approx(totals["seek"] / 2)
+        assert report.avg_response_s == pytest.approx(97.5)
+        assert report.avg_switch_s == pytest.approx(
+            report.avg_response_s - report.avg_seek_s - report.avg_transfer_s
+        )
+
+    def test_top_stage_counts(self):
+        report = attribute_requests(_single_drive_tree() + _two_drive_tree())
+        assert report.top_stage_counts() == {"transfer": 2}
+
+    def test_empty_report(self):
+        report = StageReport()
+        assert report.means() == {}
+        assert report.avg_response_s != report.avg_response_s  # NaN
+
+    def test_format_lists_active_stages(self):
+        text = attribute_requests(_single_drive_tree(), label="unit").format()
+        assert "Stage attribution (1 requests, unit)" in text
+        for stage in ("queue_wait", "load", "seek", "transfer", "blocked", "response"):
+            assert stage in text
+        assert "rewind" not in text  # zero-total stages are omitted
+
+
+class TestRenderRequestFlame:
+    def test_flame_shows_tree_with_durations(self):
+        text = render_request_flame(_single_drive_tree(), request_id=7)
+        assert text.startswith("request 7: 100.0 s sojourn")
+        lines = text.splitlines()
+        # Children indent under their parents in causal order.
+        assert any("queue_wait" in line for line in lines)
+        load_line = next(line for line in lines if "load" in line)
+        switch_line = next(line for line in lines if "switch" in line)
+        assert load_line.index("load") > switch_line.index("switch")
+        assert "L0.D0" in load_line
+
+    def test_flame_marks_aborted_spans(self):
+        spans = _single_drive_tree()
+        spans.append(
+            Span(
+                "seek", 40.0, 45.0, {"drive": "L0.D0", "aborted": True},
+                span_id=8, parent_id=3, request_id=7,
+            )
+        )
+        text = render_request_flame(spans, request_id=7)
+        assert "seek (aborted)" in text
+
+    def test_flame_without_root(self):
+        assert "no request root span" in render_request_flame([], request_id=1)
