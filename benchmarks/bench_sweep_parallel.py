@@ -1,0 +1,110 @@
+"""Sweep-engine performance: process fan-out speedup and cache warm-up.
+
+Times a reduced F5 sweep (small scale, 12 points) three ways — serial,
+``workers=4``, and warm-cache — and records the trajectory in
+``BENCH_sweeps.json`` at the repo root (uploaded as a CI artifact).
+
+The >= 2x speedup criterion only holds where 4 workers have cores to run
+on, so that assertion is gated on ``os.cpu_count() >= 4``; the honest
+numbers are recorded either way.  The warm-cache criterion (< 10 % of the
+cold wall time) is hardware-independent and always asserted.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import EngineOptions, ExperimentSettings, run_sweep
+from repro.experiments.figures import figure5_spec
+
+BENCH_SWEEPS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweeps.json"
+
+M_VALUES = (1, 2, 4, 6)
+ALPHAS = (0.0, 0.3, 1.0)
+
+
+@pytest.fixture(scope="module")
+def sweep_spec():
+    return figure5_spec(
+        ExperimentSettings(scale="small", num_samples=25),
+        m_values=M_VALUES,
+        alphas=ALPHAS,
+    )
+
+
+def merge_section(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_SWEEPS_PATH.exists():
+        data = json.loads(BENCH_SWEEPS_PATH.read_text())
+    data[section] = payload
+    BENCH_SWEEPS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def stat_summary(stats: dict) -> dict:
+    return {
+        "points": stats["points"],
+        "workers": stats["workers"],
+        "wall_s": round(stats["wall_s"], 4),
+        "points_per_s": round(stats["points_per_s"], 3),
+        "cache_hits": stats["cache_hits"],
+        "cache_misses": stats["cache_misses"],
+    }
+
+
+def test_bench_sweep_workers_json(sweep_spec):
+    cpu_count = os.cpu_count() or 1
+    serial = run_sweep(sweep_spec, EngineOptions(workers=1))
+    fanout = run_sweep(sweep_spec, EngineOptions(workers=4))
+    speedup = serial.stats["wall_s"] / fanout.stats["wall_s"]
+
+    merge_section(
+        "workers",
+        {
+            "sweep": "fig5-small (4 m-values x 3 alphas)",
+            "cpu_count": cpu_count,
+            "serial": stat_summary(serial.stats),
+            "workers4": stat_summary(fanout.stats),
+            "speedup_w4_over_w1": round(speedup, 3),
+        },
+    )
+
+    # Bit-identical results regardless of worker count (the tests enforce
+    # this exhaustively; the bench re-checks on the benchmarked sweep).
+    for a, b in zip(serial, fanout):
+        assert a.result.avg_bandwidth_mb_s == b.result.avg_bandwidth_mb_s
+
+    if cpu_count >= 4:
+        assert speedup >= 2.0, (
+            f"workers=4 only {speedup:.2f}x faster than serial on "
+            f"{cpu_count} cores"
+        )
+    else:
+        pytest.skip(
+            f"only {cpu_count} core(s): recorded speedup {speedup:.2f}x, "
+            "2x criterion needs >= 4 cores"
+        )
+
+
+def test_bench_sweep_cache_json(sweep_spec, tmp_path):
+    opts = EngineOptions(workers=1, cache_dir=str(tmp_path))
+    cold = run_sweep(sweep_spec, opts)
+    warm = run_sweep(sweep_spec, opts)
+    ratio = warm.stats["wall_s"] / cold.stats["wall_s"]
+
+    merge_section(
+        "cache",
+        {
+            "sweep": "fig5-small (4 m-values x 3 alphas)",
+            "cold": stat_summary(cold.stats),
+            "warm": stat_summary(warm.stats),
+            "warm_over_cold": round(ratio, 4),
+        },
+    )
+
+    assert cold.stats["cache_misses"] == len(sweep_spec)
+    assert warm.stats["cache_hits"] == len(sweep_spec)
+    assert ratio < 0.10, f"warm cache took {ratio:.1%} of the cold wall time"
+    for a, b in zip(cold, warm):
+        assert a.result.avg_bandwidth_mb_s == b.result.avg_bandwidth_mb_s

@@ -3,6 +3,8 @@
 Subcommands
 -----------
 ``experiment <id>``  run one of the paper's experiments (T1, F5–F9, E1–E3, A1)
+``sweep <id>``       run an experiment through the parallel sweep engine
+                     (worker processes + on-disk result cache)
 ``run``              evaluate one scheme on one configuration
 ``open``             open-system serving: Poisson arrivals on one shared clock
 ``trace``            run a workload and export telemetry (Perfetto trace + metrics)
@@ -12,6 +14,7 @@ Subcommands
 Examples::
 
     repro-tape experiment fig6 --scale small
+    repro-tape sweep fig5 --workers 4 --scale small
     repro-tape run --scheme parallel_batch --m 4 --alpha 0.3 --samples 200
     repro-tape open --policy concurrent --rate 8 --arrivals 60 --scale small
     repro-tape trace --requests 50 --policy concurrent --out-dir telemetry
@@ -24,7 +27,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .experiments import ALL_EXPERIMENTS, ExperimentSettings, chart_table, default_settings
+from .experiments import (
+    ALL_EXPERIMENTS,
+    SWEEP_EXPERIMENTS,
+    EngineOptions,
+    ExperimentSettings,
+    chart_table,
+    default_cache_dir,
+    default_settings,
+)
 from .placement import available_schemes, make_scheme
 from .sim import SimulationSession, available_scheduling_policies
 from .workload import dump_workload, generate_workload
@@ -53,6 +64,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
     _add_settings_args(exp)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="run an experiment through the parallel sweep engine",
+        description=(
+            "Expands the experiment into (scheme, axis-value, replicate) "
+            "point jobs, fans them out over worker processes, and memoizes "
+            "each point in an on-disk content-addressed cache keyed by the "
+            "full point configuration — re-running after editing one scheme "
+            "recomputes only that scheme's points.  Results are bit-identical "
+            "for any worker count and point order (per-point seeds derive "
+            "from the root seed via SeedSequence).  See docs/experiments.md."
+        ),
+    )
+    sw.add_argument(
+        "id",
+        choices=sorted(SWEEP_EXPERIMENTS),
+        help="experiment id (every sweep experiment; table1 has no sweep)",
+    )
+    sw.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: $REPRO_WORKERS, else 1 = in-process)",
+    )
+    sw.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR, else "
+        "~/.cache/repro-tape/sweeps)",
+    )
+    sw.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    sw.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore cached results but store fresh ones",
+    )
+    sw.add_argument(
+        "--chart", action="store_true", help="also draw the series as a terminal chart"
+    )
+    sw.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    _add_settings_args(sw)
 
     run = sub.add_parser("run", help="evaluate one scheme on one configuration")
     run.add_argument("--scheme", default="parallel_batch", choices=sorted(available_schemes()))
@@ -195,6 +252,42 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     settings = _settings(args)
     table = ALL_EXPERIMENTS[args.id](settings)
     print(table.format())
+    if getattr(args, "chart", False):
+        chart = chart_table(table)
+        print()
+        print(chart if chart else "(no numeric series to chart)")
+    if getattr(args, "csv", None):
+        from pathlib import Path
+
+        Path(args.csv).write_text(table.to_csv())
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or str(default_cache_dir())
+    engine = EngineOptions(
+        workers=args.workers, cache_dir=cache_dir, refresh=args.refresh
+    )
+    table = SWEEP_EXPERIMENTS[args.id](settings, engine=engine)
+    print(table.format())
+    stats = table.data.get("sweep", {})
+    if stats:
+        cache_note = (
+            f"cache {stats['cache_hits']} hits / {stats['cache_misses']} misses "
+            f"({stats['cache_dir']})"
+            if stats.get("cache_dir")
+            else "cache disabled"
+        )
+        print(
+            f"  sweep: {stats['points']} points in {stats['wall_s']:.2f} s "
+            f"({stats['points_per_s']:.1f} points/s, workers={stats['workers']}); "
+            + cache_note
+        )
     if getattr(args, "chart", False):
         chart = chart_table(table)
         print()
@@ -410,6 +503,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "experiment": _cmd_experiment,
+    "sweep": _cmd_sweep,
     "reproduce": _cmd_reproduce,
     "run": _cmd_run,
     "open": _cmd_open,

@@ -6,8 +6,10 @@ See DESIGN.md §3 for the experiment index.  Usage::
     print(figure6(default_settings(scale="small")).format())
 """
 
+from .cache import ResultCache, content_key, default_cache_dir
 from .figures import (
     ALL_EXPERIMENTS,
+    SWEEP_EXPERIMENTS,
     ablation,
     extreme_case,
     figure5,
@@ -18,6 +20,15 @@ from .figures import (
     sensitivity,
     table1,
     tech_trends,
+)
+from .parallel import (
+    EngineOptions,
+    PointSpec,
+    SweepResult,
+    SweepSpec,
+    evaluate_point,
+    run_sweep,
+    spawn_seed,
 )
 from .extensions import (
     degraded,
@@ -45,6 +56,17 @@ __all__ = [
     "ExperimentTable",
     "ascii_chart",
     "chart_table",
+    "EngineOptions",
+    "PointSpec",
+    "SweepSpec",
+    "SweepResult",
+    "ResultCache",
+    "content_key",
+    "default_cache_dir",
+    "evaluate_point",
+    "run_sweep",
+    "spawn_seed",
+    "SWEEP_EXPERIMENTS",
     "ExperimentSettings",
     "default_settings",
     "default_schemes",

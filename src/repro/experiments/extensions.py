@@ -1,4 +1,4 @@
-"""Beyond-paper experiment drivers (A2–A5 of DESIGN.md's index).
+"""Beyond-paper experiment drivers (A2–A10 of DESIGN.md's index).
 
 These complement :mod:`repro.experiments.figures` (the paper's own
 artifacts) with studies the paper motivates but does not run:
@@ -8,28 +8,24 @@ artifacts) with studies the paper motivates but does not run:
 * A4 — disk-stage bandwidth (assumption-6 validation);
 * A5 — object striping (the related-work baseline the paper declines);
 * A10 — open-system scheduling: serial-FCFS vs concurrent in-flight requests.
+
+Like the figure drivers, every driver expands to
+:class:`~repro.experiments.parallel.PointSpec` jobs and runs through
+:func:`~repro.experiments.parallel.run_sweep`, inheriting worker fan-out,
+per-cell seed derivation, and the on-disk result cache.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..placement import (
-    IncrementalParallelBatch,
-    ObjectProbabilityPlacement,
-    ParallelBatchPlacement,
-    StripedPlacement,
-    split_into_epochs,
-)
-from ..sim import SimulationSession, available_scheduling_policies, simulate_fcfs_queue
+from ..sim import available_scheduling_policies
+from .parallel import EngineOptions, PointSpec, SweepSpec, run_sweep
 from .report import ExperimentTable
 from .runner import (
     ExperimentSettings,
-    default_schemes,
     default_settings,
-    paper_workload,
-    run_open_comparison,
 )
 
 __all__ = [
@@ -44,45 +40,75 @@ __all__ = [
 ]
 
 
+def _scheme_configs(m: int) -> List[Tuple[str, Tuple]]:
+    return [
+        ("parallel_batch", (("m", m),)),
+        ("object_probability", ()),
+        ("cluster_probability", ()),
+    ]
+
+
 def incremental(
-    settings: Optional[ExperimentSettings] = None, num_epochs: int = 3
+    settings: Optional[ExperimentSettings] = None,
+    num_epochs: int = 3,
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """A2 — omniscient vs affinity-append vs naive-append placement."""
     settings = settings or default_settings()
-    workload = paper_workload(settings)
-    spec = settings.spec()
-    epochs = split_into_epochs(workload, num_epochs)
+    strategies = [
+        ("omniscient re-placement", "omniscient"),
+        ("affinity append", "affinity"),
+        ("naive append", "naive"),
+    ]
+    points = []
+    for label, strategy in strategies:
+        common = dict(
+            sweep="incremental",
+            axis="strategy",
+            value=label,
+            workload=settings.workload_params,
+            spec=settings.spec(),
+            num_samples=settings.samples,
+            seed_group=("incremental",),
+        )
+        if strategy == "omniscient":
+            points.append(
+                PointSpec(
+                    scheme="parallel_batch",
+                    scheme_kwargs=(("m", settings.m),),
+                    **common,
+                )
+            )
+        else:
+            points.append(
+                PointSpec(
+                    scheme="parallel_batch",
+                    kind="incremental",
+                    run_kwargs=(
+                        ("m", settings.m),
+                        ("num_epochs", num_epochs),
+                        ("strategy", strategy),
+                    ),
+                    **common,
+                )
+            )
+    spec = SweepSpec(name="incremental", points=tuple(points), root_seed=settings.eval_seed)
+    res = run_sweep(spec, engine)
 
     table = ExperimentTable(
         "A2",
         f"Incremental placement over {num_epochs} reveal epochs",
         ["strategy", "bandwidth (MB/s)", "response (s)", "switches/req"],
     )
-    variants = {
-        "omniscient re-placement": SimulationSession(
-            workload, spec, scheme=ParallelBatchPlacement(m=settings.m)
-        ),
-        "affinity append": SimulationSession(
-            workload, spec,
-            placement=IncrementalParallelBatch(
-                m=settings.m, affinity=True
-            ).place_incrementally(workload, epochs, spec),
-        ),
-        "naive append": SimulationSession(
-            workload, spec,
-            placement=IncrementalParallelBatch(
-                m=settings.m, affinity=False
-            ).place_incrementally(workload, epochs, spec),
-        ),
-    }
     bws = {}
-    for label, session in variants.items():
-        r = session.evaluate(num_samples=settings.samples, seed=settings.eval_seed)
+    for label, _ in strategies:
+        r = res.one(value=label)
         bws[label] = r.avg_bandwidth_mb_s
         table.add_row(
             label, r.avg_bandwidth_mb_s, r.avg_response_s, r.avg_switches_per_request
         )
     table.data["bandwidths"] = bws
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper (conclusion): optimal placement under periodic arrival with "
         "local knowledge 'remains to be solved' — this quantifies the gap"
@@ -94,39 +120,53 @@ def queueing(
     settings: Optional[ExperimentSettings] = None,
     arrival_rates_per_hour: Sequence[float] = (1.0, 2.0, 4.0, 6.0),
     num_arrivals: int = 60,
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """A3 — mean sojourn time vs Poisson restore arrival rate, FCFS."""
     settings = settings or default_settings()
-    workload = paper_workload(settings)
-    spec = settings.spec()
-    schemes = default_schemes(m=settings.m)
-    sessions = {s.name: SimulationSession(workload, spec, scheme=s) for s in schemes}
+    schemes = _scheme_configs(settings.m)
+    points = tuple(
+        PointSpec(
+            sweep="queueing",
+            axis="rate",
+            value=rate,
+            scheme=name,
+            scheme_kwargs=kwargs,
+            workload=settings.workload_params,
+            spec=settings.spec(),
+            kind="fcfs",
+            run_kwargs=(("num_arrivals", num_arrivals), ("rate_per_hour", rate)),
+        )
+        for rate in arrival_rates_per_hour
+        for name, kwargs in schemes
+    )
+    res = run_sweep(
+        SweepSpec(name="queueing", points=points, root_seed=settings.eval_seed), engine
+    )
 
     table = ExperimentTable(
         "A3",
         "Mean sojourn time (s) vs restore arrival rate (per hour), FCFS",
-        ["arrivals/h"] + [s.name for s in schemes] + ["pb utilization"],
+        ["arrivals/h"] + [name for name, _ in schemes] + ["pb utilization"],
     )
-    series = {s.name: [] for s in schemes}
+    series = {name: [] for name, _ in schemes}
     service = {}
     for rate in arrival_rates_per_hour:
         row = [rate]
         pb_util = 0.0
-        for scheme in schemes:
-            result = simulate_fcfs_queue(
-                sessions[scheme.name], rate, num_arrivals=num_arrivals,
-                seed=settings.eval_seed,
-            )
+        for name, _ in schemes:
+            result = res.one(value=rate, scheme=name)
             row.append(result.mean_sojourn_s)
-            series[scheme.name].append(result.mean_sojourn_s)
-            service.setdefault(scheme.name, result.mean_service_s)
-            if scheme.name == "parallel_batch":
+            series[name].append(result.mean_sojourn_s)
+            service.setdefault(name, result.mean_service_s)
+            if name == "parallel_batch":
                 pb_util = result.utilization
         row.append(pb_util)
         table.add_row(*row)
     table.data["series"] = series
     table.data["mean_service_s"] = service
     table.data["rates"] = list(arrival_rates_per_hour)
+    table.data["sweep"] = res.stats
     table.notes.append("beyond-paper extension: the paper's model has zero queueing time")
     return table
 
@@ -134,10 +174,30 @@ def queueing(
 def disk_stage(
     settings: Optional[ExperimentSettings] = None,
     disk_caps_mb_s: Sequence[Optional[float]] = (320.0, 640.0, 1280.0, 1920.0, None),
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """A4 — parallel-batch bandwidth vs the disk staging bandwidth cap."""
     settings = settings or default_settings()
-    workload = paper_workload(settings)
+    specs = {
+        cap: dataclasses.replace(settings.spec(), disk_bandwidth_mb_s=cap)
+        for cap in disk_caps_mb_s
+    }
+    points = tuple(
+        PointSpec(
+            sweep="disk",
+            axis="disk_cap_mb_s",
+            value=cap,
+            scheme="parallel_batch",
+            scheme_kwargs=(("m", settings.m),),
+            workload=settings.workload_params,
+            spec=specs[cap],
+            num_samples=settings.samples,
+        )
+        for cap in disk_caps_mb_s
+    )
+    res = run_sweep(
+        SweepSpec(name="disk", points=points, root_seed=settings.eval_seed), engine
+    )
     table = ExperimentTable(
         "A4",
         "Parallel-batch bandwidth (MB/s) vs disk-stage bandwidth cap",
@@ -145,12 +205,9 @@ def disk_stage(
     )
     series = []
     for cap in disk_caps_mb_s:
-        spec = dataclasses.replace(settings.spec(), disk_bandwidth_mb_s=cap)
-        session = SimulationSession(
-            workload, spec, scheme=ParallelBatchPlacement(m=settings.m)
-        )
-        r = session.evaluate(num_samples=settings.samples, seed=settings.eval_seed)
+        r = res.one(value=cap)
         series.append(r.avg_bandwidth_mb_s)
+        spec = specs[cap]
         table.add_row(
             cap if cap is not None else "unlimited",
             spec.disk_streams if spec.disk_streams is not None else "all",
@@ -158,6 +215,7 @@ def disk_stage(
         )
     table.data["series"] = series
     table.data["caps"] = list(disk_caps_mb_s)
+    table.data["sweep"] = res.stats
     table.notes.append("assumption 6 of the paper holds once the disk admits all drives")
     return table
 
@@ -166,28 +224,47 @@ def striping(
     settings: Optional[ExperimentSettings] = None,
     stripe_widths: Sequence[int] = (2, 4, 8),
     min_stripe_mb: float = 1000.0,
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """A5 — object striping vs non-striped placement (Sec.-2 claim)."""
     settings = settings or default_settings()
-    workload = paper_workload(settings)
-    spec = settings.spec()
+    variants: List[Tuple[str, str, Tuple]] = [
+        ("parallel batch", "parallel_batch", (("m", settings.m),)),
+        ("non-striped (object probability)", "object_probability", ()),
+    ]
+    variants += [
+        (
+            f"striped, width {w}",
+            "striped",
+            (("min_stripe_mb", min_stripe_mb), ("stripe_width", w)),
+        )
+        for w in stripe_widths
+    ]
+    points = tuple(
+        PointSpec(
+            sweep="striping",
+            axis="variant",
+            value=label,
+            scheme=scheme,
+            scheme_kwargs=kwargs,
+            workload=settings.workload_params,
+            spec=settings.spec(),
+            num_samples=settings.samples,
+            seed_group=("striping",),
+        )
+        for label, scheme, kwargs in variants
+    )
+    res = run_sweep(
+        SweepSpec(name="striping", points=points, root_seed=settings.eval_seed), engine
+    )
     table = ExperimentTable(
         "A5",
         "Object striping vs non-striped placement",
         ["scheme", "bandwidth (MB/s)", "transfer (s)", "switches/req", "response (s)"],
     )
     rows = {}
-    variants = [
-        ("parallel batch", ParallelBatchPlacement(m=settings.m)),
-        ("non-striped (object probability)", ObjectProbabilityPlacement()),
-    ]
-    variants += [
-        (f"striped, width {w}", StripedPlacement(stripe_width=w, min_stripe_mb=min_stripe_mb))
-        for w in stripe_widths
-    ]
-    for label, scheme in variants:
-        session = SimulationSession(workload, spec, scheme=scheme)
-        r = session.evaluate(num_samples=settings.samples, seed=settings.eval_seed)
+    for label, _, _ in variants:
+        r = res.one(value=label)
         rows[label] = {
             "bandwidth": r.avg_bandwidth_mb_s,
             "transfer": r.avg_transfer_s,
@@ -200,6 +277,7 @@ def striping(
         )
     table.data["rows"] = rows
     table.data["stripe_widths"] = list(stripe_widths)
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper (Sec. 2): striping trades transfer time for synchronization/"
         "switch cost and 'may perform worse than non-striping'"
@@ -210,6 +288,7 @@ def striping(
 def robots(
     settings: Optional[ExperimentSettings] = None,
     robot_counts: Sequence[int] = (1, 2, 4),
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """A6 — relax assumption 5: multiple robot arms per library.
 
@@ -218,28 +297,43 @@ def robots(
     that rarely switch should barely notice.
     """
     settings = settings or default_settings()
-    workload = paper_workload(settings)
-    schemes = default_schemes(m=settings.m)
+    schemes = _scheme_configs(settings.m)
+    base = settings.spec()
+    points = tuple(
+        PointSpec(
+            sweep="robots",
+            axis="robots_per_library",
+            value=count,
+            scheme=name,
+            scheme_kwargs=kwargs,
+            workload=settings.workload_params,
+            spec=dataclasses.replace(
+                base, library=dataclasses.replace(base.library, num_robots=count)
+            ),
+            num_samples=settings.samples,
+        )
+        for count in robot_counts
+        for name, kwargs in schemes
+    )
+    res = run_sweep(
+        SweepSpec(name="robots", points=points, root_seed=settings.eval_seed), engine
+    )
     table = ExperimentTable(
         "A6",
         "Effective bandwidth (MB/s) vs robot arms per library",
-        ["robots/library"] + [s.name for s in schemes],
+        ["robots/library"] + [name for name, _ in schemes],
     )
-    series = {s.name: [] for s in schemes}
+    series = {name: [] for name, _ in schemes}
     for count in robot_counts:
-        base = settings.spec()
-        spec = dataclasses.replace(
-            base, library=dataclasses.replace(base.library, num_robots=count)
-        )
         row = [count]
-        for scheme in schemes:
-            session = SimulationSession(workload, spec, scheme=scheme)
-            r = session.evaluate(num_samples=settings.samples, seed=settings.eval_seed)
-            row.append(r.avg_bandwidth_mb_s)
-            series[scheme.name].append(r.avg_bandwidth_mb_s)
+        for name, _ in schemes:
+            bw = res.one(value=count, scheme=name).avg_bandwidth_mb_s
+            row.append(bw)
+            series[name].append(bw)
         table.add_row(*row)
     table.data["series"] = series
     table.data["robot_counts"] = list(robot_counts)
+    table.data["sweep"] = res.stats
     table.notes.append(
         "beyond-paper what-if: the paper's assumption 5 fixes one arm per library"
     )
@@ -249,6 +343,7 @@ def robots(
 def degraded(
     settings: Optional[ExperimentSettings] = None,
     failed_per_library: Sequence[int] = (0, 1, 2, 4),
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """A8 — degraded operation: bandwidth with failed drives.
 
@@ -257,37 +352,52 @@ def degraded(
     surviving bandwidth.  Every byte must still be served.
     """
     settings = settings or default_settings()
-    workload = paper_workload(settings)
     spec = settings.spec()
-    schemes = default_schemes(m=settings.m)
+    schemes = _scheme_configs(settings.m)
     d = spec.library.num_drives
-    table = ExperimentTable(
-        "A8",
-        "Effective bandwidth (MB/s) with k failed drives per library",
-        ["failed/library"] + [s.name for s in schemes],
-    )
-    series = {s.name: [] for s in schemes}
+    points = []
     for k in failed_per_library:
         if k >= d:
             raise ValueError(f"cannot fail all {d} drives of a library")
-        row = [k]
-        names = [
+        names = tuple(
             f"L{lib}.D{d - 1 - j}"
             for lib in range(spec.num_libraries)
             for j in range(k)
-        ]
-        for scheme in schemes:
-            session = SimulationSession(workload, spec, scheme=scheme)
-            if names:
-                session.fail_drives(names)
-            r = session.evaluate(
-                num_samples=settings.samples, seed=settings.eval_seed, reset=False
+        )
+        for name, kwargs in schemes:
+            points.append(
+                PointSpec(
+                    sweep="degraded",
+                    axis="failed_per_library",
+                    value=k,
+                    scheme=name,
+                    scheme_kwargs=kwargs,
+                    workload=settings.workload_params,
+                    spec=spec,
+                    num_samples=settings.samples,
+                    failed_drives=names,
+                )
             )
-            row.append(r.avg_bandwidth_mb_s)
-            series[scheme.name].append(r.avg_bandwidth_mb_s)
+    res = run_sweep(
+        SweepSpec(name="degraded", points=tuple(points), root_seed=settings.eval_seed),
+        engine,
+    )
+    table = ExperimentTable(
+        "A8",
+        "Effective bandwidth (MB/s) with k failed drives per library",
+        ["failed/library"] + [name for name, _ in schemes],
+    )
+    series = {name: [] for name, _ in schemes}
+    for k in failed_per_library:
+        row = [k]
+        for name, _ in schemes:
+            bw = res.one(value=k, scheme=name).avg_bandwidth_mb_s
+            row.append(bw)
+            series[name].append(bw)
         table.add_row(*row)
     table.data["series"] = series
     table.data["failed_per_library"] = list(failed_per_library)
+    table.data["sweep"] = res.stats
     table.notes.append(
         "beyond-paper: graceful degradation — all requested bytes are still "
         "served through the surviving drives"
@@ -298,6 +408,7 @@ def degraded(
 def seek_model(
     settings: Optional[ExperimentSettings] = None,
     startups_s: Sequence[float] = (0.0, 2.0, 5.0),
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """A9 — robustness to the positioning model.
 
@@ -306,29 +417,46 @@ def seek_model(
     it penalizes every seek equally; the scheme ranking should not move.
     """
     settings = settings or default_settings()
-    workload = paper_workload(settings)
-    schemes = default_schemes(m=settings.m)
-    table = ExperimentTable(
-        "A9",
-        "Effective bandwidth (MB/s) vs locate startup latency (affine model)",
-        ["startup (s)"] + [s.name for s in schemes] + ["winner"],
-    )
-    series = {s.name: [] for s in schemes}
-    winners = []
+    schemes = _scheme_configs(settings.m)
+    base = settings.spec()
+    points = []
     for startup in startups_s:
-        base = settings.spec()
         tape = dataclasses.replace(base.library.tape, locate_startup_s=startup)
         spec = dataclasses.replace(
             base, library=dataclasses.replace(base.library, tape=tape)
         )
+        for name, kwargs in schemes:
+            points.append(
+                PointSpec(
+                    sweep="seek_model",
+                    axis="locate_startup_s",
+                    value=startup,
+                    scheme=name,
+                    scheme_kwargs=kwargs,
+                    workload=settings.workload_params,
+                    spec=spec,
+                    num_samples=settings.samples,
+                )
+            )
+    res = run_sweep(
+        SweepSpec(name="seek_model", points=tuple(points), root_seed=settings.eval_seed),
+        engine,
+    )
+    table = ExperimentTable(
+        "A9",
+        "Effective bandwidth (MB/s) vs locate startup latency (affine model)",
+        ["startup (s)"] + [name for name, _ in schemes] + ["winner"],
+    )
+    series = {name: [] for name, _ in schemes}
+    winners = []
+    for startup in startups_s:
         row = [startup]
         bws = {}
-        for scheme in schemes:
-            session = SimulationSession(workload, spec, scheme=scheme)
-            r = session.evaluate(num_samples=settings.samples, seed=settings.eval_seed)
-            row.append(r.avg_bandwidth_mb_s)
-            series[scheme.name].append(r.avg_bandwidth_mb_s)
-            bws[scheme.name] = r.avg_bandwidth_mb_s
+        for name, _ in schemes:
+            bw = res.one(value=startup, scheme=name).avg_bandwidth_mb_s
+            row.append(bw)
+            series[name].append(bw)
+            bws[name] = bw
         winner = max(bws, key=bws.get)
         winners.append(winner)
         row.append(winner)
@@ -336,6 +464,7 @@ def seek_model(
     table.data["series"] = series
     table.data["winners"] = winners
     table.data["startups_s"] = list(startups_s)
+    table.data["sweep"] = res.stats
     table.notes.append(
         "robustness check: the paper's linear positioning model is startup-free; "
         "adding an affine start cost must not change the scheme ranking"
@@ -347,6 +476,7 @@ def open_system(
     settings: Optional[ExperimentSettings] = None,
     arrival_rates_per_hour: Sequence[float] = (2.0, 4.0, 8.0, 16.0),
     num_arrivals: int = 60,
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """A10 — open-system scheduling: serial-FCFS vs concurrent requests.
 
@@ -356,24 +486,43 @@ def open_system(
     advantage over serial FCFS grows with the offered load.
     """
     settings = settings or default_settings()
-    workload = paper_workload(settings)
-    spec = settings.spec()
-    scheme = ParallelBatchPlacement(m=settings.m)
     policies = list(available_scheduling_policies())
+    points = tuple(
+        PointSpec(
+            sweep="open_system",
+            axis="rate",
+            value=rate,
+            scheme="parallel_batch",
+            scheme_kwargs=(("m", settings.m),),
+            workload=settings.workload_params,
+            spec=settings.spec(),
+            kind="open",
+            run_kwargs=(
+                ("num_arrivals", num_arrivals),
+                ("policy", policy),
+                ("rate_per_hour", rate),
+            ),
+            label=policy,
+            # Policies at one rate share the seed: identical arrival streams.
+        )
+        for rate in arrival_rates_per_hour
+        for policy in policies
+    )
+    res = run_sweep(
+        SweepSpec(name="open_system", points=points, root_seed=settings.eval_seed),
+        engine,
+    )
 
     table = ExperimentTable(
         "A10",
         "Mean sojourn time (s) vs arrival rate: request-scheduling policies",
         ["arrivals/h"] + policies + ["speedup", "peak in flight"],
     )
-    series = {policy: [] for policy in policies}
+    series: Dict[str, List[float]] = {policy: [] for policy in policies}
     peaks = []
     for rate in arrival_rates_per_hour:
-        results = run_open_comparison(
-            workload, spec, scheme, rate,
-            num_arrivals=num_arrivals, seed=settings.eval_seed, policies=policies,
-        )
         row = [rate]
+        results = {p: res.one(value=rate, label=p) for p in policies}
         for policy in policies:
             row.append(results[policy].mean_sojourn_s)
             series[policy].append(results[policy].mean_sojourn_s)
@@ -387,6 +536,7 @@ def open_system(
     table.data["series"] = series
     table.data["rates"] = list(arrival_rates_per_hour)
     table.data["peak_in_flight"] = peaks
+    table.data["sweep"] = res.stats
     table.notes.append(
         "beyond-paper extension: one persistent environment serves overlapping "
         "requests; serial-fcfs reproduces the A3 closed-loop model seed-for-seed"

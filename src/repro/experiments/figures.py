@@ -6,26 +6,31 @@ Each function reproduces one row of the experiment index in DESIGN.md §3
 Absolute numbers differ from the paper (different traces, re-derived
 scheduler details); the *shapes* — who wins, where the m-sweep peaks, which
 component dominates — are asserted by the benchmark suite.
+
+Every sweep driver expands to :class:`~repro.experiments.parallel.PointSpec`
+jobs executed by :func:`~repro.experiments.parallel.run_sweep`, so it can
+fan out over worker processes (``engine=EngineOptions(workers=4)`` or
+``REPRO_WORKERS=4``) and memoize points in the on-disk result cache; the
+``repro-tape sweep`` subcommand exposes both.  Each point's evaluation seed
+is derived from ``settings.eval_seed`` per axis cell (see
+:func:`~repro.experiments.parallel.spawn_seed`), so sweep points no longer
+share one correlated sample stream across axis values, while schemes
+compared *at* one axis value still draw identical, paired streams.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware import SystemSpec
-from ..placement import ParallelBatchPlacement
-from ..sim import SimulationSession
-from ..workload import generate_workload
+from .parallel import EngineOptions, PointSpec, SweepSpec, run_sweep
 from .report import ExperimentTable
 from .runner import (
     SCHEME_LABELS,
     ExperimentSettings,
-    default_schemes,
     default_settings,
     paper_workload,
-    run_comparison,
 )
 
 __all__ = [
@@ -40,7 +45,47 @@ __all__ = [
     "sensitivity",
     "ablation",
     "ALL_EXPERIMENTS",
+    "SWEEP_EXPERIMENTS",
 ]
+
+#: The three compared schemes as (registry name, constructor kwargs) pairs;
+#: ``m`` applies only to parallel batch.
+def _scheme_configs(m: int) -> List[Tuple[str, Tuple]]:
+    return [
+        ("parallel_batch", (("m", m),)),
+        ("object_probability", ()),
+        ("cluster_probability", ()),
+    ]
+
+
+def _comparison_points(
+    sweep: str,
+    axis: str,
+    settings: ExperimentSettings,
+    cells: Sequence[Dict],
+) -> SweepSpec:
+    """One point per (axis cell × scheme); schemes share the cell's seed."""
+    points = []
+    for cell in cells:
+        cell = dict(cell)
+        value = cell.pop("value")
+        for scheme, kwargs in _scheme_configs(settings.m):
+            points.append(
+                PointSpec(
+                    sweep=sweep,
+                    axis=axis,
+                    value=value,
+                    scheme=scheme,
+                    scheme_kwargs=kwargs,
+                    workload=cell.get("workload", settings.workload_params),
+                    spec=cell.get("spec", settings.spec()),
+                    alpha=cell.get("alpha"),
+                    size_scale=cell.get("size_scale"),
+                    num_samples=settings.samples,
+                    seed_group=cell.get("seed_group"),
+                )
+            )
+    return SweepSpec(name=sweep, points=tuple(points), root_seed=settings.eval_seed)
 
 
 # ---------------------------------------------------------------------------
@@ -89,32 +134,55 @@ def table1(settings: Optional[ExperimentSettings] = None) -> ExperimentTable:
 # ---------------------------------------------------------------------------
 # F5 — Figure 5: bandwidth vs number of switch drives m, per alpha
 # ---------------------------------------------------------------------------
+def figure5_spec(
+    settings: ExperimentSettings,
+    m_values: Sequence[int] = tuple(range(1, 8)),
+    alphas: Sequence[float] = (0.0, 0.3, 0.6, 1.0),
+) -> SweepSpec:
+    points = []
+    for m in m_values:
+        for a in alphas:
+            points.append(
+                PointSpec(
+                    sweep="fig5",
+                    axis="m",
+                    value=m,
+                    scheme="parallel_batch",
+                    scheme_kwargs=(("m", m),),
+                    workload=settings.workload_params,
+                    spec=settings.spec(),
+                    alpha=a,
+                    num_samples=settings.samples,
+                    label=f"alpha={a}",
+                )
+            )
+    return SweepSpec(name="fig5", points=tuple(points), root_seed=settings.eval_seed)
+
+
 def figure5(
     settings: Optional[ExperimentSettings] = None,
     m_values: Sequence[int] = tuple(range(1, 8)),
     alphas: Sequence[float] = (0.0, 0.3, 0.6, 1.0),
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     settings = settings or default_settings()
-    spec = settings.spec()
+    res = run_sweep(figure5_spec(settings, m_values, alphas), engine)
     table = ExperimentTable(
         "F5",
         "Effective bandwidth (MB/s) vs number of switch drives m",
         ["m"] + [f"alpha={a}" for a in alphas],
     )
     series: Dict[float, List[float]] = {a: [] for a in alphas}
-    workloads = {a: paper_workload(settings, alpha=a) for a in alphas}
     for m in m_values:
         row: List = [m]
         for a in alphas:
-            session = SimulationSession(
-                workloads[a], spec, scheme=ParallelBatchPlacement(m=m)
-            )
-            result = session.evaluate(num_samples=settings.samples, seed=settings.eval_seed)
-            row.append(result.avg_bandwidth_mb_s)
-            series[a].append(result.avg_bandwidth_mb_s)
+            bw = res.one(value=m, alpha=a).avg_bandwidth_mb_s
+            row.append(bw)
+            series[a].append(bw)
         table.add_row(*row)
     table.data["m_values"] = list(m_values)
     table.data["series"] = {a: series[a] for a in alphas}
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper: jump from m=1 to m=2, maximum for moderate m (position depends "
         "on alpha), decline once the always-mounted batch gets too small"
@@ -125,30 +193,38 @@ def figure5(
 # ---------------------------------------------------------------------------
 # F6 — Figure 6: bandwidth vs alpha, three schemes
 # ---------------------------------------------------------------------------
+def figure6_spec(
+    settings: ExperimentSettings,
+    alphas: Sequence[float] = (0.0, 0.2, 0.3, 0.6, 0.8, 1.0),
+) -> SweepSpec:
+    cells = [{"value": a, "alpha": a} for a in alphas]
+    return _comparison_points("fig6", "alpha", settings, cells)
+
+
 def figure6(
     settings: Optional[ExperimentSettings] = None,
     alphas: Sequence[float] = (0.0, 0.2, 0.3, 0.6, 0.8, 1.0),
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     settings = settings or default_settings()
-    spec = settings.spec()
-    schemes = default_schemes(m=settings.m)
+    res = run_sweep(figure6_spec(settings, alphas), engine)
+    schemes = [name for name, _ in _scheme_configs(settings.m)]
     table = ExperimentTable(
         "F6",
         "Effective bandwidth (MB/s) vs request popularity skew alpha",
-        ["alpha"] + [SCHEME_LABELS[s.name] for s in schemes],
+        ["alpha"] + [SCHEME_LABELS[s] for s in schemes],
     )
-    series: Dict[str, List[float]] = {s.name: [] for s in schemes}
+    series: Dict[str, List[float]] = {s: [] for s in schemes}
     for a in alphas:
-        workload = paper_workload(settings, alpha=a)
-        results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
         row: List = [a]
         for scheme in schemes:
-            bw = results[scheme.name].avg_bandwidth_mb_s
+            bw = res.one(value=a, scheme=scheme).avg_bandwidth_mb_s
             row.append(bw)
-            series[scheme.name].append(bw)
+            series[scheme].append(bw)
         table.add_row(*row)
     table.data["alphas"] = list(alphas)
     table.data["series"] = series
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper: parallel batch on top throughout; parallel batch and object "
         "probability rise with alpha; cluster probability does not benefit"
@@ -159,33 +235,41 @@ def figure6(
 # ---------------------------------------------------------------------------
 # F7 — Figure 7: bandwidth vs average request size (object-size scaling)
 # ---------------------------------------------------------------------------
+def figure7_spec(
+    settings: ExperimentSettings,
+    size_scales: Sequence[float] = (0.375, 0.55, 0.75, 1.0, 1.25, 1.5),
+) -> SweepSpec:
+    cells = [{"value": scale, "size_scale": scale} for scale in size_scales]
+    return _comparison_points("fig7", "size_scale", settings, cells)
+
+
 def figure7(
     settings: Optional[ExperimentSettings] = None,
     size_scales: Sequence[float] = (0.375, 0.55, 0.75, 1.0, 1.25, 1.5),
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     settings = settings or default_settings()
-    spec = settings.spec()
-    schemes = default_schemes(m=settings.m)
+    res = run_sweep(figure7_spec(settings, size_scales), engine)
+    schemes = [name for name, _ in _scheme_configs(settings.m)]
     base = paper_workload(settings)
     table = ExperimentTable(
         "F7",
         "Effective bandwidth (MB/s) vs average request size (GB)",
-        ["avg request (GB)"] + [SCHEME_LABELS[s.name] for s in schemes],
+        ["avg request (GB)"] + [SCHEME_LABELS[s] for s in schemes],
     )
-    series: Dict[str, List[float]] = {s.name: [] for s in schemes}
-    sizes_gb: List[float] = []
-    for scale in size_scales:
-        workload = base.with_scaled_sizes(scale)
-        sizes_gb.append(workload.average_request_size_mb / 1000.0)
-        results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
-        row: List = [sizes_gb[-1]]
+    series: Dict[str, List[float]] = {s: [] for s in schemes}
+    # Size scaling is linear, so the axis labels derive from the base mean.
+    sizes_gb = [base.average_request_size_mb * scale / 1000.0 for scale in size_scales]
+    for scale, size_gb in zip(size_scales, sizes_gb):
+        row: List = [size_gb]
         for scheme in schemes:
-            bw = results[scheme.name].avg_bandwidth_mb_s
+            bw = res.one(value=scale, scheme=scheme).avg_bandwidth_mb_s
             row.append(bw)
-            series[scheme.name].append(bw)
+            series[scheme].append(bw)
         table.add_row(*row)
     table.data["request_sizes_gb"] = sizes_gb
     table.data["series"] = series
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper: bandwidth increases mildly with request size (transfer time "
         "grows, switch/seek roughly constant); parallel batch stays on top"
@@ -196,9 +280,28 @@ def figure7(
 # ---------------------------------------------------------------------------
 # F8 — Figure 8: bandwidth vs number of libraries (scalability)
 # ---------------------------------------------------------------------------
+def figure8_spec(
+    settings: ExperimentSettings,
+    library_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+) -> SweepSpec:
+    params = settings.workload_params
+    mean_size = (params.mean_object_size_mb or 1780.0) * (240.0 / 218.0)
+    workload = dataclasses.replace(
+        params,
+        num_objects=settings.figure8_num_objects,
+        mean_object_size_mb=mean_size,
+    )
+    cells = [
+        {"value": n, "workload": workload, "spec": settings.spec(num_libraries=n)}
+        for n in library_counts
+    ]
+    return _comparison_points("fig8", "libraries", settings, cells)
+
+
 def figure8(
     settings: Optional[ExperimentSettings] = None,
     library_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """Scalability sweep at ~240 GB average request size.
 
@@ -210,31 +313,24 @@ def figure8(
     n = 1 point.
     """
     settings = settings or default_settings()
-    params = settings.workload_params
-    mean_size = (params.mean_object_size_mb or 1780.0) * (240.0 / 218.0)
-    workload = generate_workload(
-        params,
-        num_objects=settings.figure8_num_objects,
-        mean_object_size_mb=mean_size,
-    )
-    schemes = default_schemes(m=settings.m)
+    res = run_sweep(figure8_spec(settings, library_counts), engine)
+    schemes = [name for name, _ in _scheme_configs(settings.m)]
     table = ExperimentTable(
         "F8",
         "Effective bandwidth (MB/s) vs number of tape libraries",
-        ["libraries"] + [SCHEME_LABELS[s.name] for s in schemes],
+        ["libraries"] + [SCHEME_LABELS[s] for s in schemes],
     )
-    series: Dict[str, List[float]] = {s.name: [] for s in schemes}
+    series: Dict[str, List[float]] = {s: [] for s in schemes}
     for n in library_counts:
-        spec = settings.spec(num_libraries=n)
-        results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
         row: List = [n]
         for scheme in schemes:
-            bw = results[scheme.name].avg_bandwidth_mb_s
+            bw = res.one(value=n, scheme=scheme).avg_bandwidth_mb_s
             row.append(bw)
-            series[scheme.name].append(bw)
+            series[scheme].append(bw)
         table.add_row(*row)
     table.data["library_counts"] = list(library_counts)
     table.data["series"] = series
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper: parallel batch and object probability scale with libraries; "
         "cluster probability gains only up to ~3 libraries (robot relief), "
@@ -246,9 +342,23 @@ def figure8(
 # ---------------------------------------------------------------------------
 # F9 — Figure 9: response-time components per scheme
 # ---------------------------------------------------------------------------
+def figure9_spec(
+    settings: ExperimentSettings, size_scale: float = 160.0 / 218.0
+) -> SweepSpec:
+    cells = [
+        {
+            "value": "components",
+            "size_scale": size_scale,
+            "seed_group": ("fig9", size_scale),
+        }
+    ]
+    return _comparison_points("fig9", "scheme", settings, cells)
+
+
 def figure9(
     settings: Optional[ExperimentSettings] = None,
     size_scale: float = 160.0 / 218.0,
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """Component decomposition at ~160 GB average requests (paper scale).
 
@@ -257,12 +367,10 @@ def figure9(
     at any settings scale.
     """
     settings = settings or default_settings()
-    spec = settings.spec()
-    schemes = default_schemes(m=settings.m)
+    res = run_sweep(figure9_spec(settings, size_scale), engine)
+    schemes = [name for name, _ in _scheme_configs(settings.m)]
     base = paper_workload(settings)
-    workload = base.with_scaled_sizes(size_scale)
-    request_size_gb = workload.average_request_size_mb / 1000.0
-    results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
+    request_size_gb = base.average_request_size_mb * size_scale / 1000.0
     table = ExperimentTable(
         "F9",
         f"Response-time components (s) at ~{request_size_gb:.0f} GB requests",
@@ -270,15 +378,15 @@ def figure9(
     )
     components: Dict[str, Dict[str, float]] = {}
     for scheme in schemes:
-        r = results[scheme.name]
-        components[scheme.name] = {
+        r = res.one(scheme=scheme)
+        components[scheme] = {
             "switch": r.avg_switch_s,
             "seek": r.avg_seek_s,
             "transfer": r.avg_transfer_s,
             "response": r.avg_response_s,
         }
         table.add_row(
-            SCHEME_LABELS[scheme.name],
+            SCHEME_LABELS[scheme],
             r.avg_switch_s,
             r.avg_seek_s,
             r.avg_transfer_s,
@@ -286,6 +394,7 @@ def figure9(
             r.avg_bandwidth_mb_s,
         )
     table.data["components"] = components
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper: object probability pays the largest switch time (it ignores "
         "relationships) but the best transfer time; seek time is secondary; "
@@ -297,7 +406,10 @@ def figure9(
 # ---------------------------------------------------------------------------
 # E1 — Sec. 6 prose: the all-mounted extreme case
 # ---------------------------------------------------------------------------
-def extreme_case(settings: Optional[ExperimentSettings] = None) -> ExperimentTable:
+def extreme_case(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[EngineOptions] = None,
+) -> ExperimentTable:
     """Shrink objects until the n×d initially mounted tapes hold everything.
 
     The paper reports: object probability gets the lowest response (lowest
@@ -313,9 +425,12 @@ def extreme_case(settings: Optional[ExperimentSettings] = None) -> ExperimentTab
         * spec.library.tape.capacity_mb
         * 0.9  # leave packing slack below the k coefficient
     )
-    workload = base.with_scaled_sizes(usable / base.total_size_mb)
-    schemes = default_schemes(m=settings.m)
-    results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
+    size_scale = usable / base.total_size_mb
+    cells = [
+        {"value": "all-mounted", "size_scale": size_scale, "seed_group": ("extreme",)}
+    ]
+    res = run_sweep(_comparison_points("extreme", "scheme", settings, cells), engine)
+    schemes = [name for name, _ in _scheme_configs(settings.m)]
     table = ExperimentTable(
         "E1",
         "Extreme case: all objects on initially mounted tapes",
@@ -323,8 +438,8 @@ def extreme_case(settings: Optional[ExperimentSettings] = None) -> ExperimentTab
     )
     stats: Dict[str, Dict[str, float]] = {}
     for scheme in schemes:
-        r = results[scheme.name]
-        stats[scheme.name] = {
+        r = res.one(scheme=scheme)
+        stats[scheme] = {
             "response": r.avg_response_s,
             "seek": r.avg_seek_s,
             "switch": r.avg_switch_s,
@@ -332,7 +447,7 @@ def extreme_case(settings: Optional[ExperimentSettings] = None) -> ExperimentTab
             "switches": r.avg_switches_per_request,
         }
         table.add_row(
-            SCHEME_LABELS[scheme.name],
+            SCHEME_LABELS[scheme],
             r.avg_response_s,
             r.avg_seek_s,
             r.avg_switch_s,
@@ -340,6 +455,7 @@ def extreme_case(settings: Optional[ExperimentSettings] = None) -> ExperimentTab
             r.avg_switches_per_request,
         )
     table.data["stats"] = stats
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper: object probability lowest response (lowest seek); transfer is "
         "~62% of response for cluster probability vs ~19% for parallel batch"
@@ -354,34 +470,37 @@ def tech_trends(
     settings: Optional[ExperimentSettings] = None,
     rate_factors: Sequence[float] = (1.0, 2.0, 4.0),
     capacity_factors: Sequence[float] = (1.0, 2.0),
+    engine: Optional[EngineOptions] = None,
 ) -> ExperimentTable:
     """Faster drives / denser tapes ("due to page limitations" the paper
     omits the figure but states parallel batch improves the most)."""
     settings = settings or default_settings()
-    workload = paper_workload(settings)
-    schemes = default_schemes(m=settings.m)
+    configs = [(rf, cf) for cf in capacity_factors for rf in rate_factors]
+    cells = [
+        {
+            "value": (rf, cf),
+            "spec": settings.spec().scaled_technology(rate_factor=rf, capacity_factor=cf),
+        }
+        for rf, cf in configs
+    ]
+    res = run_sweep(_comparison_points("tech", "tech_factors", settings, cells), engine)
+    schemes = [name for name, _ in _scheme_configs(settings.m)]
     table = ExperimentTable(
         "E2",
         "Effective bandwidth (MB/s) under improved tape technology",
-        ["rate x", "capacity x"] + [SCHEME_LABELS[s.name] for s in schemes],
+        ["rate x", "capacity x"] + [SCHEME_LABELS[s] for s in schemes],
     )
-    series: Dict[str, List[float]] = {s.name: [] for s in schemes}
-    configs: List = []
-    for cf in capacity_factors:
-        for rf in rate_factors:
-            spec = settings.spec().scaled_technology(rate_factor=rf, capacity_factor=cf)
-            results = run_comparison(
-                workload, spec, schemes, settings.samples, settings.eval_seed
-            )
-            configs.append((rf, cf))
-            row: List = [rf, cf]
-            for scheme in schemes:
-                bw = results[scheme.name].avg_bandwidth_mb_s
-                row.append(bw)
-                series[scheme.name].append(bw)
-            table.add_row(*row)
+    series: Dict[str, List[float]] = {s: [] for s in schemes}
+    for rf, cf in configs:
+        row: List = [rf, cf]
+        for scheme in schemes:
+            bw = res.one(value=(rf, cf), scheme=scheme).avg_bandwidth_mb_s
+            row.append(bw)
+            series[scheme].append(bw)
+        table.add_row(*row)
     table.data["configs"] = configs
     table.data["series"] = series
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper (prose): with increased transfer speed and tape capacity, the "
         "proposed scheme improves more than the other two"
@@ -392,11 +511,12 @@ def tech_trends(
 # ---------------------------------------------------------------------------
 # E3 — Sec. 6 prose: sensitivity to workload scale
 # ---------------------------------------------------------------------------
-def sensitivity(settings: Optional[ExperimentSettings] = None) -> ExperimentTable:
+def sensitivity(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[EngineOptions] = None,
+) -> ExperimentTable:
     """Vary object/request counts; the scheme ranking must not change."""
     settings = settings or default_settings()
-    spec = settings.spec()
-    schemes = default_schemes(m=settings.m)
     base = settings.workload_params
     if settings.scale == "paper":
         variations = [
@@ -413,20 +533,25 @@ def sensitivity(settings: Optional[ExperimentSettings] = None) -> ExperimentTabl
             ("objects/2", {"num_objects": base.num_objects // 2}),
             ("other seed", {"seed": base.seed + 1}),
         ]
+    cells = [
+        {"value": label, "workload": dataclasses.replace(base, **overrides)}
+        for label, overrides in variations
+    ]
+    res = run_sweep(_comparison_points("sensitivity", "variation", settings, cells), engine)
+    schemes = [name for name, _ in _scheme_configs(settings.m)]
     table = ExperimentTable(
         "E3",
         "Bandwidth (MB/s) ranking stability across workload variations",
-        ["variation"] + [SCHEME_LABELS[s.name] for s in schemes] + ["winner"],
+        ["variation"] + [SCHEME_LABELS[s] for s in schemes] + ["winner"],
     )
     winners: List[str] = []
-    for label, overrides in variations:
-        workload = generate_workload(base, **overrides)
-        results = run_comparison(workload, spec, schemes, settings.samples, settings.eval_seed)
-        bws = {s.name: results[s.name].avg_bandwidth_mb_s for s in schemes}
+    for label, _ in variations:
+        bws = {s: res.one(value=label, scheme=s).avg_bandwidth_mb_s for s in schemes}
         winner = max(bws, key=bws.get)
         winners.append(winner)
-        table.add_row(label, *[bws[s.name] for s in schemes], SCHEME_LABELS[winner])
+        table.add_row(label, *[bws[s] for s in schemes], SCHEME_LABELS[winner])
     table.data["winners"] = winners
+    table.data["sweep"] = res.stats
     table.notes.append(
         "paper (prose): varying the number of objects, pre-defined requests "
         "and simulated requests does not change the relative performance"
@@ -437,35 +562,59 @@ def sensitivity(settings: Optional[ExperimentSettings] = None) -> ExperimentTabl
 # ---------------------------------------------------------------------------
 # A1 — ablation of the parallel-batch ingredients (ours)
 # ---------------------------------------------------------------------------
-def ablation(settings: Optional[ExperimentSettings] = None) -> ExperimentTable:
+ABLATION_VARIANTS: List[Tuple[str, Dict]] = [
+    ("full scheme", {}),
+    ("no cluster refinement (Step 4 off)", {"refine": False}),
+    ("round-robin instead of zig-zag (Fig. 3 off)", {"use_zigzag": False}),
+    ("paper-literal Step 6 (per-object organ pipe)", {"alignment": "object"}),
+    ("no alignment (FIFO layout)", {"alignment": "fifo"}),
+    ("no pinned batch (switch strategy off)", {"pin_first_batch": False}),
+    ("no shared-object detachment", {"detach_shared": False}),
+]
+
+
+def ablation_spec(settings: ExperimentSettings) -> SweepSpec:
+    points = []
+    for label, overrides in ABLATION_VARIANTS:
+        kwargs = {"m": settings.m, **overrides}
+        points.append(
+            PointSpec(
+                sweep="ablation",
+                axis="variant",
+                value=label,
+                scheme="parallel_batch",
+                scheme_kwargs=tuple(sorted(kwargs.items())),
+                workload=settings.workload_params,
+                spec=settings.spec(),
+                num_samples=settings.samples,
+                # All variants draw the same request stream (paired ablation).
+                seed_group=("ablation",),
+            )
+        )
+    return SweepSpec(name="ablation", points=tuple(points), root_seed=settings.eval_seed)
+
+
+def ablation(
+    settings: Optional[ExperimentSettings] = None,
+    engine: Optional[EngineOptions] = None,
+) -> ExperimentTable:
     settings = settings or default_settings()
-    spec = settings.spec()
-    workload = paper_workload(settings)
-    m = settings.m
-    variants = [
-        ("full scheme", ParallelBatchPlacement(m=m)),
-        ("no cluster refinement (Step 4 off)", ParallelBatchPlacement(m=m, refine=False)),
-        ("round-robin instead of zig-zag (Fig. 3 off)", ParallelBatchPlacement(m=m, use_zigzag=False)),
-        ("paper-literal Step 6 (per-object organ pipe)", ParallelBatchPlacement(m=m, alignment="object")),
-        ("no alignment (FIFO layout)", ParallelBatchPlacement(m=m, alignment="fifo")),
-        ("no pinned batch (switch strategy off)", ParallelBatchPlacement(m=m, pin_first_batch=False)),
-        ("no shared-object detachment", ParallelBatchPlacement(m=m, detach_shared=False)),
-    ]
+    res = run_sweep(ablation_spec(settings), engine)
     table = ExperimentTable(
         "A1",
         "Parallel-batch ablation: contribution of each ingredient",
         ["variant", "bandwidth (MB/s)", "response (s)", "switch (s)", "seek (s)", "transfer (s)"],
     )
     bandwidths: Dict[str, float] = {}
-    for label, scheme in variants:
-        session = SimulationSession(workload, spec, scheme=scheme)
-        r = session.evaluate(num_samples=settings.samples, seed=settings.eval_seed)
+    for label, _ in ABLATION_VARIANTS:
+        r = res.one(value=label)
         bandwidths[label] = r.avg_bandwidth_mb_s
         table.add_row(
             label, r.avg_bandwidth_mb_s, r.avg_response_s, r.avg_switch_s,
             r.avg_seek_s, r.avg_transfer_s,
         )
     table.data["bandwidths"] = bandwidths
+    table.data["sweep"] = res.stats
     table.notes.append("every row below 'full scheme' disables exactly one ingredient")
     return table
 
@@ -509,3 +658,7 @@ ALL_EXPERIMENTS = {
     "ablation": ablation,
 }
 ALL_EXPERIMENTS.update(_extension_experiments())
+
+#: Experiments that run through the sweep engine (accept ``engine=``);
+#: everything except the simulation-free Table 1.
+SWEEP_EXPERIMENTS = {k: v for k, v in ALL_EXPERIMENTS.items() if k != "table1"}

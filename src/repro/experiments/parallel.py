@@ -1,0 +1,431 @@
+"""Parallel sweep-execution engine with deterministic seeding and caching.
+
+Every figure of EXPERIMENTS.md is a sweep of independent
+``(scheme, axis-value, replicate)`` points.  This module turns such a sweep
+into explicit :class:`PointSpec` jobs and executes them
+
+* **reproducibly** — each point's evaluation seed is derived from the
+  sweep's root seed with :class:`numpy.random.SeedSequence`, using a
+  ``spawn_key`` computed from the point's *seed group* (its axis cell), so
+  results are bit-identical for any worker count, any execution order, and
+  any sub-selection of points.  Points in the same seed group (e.g. the
+  three schemes at one axis value) share a seed, preserving the paper's
+  paired-sample-stream comparisons;
+* **in parallel** — points fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``workers`` argument or
+  ``REPRO_WORKERS``), falling back to in-process serial execution for
+  ``workers=1`` and whenever jobs or pool infrastructure fail to pickle;
+* **memoized** — each point's result is stored in an on-disk
+  content-addressed cache (:mod:`repro.experiments.cache`): the key hashes
+  the complete point description plus its derived seed and a code-version
+  salt, so editing one scheme's configuration invalidates only that
+  scheme's points.
+
+Cache-hit statistics are published through a
+:class:`repro.obs.MetricsRegistry` (counters ``sweep.points``,
+``sweep.cache_hits``, ``sweep.cache_misses``) and surfaced in
+:attr:`SweepResult.stats`.  See ``docs/experiments.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware import SystemSpec
+from ..obs import MetricsRegistry
+from ..workload import WorkloadParams, generate_workload
+from .cache import (
+    MISS,
+    ResultCache,
+    canonical_json,
+    content_key,
+    default_cache_dir,
+)
+
+__all__ = [
+    "EngineOptions",
+    "PointSpec",
+    "SweepSpec",
+    "PointResult",
+    "SweepResult",
+    "spawn_seed",
+    "evaluate_point",
+    "run_sweep",
+    "resolve_workers",
+]
+
+#: Hashable ``(key, value)`` pairs standing in for a kwargs dict.
+KwargsTuple = Tuple[Tuple[str, Any], ...]
+
+
+def as_kwargs(mapping: Optional[Dict[str, Any]] = None, **extra: Any) -> KwargsTuple:
+    """Freeze a kwargs dict into a sorted, hashable tuple of pairs."""
+    merged = dict(mapping or {})
+    merged.update(extra)
+    return tuple(sorted(merged.items()))
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep point: everything a worker needs, as pure picklable data.
+
+    The evaluation *seed* is deliberately absent — it is derived by the
+    engine from the sweep's root seed and :attr:`seed_group` (defaulting to
+    ``(axis, value, replicate)``), so that points sharing a group (the
+    schemes compared at one axis value) sample identical request streams.
+    """
+
+    #: Sweep/figure id this point belongs to (e.g. ``"fig5"``).
+    sweep: str
+    #: Axis name and this point's value on it (table row key).
+    axis: str
+    value: Any
+    #: Placement scheme registry name plus constructor kwargs.
+    scheme: str
+    workload: WorkloadParams
+    spec: SystemSpec
+    scheme_kwargs: KwargsTuple = ()
+    #: Optional workload transforms (applied after generation, in order).
+    alpha: Optional[float] = None
+    size_scale: Optional[float] = None
+    #: Closed-loop sampling parameters.
+    num_samples: int = 200
+    warmup: int = 0
+    #: ``"closed"`` (paper model), ``"open"``, ``"fcfs"``, ``"incremental"``.
+    kind: str = "closed"
+    #: Kind-specific parameters (policy, rate_per_hour, num_arrivals, …).
+    run_kwargs: KwargsTuple = ()
+    #: Drives failed before serving (degraded-operation sweeps).
+    failed_drives: Tuple[str, ...] = ()
+    replicate: int = 0
+    #: Series/variant label distinguishing points at the same axis value.
+    label: Optional[str] = None
+    #: Override for the seed-sharing cell; ``None`` = (axis, value, replicate).
+    seed_group: Optional[Tuple[Any, ...]] = None
+
+    def group(self) -> Tuple[Any, ...]:
+        return (
+            self.seed_group
+            if self.seed_group is not None
+            else (self.axis, self.value, self.replicate)
+        )
+
+    def cache_key(self, seed: int) -> str:
+        """Content key over the full point description + derived seed."""
+        return content_key({"point": self, "seed": seed})
+
+
+def spawn_seed(root_seed: int, group: Sequence[Any]) -> int:
+    """Derive a point seed from ``root_seed``, stable in the seed group.
+
+    This is ``SeedSequence(root_seed).spawn()`` with a *content-derived*
+    spawn key: instead of a sequential child index (which would make seeds
+    depend on how many points a sweep has and in what order they were
+    expanded), the key is the SHA-256 of the group's canonical JSON.  Two
+    sweeps that share an axis cell therefore agree on its seed, and
+    adding/removing points never reseeds the others.
+    """
+    digest = hashlib.sha256(canonical_json(list(group)).encode("utf-8")).digest()
+    spawn_key = tuple(
+        int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+    )
+    sequence = np.random.SeedSequence(entropy=root_seed, spawn_key=spawn_key)
+    return int(sequence.generate_state(1, np.uint64)[0])
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named collection of points evaluated under one root seed."""
+
+    name: str
+    points: Tuple[PointSpec, ...]
+    root_seed: int = 0
+
+    def jobs(self) -> List[Tuple[PointSpec, int]]:
+        """Points paired with their derived seeds, in declaration order."""
+        return [(p, spawn_seed(self.root_seed, p.group())) for p in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Per-process memo of generated workloads: points of one sweep often share
+#: the workload (e.g. the m-sweep at one alpha), and regeneration is a
+#: noticeable fraction of a small point's cost.  Keyed by canonical JSON of
+#: the generation parameters; bounded to stay small under long sweeps.
+_WORKLOAD_MEMO: Dict[str, Any] = {}
+_WORKLOAD_MEMO_MAX = 16
+
+
+def _point_workload(point: PointSpec):
+    key = canonical_json(
+        {"params": point.workload, "alpha": point.alpha, "scale": point.size_scale}
+    )
+    workload = _WORKLOAD_MEMO.get(key)
+    if workload is None:
+        workload = generate_workload(point.workload)
+        if point.alpha is not None:
+            workload = workload.with_zipf_alpha(point.alpha)
+        if point.size_scale is not None:
+            workload = workload.with_scaled_sizes(point.size_scale)
+        if len(_WORKLOAD_MEMO) >= _WORKLOAD_MEMO_MAX:
+            _WORKLOAD_MEMO.clear()
+        _WORKLOAD_MEMO[key] = workload
+    return workload
+
+
+def evaluate_point(point: PointSpec, seed: int):
+    """Evaluate one point to its result object (runs in a worker process).
+
+    Returns an :class:`~repro.sim.EvaluationResult` for ``closed`` /
+    ``incremental`` points, an :class:`~repro.sim.OpenSystemResult` for
+    ``open`` points, and a :class:`~repro.sim.QueueingResult` for ``fcfs``
+    points — all plain picklable dataclasses.
+    """
+    from ..placement import make_scheme
+    from ..sim import SimulationSession
+
+    workload = _point_workload(point)
+    run_kwargs = dict(point.run_kwargs)
+
+    if point.kind == "incremental":
+        session = _incremental_session(point, workload, run_kwargs)
+    else:
+        scheme = make_scheme(point.scheme, **dict(point.scheme_kwargs))
+        session = SimulationSession(workload, point.spec, scheme=scheme)
+
+    if point.failed_drives:
+        session.fail_drives(list(point.failed_drives))
+
+    if point.kind in ("closed", "incremental"):
+        return session.evaluate(
+            num_samples=point.num_samples,
+            seed=seed,
+            warmup=point.warmup,
+            # fail_drives must survive into evaluation: reset() would remount.
+            reset=not point.failed_drives,
+        )
+    if point.kind == "open":
+        return session.open(policy=run_kwargs["policy"]).run(
+            run_kwargs["rate_per_hour"],
+            num_arrivals=run_kwargs["num_arrivals"],
+            seed=seed,
+        )
+    if point.kind == "fcfs":
+        from ..sim import simulate_fcfs_queue
+
+        return simulate_fcfs_queue(
+            session,
+            run_kwargs["rate_per_hour"],
+            num_arrivals=run_kwargs["num_arrivals"],
+            seed=seed,
+        )
+    raise ValueError(f"unknown point kind {point.kind!r}")
+
+
+def _incremental_session(point: PointSpec, workload, run_kwargs: Dict[str, Any]):
+    """A2's epoch-revealed placements (strategy in ``run_kwargs``)."""
+    from ..placement import IncrementalParallelBatch, split_into_epochs
+    from ..sim import SimulationSession
+
+    strategy = run_kwargs["strategy"]
+    epochs = split_into_epochs(workload, run_kwargs["num_epochs"])
+    placement = IncrementalParallelBatch(
+        m=run_kwargs["m"], affinity=(strategy == "affinity")
+    ).place_incrementally(workload, epochs, point.spec)
+    return SimulationSession(workload, point.spec, placement=placement)
+
+
+def _run_job(job: Tuple[PointSpec, int]):
+    return evaluate_point(*job)
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument, else ``$REPRO_WORKERS``, else 1 (serial)."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """How a sweep executes — never *what* it computes.
+
+    ``workers=None`` defers to ``$REPRO_WORKERS`` (default 1);
+    ``cache_dir=None`` disables the on-disk cache unless
+    ``$REPRO_CACHE_DIR`` is set; ``refresh=True`` ignores existing entries
+    but still stores fresh results.
+    """
+
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
+    refresh: bool = False
+
+    @classmethod
+    def from_env(cls) -> "EngineOptions":
+        return cls(cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One evaluated point: spec, derived seed, result, provenance."""
+
+    point: PointSpec
+    seed: int
+    result: Any
+    cached: bool = False
+
+    def matches(self, **filters: Any) -> bool:
+        for name, wanted in filters.items():
+            if getattr(self.point, name) != wanted:
+                return False
+        return True
+
+
+@dataclass
+class SweepResult:
+    """All point results of one sweep run, plus execution statistics."""
+
+    spec: SweepSpec
+    results: List[PointResult]
+    stats: Dict[str, Any] = field(default_factory=dict)
+    registry: Optional[MetricsRegistry] = None
+
+    def __iter__(self) -> Iterator[PointResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def select(self, **filters: Any) -> List[PointResult]:
+        """Point results whose spec fields equal the given filters."""
+        return [r for r in self.results if r.matches(**filters)]
+
+    def one(self, **filters: Any):
+        """The unique matching point's *result object* (raises otherwise)."""
+        matching = self.select(**filters)
+        if len(matching) != 1:
+            raise KeyError(
+                f"{len(matching)} points match {filters!r} in sweep "
+                f"{self.spec.name!r} (expected exactly 1)"
+            )
+        return matching[0].result
+
+
+def run_sweep(
+    spec: SweepSpec,
+    options: Optional[EngineOptions] = None,
+    registry: Optional[MetricsRegistry] = None,
+    on_result: Optional[Callable[[PointResult], None]] = None,
+) -> SweepResult:
+    """Execute every point of ``spec``; return results in point order.
+
+    ``on_result`` (e.g. a progress callback or debug hook) always runs in
+    the parent process, so it may be any callable — picklability of hooks
+    never forces a serial run.  Worker processes execute only
+    :func:`evaluate_point` on pure-data jobs; if those jobs (or the pool
+    itself) cannot be shipped, the engine degrades to in-process serial
+    execution and records ``fallback: "serial"`` in the stats.
+    """
+    options = options or EngineOptions.from_env()
+    workers = resolve_workers(options.workers)
+    registry = registry if registry is not None else MetricsRegistry()
+    cache = ResultCache(options.cache_dir) if options.cache_dir else None
+
+    points_counter = registry.counter("sweep.points")
+    hits_counter = registry.counter("sweep.cache_hits")
+    misses_counter = registry.counter("sweep.cache_misses")
+
+    start = perf_counter()
+    jobs = spec.jobs()
+    keys: List[Optional[str]] = [
+        job[0].cache_key(job[1]) if cache is not None else None for job in jobs
+    ]
+
+    slots: List[Optional[PointResult]] = [None] * len(jobs)
+    pending: List[int] = []
+    for i, (point, seed) in enumerate(jobs):
+        cached = MISS
+        if cache is not None and not options.refresh and keys[i] in cache:
+            cached = cache.get(keys[i])
+        if cached is not MISS:
+            slots[i] = PointResult(point, seed, cached, cached=True)
+        else:
+            pending.append(i)
+
+    fallback = None
+    if pending:
+        evaluated, fallback = _execute(
+            [jobs[i] for i in pending], workers
+        )
+        for i, result in zip(pending, evaluated):
+            slots[i] = PointResult(jobs[i][0], jobs[i][1], result, cached=False)
+            if cache is not None:
+                cache.put(keys[i], result)
+
+    results: List[PointResult] = []
+    for slot in slots:
+        assert slot is not None
+        points_counter.inc()
+        (hits_counter if slot.cached else misses_counter).inc()
+        if on_result is not None:
+            on_result(slot)
+        results.append(slot)
+
+    wall_s = perf_counter() - start
+    stats: Dict[str, Any] = {
+        "sweep": spec.name,
+        "points": len(jobs),
+        "cache_hits": sum(1 for r in results if r.cached),
+        "cache_misses": sum(1 for r in results if not r.cached),
+        "workers": workers,
+        "wall_s": wall_s,
+        "points_per_s": len(jobs) / wall_s if wall_s > 0 else float("inf"),
+        "cache_dir": str(cache.root) if cache is not None else None,
+        "refresh": options.refresh,
+    }
+    if fallback:
+        stats["fallback"] = fallback
+    return SweepResult(spec=spec, results=results, stats=stats, registry=registry)
+
+
+def _execute(
+    jobs: List[Tuple[PointSpec, int]], workers: int
+) -> Tuple[List[Any], Optional[str]]:
+    """Evaluate ``jobs``, fanning out over processes when ``workers > 1``.
+
+    Returns ``(results_in_job_order, fallback_reason)``.  Pool-level
+    failures (unpicklable payloads, a broken pool) degrade to serial
+    in-process execution; genuine evaluation errors propagate unchanged.
+    """
+    if workers <= 1 or len(jobs) <= 1:
+        return [_run_job(job) for job in jobs], None
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+            futures = [pool.submit(_run_job, job) for job in jobs]
+            return [f.result() for f in futures], None
+    except (pickle.PicklingError, TypeError, AttributeError, BrokenProcessPool, OSError):
+        # Non-picklable job payloads / a dead pool: degrade gracefully and
+        # keep the results bit-identical (seeds are already fixed per job).
+        return [_run_job(job) for job in jobs], "serial"

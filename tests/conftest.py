@@ -1,0 +1,22 @@
+"""Repo-wide pytest configuration.
+
+``--update-golden`` regenerates the snapshot files under
+``tests/experiments/golden/`` instead of comparing against them; commit the
+diff after an *intended* behavior change (see docs/experiments.md).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files with current results",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,259 @@
+"""Determinism and metamorphic tests for the sweep-execution engine.
+
+The engine's contract is that a sweep's numbers depend only on the sweep
+specification and its root seed — never on worker count, point order, or
+whether results came from workers or the on-disk cache.  These tests pin
+that contract with bit-identical (``==``, not approx) comparisons on a
+deliberately tiny workload.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.experiments.parallel import (
+    EngineOptions,
+    PointSpec,
+    SweepSpec,
+    as_kwargs,
+    evaluate_point,
+    resolve_workers,
+    run_sweep,
+    spawn_seed,
+)
+from repro.hardware import LibrarySpec, SystemSpec, TapeSpec
+from repro.obs import MetricsRegistry
+from repro.workload import WorkloadParams
+
+#: Tiny-but-structured sweep inputs: three schemes, two axis cells, small
+#: enough that a full sweep runs in well under a second.
+TINY_WORKLOAD = WorkloadParams(
+    num_objects=250,
+    num_requests=12,
+    object_size_bounds_mb=(50.0, 500.0),
+    mean_object_size_mb=150.0,
+    request_size_bounds=(3, 8),
+    seed=7,
+)
+TINY_SPEC = SystemSpec(
+    num_libraries=2,
+    library=LibrarySpec(
+        num_drives=4, num_tapes=12, tape=TapeSpec(capacity_mb=20_000, max_rewind_s=10)
+    ),
+)
+SCHEMES = [
+    ("parallel_batch", (("m", 2),)),
+    ("object_probability", ()),
+    ("cluster_probability", ()),
+]
+
+
+def tiny_sweep(root_seed=0, alphas=(0.0, 1.0), m=2):
+    points = []
+    for a in alphas:
+        for scheme, kwargs in SCHEMES:
+            if scheme == "parallel_batch":
+                kwargs = (("m", m),)
+            points.append(
+                PointSpec(
+                    sweep="tiny",
+                    axis="alpha",
+                    value=a,
+                    scheme=scheme,
+                    scheme_kwargs=kwargs,
+                    workload=TINY_WORKLOAD,
+                    spec=TINY_SPEC,
+                    alpha=a,
+                    num_samples=10,
+                )
+            )
+    return SweepSpec(name="tiny", points=tuple(points), root_seed=root_seed)
+
+
+def fingerprint(res):
+    """Point identity -> exact result numbers, order-independent."""
+    return {
+        (r.point.scheme, r.point.value): (
+            r.result.avg_bandwidth_mb_s,
+            r.result.avg_response_s,
+            r.result.avg_switch_s,
+            r.result.avg_seek_s,
+        )
+        for r in res
+    }
+
+
+class TestSpawnSeed:
+    def test_same_group_same_seed(self):
+        assert spawn_seed(0, ("alpha", 0.3, 0)) == spawn_seed(0, ("alpha", 0.3, 0))
+
+    def test_different_group_different_seed(self):
+        assert spawn_seed(0, ("alpha", 0.3, 0)) != spawn_seed(0, ("alpha", 0.6, 0))
+
+    def test_different_root_different_seed(self):
+        assert spawn_seed(0, ("alpha", 0.3, 0)) != spawn_seed(1, ("alpha", 0.3, 0))
+
+    def test_schemes_in_one_cell_share_their_seed(self):
+        # Paired-stream comparisons: the schemes compared at one axis value
+        # must sample identical request streams.
+        jobs = tiny_sweep().jobs()
+        by_cell = {}
+        for point, seed in jobs:
+            by_cell.setdefault(point.value, set()).add(seed)
+        for cell, seeds in by_cell.items():
+            assert len(seeds) == 1, f"cell {cell} got multiple seeds"
+        assert len({next(iter(s)) for s in by_cell.values()}) == len(by_cell)
+
+    def test_seed_independent_of_sweep_membership(self):
+        # Adding/removing points never reseeds the survivors.
+        full = dict((p.group(), s) for p, s in tiny_sweep(alphas=(0.0, 0.5, 1.0)).jobs())
+        sub = dict((p.group(), s) for p, s in tiny_sweep(alphas=(0.0, 1.0)).jobs())
+        for group, seed in sub.items():
+            assert full[group] == seed
+
+
+class TestDeterminism:
+    def test_bit_identical_across_worker_counts(self):
+        serial = run_sweep(tiny_sweep(), EngineOptions(workers=1))
+        parallel = run_sweep(tiny_sweep(), EngineOptions(workers=4))
+        assert fingerprint(serial) == fingerprint(parallel)
+
+    def test_bit_identical_under_shuffled_point_order(self):
+        spec = tiny_sweep()
+        shuffled_points = list(spec.points)
+        random.Random(42).shuffle(shuffled_points)
+        shuffled = dataclasses.replace(spec, points=tuple(shuffled_points))
+        a = run_sweep(spec, EngineOptions(workers=1))
+        b = run_sweep(shuffled, EngineOptions(workers=2))
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_results_returned_in_declaration_order(self):
+        spec = tiny_sweep()
+        res = run_sweep(spec, EngineOptions(workers=1))
+        assert [r.point for r in res] == list(spec.points)
+
+    def test_root_seed_changes_results(self):
+        a = run_sweep(tiny_sweep(root_seed=0), EngineOptions(workers=1))
+        b = run_sweep(tiny_sweep(root_seed=1), EngineOptions(workers=1))
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_direct_evaluate_matches_engine(self):
+        spec = tiny_sweep()
+        res = run_sweep(spec, EngineOptions(workers=1))
+        point, seed = spec.jobs()[0]
+        direct = evaluate_point(point, seed)
+        engine = res.results[0].result
+        assert direct.avg_bandwidth_mb_s == engine.avg_bandwidth_mb_s
+
+
+class TestCacheBehavior:
+    def test_warm_rerun_is_bit_identical_and_all_hits(self, tmp_path):
+        opts = EngineOptions(workers=1, cache_dir=str(tmp_path))
+        cold = run_sweep(tiny_sweep(), opts)
+        assert cold.stats["cache_misses"] == len(cold)
+        assert cold.stats["cache_hits"] == 0
+
+        warm = run_sweep(tiny_sweep(), opts)
+        assert warm.stats["cache_hits"] == len(warm)
+        assert warm.stats["cache_misses"] == 0
+        assert fingerprint(cold) == fingerprint(warm)
+        assert all(r.cached for r in warm)
+
+    def test_hits_and_misses_published_to_registry(self, tmp_path):
+        opts = EngineOptions(workers=1, cache_dir=str(tmp_path))
+        registry = MetricsRegistry()
+        run_sweep(tiny_sweep(), opts, registry=registry)
+        run_sweep(tiny_sweep(), opts, registry=registry)
+        n = len(tiny_sweep())
+        assert registry.counter("sweep.points").value == 2 * n
+        assert registry.counter("sweep.cache_misses").value == n
+        assert registry.counter("sweep.cache_hits").value == n
+
+    def test_refresh_recomputes_but_restores_cache(self, tmp_path):
+        opts = EngineOptions(workers=1, cache_dir=str(tmp_path))
+        run_sweep(tiny_sweep(), opts)
+        refreshed = run_sweep(
+            tiny_sweep(), EngineOptions(workers=1, cache_dir=str(tmp_path), refresh=True)
+        )
+        assert refreshed.stats["cache_hits"] == 0
+        # refresh still stores, so a subsequent normal run hits everything
+        warm = run_sweep(tiny_sweep(), opts)
+        assert warm.stats["cache_hits"] == len(warm)
+
+    def test_editing_one_scheme_invalidates_only_its_points(self, tmp_path):
+        # The metamorphic core of the cache-key design: keys hash the full
+        # point config, so changing parallel_batch's m recomputes exactly
+        # the parallel_batch points while both baselines stay cached.
+        opts = EngineOptions(workers=1, cache_dir=str(tmp_path))
+        run_sweep(tiny_sweep(m=2), opts)
+
+        edited = run_sweep(tiny_sweep(m=3), opts)
+        n_pb = sum(1 for p in tiny_sweep().points if p.scheme == "parallel_batch")
+        assert edited.stats["cache_misses"] == n_pb
+        assert edited.stats["cache_hits"] == len(edited) - n_pb
+        for r in edited:
+            assert r.cached == (r.point.scheme != "parallel_batch")
+
+    def test_no_cache_dir_means_no_caching(self):
+        res = run_sweep(tiny_sweep(), EngineOptions(workers=1))
+        assert res.stats["cache_dir"] is None
+        assert res.stats["cache_hits"] == 0
+
+
+class TestEngineMechanics:
+    def test_resolve_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(2) == 2
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers(None) == 1
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_on_result_hook_runs_in_parent_even_with_workers(self):
+        # Hooks (closures over local state) are unpicklable by design; the
+        # engine must run them parent-side, not ship them to workers.
+        seen = []
+        res = run_sweep(
+            tiny_sweep(),
+            EngineOptions(workers=2),
+            on_result=lambda r: seen.append(r.point.scheme),
+        )
+        assert len(seen) == len(res)
+        assert "fallback" not in res.stats
+
+    def test_unpicklable_job_degrades_to_serial(self):
+        # A job payload that cannot cross the process boundary must degrade
+        # to in-process serial execution, not crash the sweep.
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        base = tiny_sweep(alphas=(0.0,))
+        poisoned = tuple(
+            dataclasses.replace(p, run_kwargs=as_kwargs(debug=Unpicklable()))
+            for p in base.points
+        )
+        spec = dataclasses.replace(base, points=poisoned)
+        res = run_sweep(spec, EngineOptions(workers=2))
+        assert res.stats.get("fallback") == "serial"
+        assert fingerprint(res) == fingerprint(
+            run_sweep(base, EngineOptions(workers=1))
+        )
+
+    def test_select_and_one(self):
+        res = run_sweep(tiny_sweep(), EngineOptions(workers=1))
+        pb = res.select(scheme="parallel_batch")
+        assert len(pb) == 2
+        assert res.one(scheme="parallel_batch", value=0.0).avg_bandwidth_mb_s > 0
+        with pytest.raises(KeyError):
+            res.one(scheme="parallel_batch")
+
+    def test_stats_shape(self):
+        res = run_sweep(tiny_sweep(), EngineOptions(workers=1))
+        stats = res.stats
+        assert stats["points"] == len(tiny_sweep())
+        assert stats["workers"] == 1
+        assert stats["wall_s"] > 0
+        assert stats["points_per_s"] > 0

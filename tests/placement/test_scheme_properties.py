@@ -73,6 +73,76 @@ def test_any_workload_places_validly(make_scheme, draw_seed, num_objects, num_re
         assert drive_id.library == tape_id.library
 
 
+@pytest.mark.parametrize("make_scheme", SCHEMES, ids=lambda f: repr(f()))
+@given(
+    draw_seed=st.integers(min_value=0, max_value=10_000),
+    num_objects=st.integers(min_value=30, max_value=250),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_every_object_placed_exactly_once(make_scheme, draw_seed, num_objects, alpha):
+    # Striping legitimately splits one object across several tapes, so the
+    # invariant there is per-(object, extent-set) byte coverage, checked by
+    # validate(); for whole-object schemes each id appears exactly once.
+    workload = build_workload(draw_seed, num_objects, 8, alpha)
+    scheme = make_scheme()
+    result = scheme.place(workload, SPEC)
+    placed = [e.object_id for extents in result.layouts.values() for e in extents]
+    if scheme.name == "striped":
+        assert set(placed) == set(range(num_objects))
+        per_object = {}
+        for extents in result.layouts.values():
+            for e in extents:
+                per_object[e.object_id] = per_object.get(e.object_id, 0.0) + e.size_mb
+        sizes = workload.catalog.sizes_mb
+        for oid, total in per_object.items():
+            assert total == pytest.approx(sizes[oid])
+    else:
+        assert sorted(placed) == list(range(num_objects))
+
+
+@pytest.mark.parametrize("make_scheme", SCHEMES, ids=lambda f: repr(f()))
+@given(
+    draw_seed=st.integers(min_value=0, max_value=10_000),
+    num_objects=st.integers(min_value=30, max_value=250),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_tape_capacity_never_exceeded(make_scheme, draw_seed, num_objects, alpha):
+    workload = build_workload(draw_seed, num_objects, 8, alpha)
+    result = make_scheme().place(workload, SPEC)
+    capacity = SPEC.library.tape.capacity_mb
+    for tape_id, extents in result.layouts.items():
+        used = sum(e.size_mb for e in extents)
+        assert used <= capacity + 1e-6, f"{tape_id} holds {used} MB > {capacity} MB"
+        # Extents are laid out back-to-back and stay within the tape.
+        for e in extents:
+            assert 0.0 <= e.start_mb <= e.start_mb + e.size_mb <= capacity + 1e-6
+
+
+@given(
+    draw_seed=st.integers(min_value=0, max_value=10_000),
+    num_objects=st.integers(min_value=60, max_value=250),
+    m=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=10, deadline=None)
+def test_parallel_batch_structure(draw_seed, num_objects, m):
+    # Paper Sec. 4: batch 0 spans the n x (d-m) pinned drives (one tape
+    # each); every later batch spans exactly the n x m switch drives.
+    workload = build_workload(draw_seed, num_objects, 8, 0.5)
+    result = ParallelBatchPlacement(m=m).place(workload, SPEC)
+    n = SPEC.num_libraries
+    d = SPEC.library.num_drives
+    batches = result.metadata["batches"]
+    assert len(batches) >= 1
+    assert len(batches[0]) == n * (d - m)
+    for later in batches[1:]:
+        assert len(later) == n * m
+    # Batches partition distinct tapes (no tape serves two batches).
+    flat = [tid for batch in batches for tid in batch]
+    assert len(flat) == len(set(flat))
+
+
 @pytest.mark.parametrize("make_scheme", SCHEMES[:1] + SCHEMES[3:], ids=lambda f: repr(f()))
 @given(draw_seed=st.integers(min_value=0, max_value=1000))
 @settings(max_examples=6, deadline=None)
