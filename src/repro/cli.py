@@ -7,6 +7,7 @@ Subcommands
                      (worker processes + on-disk result cache)
 ``run``              evaluate one scheme on one configuration
 ``open``             open-system serving: Poisson arrivals on one shared clock
+``chaos``            open-system run under stochastic drive fail/repair faults
 ``trace``            run a workload and export telemetry (Perfetto trace + metrics)
 ``schemes``          list registered placement schemes
 ``workload``         generate and dump/inspect a workload trace
@@ -17,6 +18,8 @@ Examples::
     repro-tape sweep fig5 --workers 4 --scale small
     repro-tape run --scheme parallel_batch --m 4 --alpha 0.3 --samples 200
     repro-tape open --policy concurrent --rate 8 --arrivals 60 --scale small
+    repro-tape open --fail L0.D0=1800 --fail L0.D1=3600 --scale small
+    repro-tape chaos --mtbf 4 --mttr 0.5 --seed 7 --scale small
     repro-tape trace --requests 50 --policy concurrent --out-dir telemetry
     repro-tape workload --out trace.json --alpha 0.6
 """
@@ -142,7 +145,84 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="also print tumbling-window stats of this width",
     )
+    op.add_argument(
+        "--fail",
+        action="append",
+        default=None,
+        metavar="DRIVE=TIME",
+        help="fail a drive permanently at an absolute time in seconds, e.g. "
+        "--fail L0.D0=1800 (repeatable; requires --policy concurrent)",
+    )
     _add_settings_args(op)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="open-system run under stochastic drive fail/repair faults",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description=(
+            "Serves a Poisson arrival stream while every drive runs an\n"
+            "independent stochastic fail/repair process (exponential or\n"
+            "Weibull MTBF/MTTR), optionally with transient mount/read errors\n"
+            "retried with capped exponential backoff.  Fault timing draws\n"
+            "from substreams of --fault-seed, so runs are bit-reproducible.\n"
+            "Prints availability, degraded time, and fault counters next to\n"
+            "the usual sojourn statistics.  See docs/robustness.md.\n"
+            "\n"
+            "Examples:\n"
+            "  repro-tape chaos --mtbf 4 --mttr 0.5 --seed 7 --scale small\n"
+            "  repro-tape chaos --mtbf 2 --mttr 0.25 --distribution weibull \\\n"
+            "      --shape 1.5 --scheme object_probability --scale small\n"
+            "  repro-tape chaos --mtbf 8 --transient-prob 0.05 --retries 3 \\\n"
+            "      --out-dir chaos-telemetry --scale small\n"
+            "  repro-tape chaos --fail L0.D0=1800 --mtbf 1e9 --scale small"
+        ),
+    )
+    ch.add_argument("--scheme", default="parallel_batch", choices=sorted(available_schemes()))
+    ch.add_argument("--m", type=int, default=4, help="switch drives per library (parallel_batch)")
+    ch.add_argument("--rate", type=float, default=8.0, help="Poisson arrival rate per hour")
+    ch.add_argument("--arrivals", type=int, default=60, help="number of arrivals to serve")
+    ch.add_argument("--seed", type=int, default=0, help="arrival/sampling seed")
+    ch.add_argument(
+        "--mtbf", type=float, default=4.0, metavar="HOURS",
+        help="mean time between drive failures (default: 4 h)",
+    )
+    ch.add_argument(
+        "--mttr", type=float, default=0.5, metavar="HOURS",
+        help="mean time to repair a failed drive (default: 0.5 h)",
+    )
+    ch.add_argument(
+        "--distribution", default="exponential", choices=["exponential", "weibull"],
+        help="time-to-failure/repair distribution",
+    )
+    ch.add_argument(
+        "--shape", type=float, default=1.0,
+        help="Weibull shape k (>1 wear-out, <1 infant mortality)",
+    )
+    ch.add_argument(
+        "--transient-prob", type=float, default=0.0, metavar="P",
+        help="per-attempt transient mount/read error probability",
+    )
+    ch.add_argument(
+        "--retries", type=int, default=4, metavar="N",
+        help="transient retries before escalating to a hard failure",
+    )
+    ch.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="root seed of the fault-timing substreams (default: --seed)",
+    )
+    ch.add_argument(
+        "--fail",
+        action="append",
+        default=None,
+        metavar="DRIVE=TIME",
+        help="additionally fail a drive permanently at an absolute time "
+        "in seconds (repeatable)",
+    )
+    ch.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="also export trace.json + metrics.jsonl telemetry artifacts",
+    )
+    _add_settings_args(ch)
 
     tr = sub.add_parser(
         "trace",
@@ -323,6 +403,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fail_args(pairs: Optional[List[str]]) -> dict:
+    """``["L0.D0=1800", ...]`` -> ``{"L0.D0": 1800.0, ...}``."""
+    failures = {}
+    for pair in pairs or []:
+        name, sep, at_s = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"error: --fail expects DRIVE=TIME, got {pair!r}"
+            )
+        try:
+            failures[name] = float(at_s)
+        except ValueError:
+            raise SystemExit(
+                f"error: --fail time must be a number, got {pair!r}"
+            ) from None
+    return failures
+
+
 def _cmd_open(args: argparse.Namespace) -> int:
     from .experiments import paper_workload
 
@@ -331,13 +429,17 @@ def _cmd_open(args: argparse.Namespace) -> int:
     spec = settings.spec()
     kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
     session = SimulationSession(workload, spec, scheme=make_scheme(args.scheme, **kwargs))
-    result = session.open(policy=args.policy).run(
+    failures = _parse_fail_args(getattr(args, "fail", None))
+    result = session.open(policy=args.policy, failures=failures or None).run(
         args.rate, num_arrivals=args.arrivals, seed=args.seed
     )
     print(f"policy:            {result.policy}")
     print(f"scheme:            {result.scheme}")
     print(f"arrival rate:      {result.arrival_rate_per_hour:10.1f} /h")
     print(f"arrivals served:   {len(result):10d}")
+    if failures:
+        print(f"  aborted:         {result.aborted_requests:10d}")
+        print(f"availability:      {result.availability:10.2%}")
     print(f"horizon:           {result.horizon_s:10.1f} s")
     print(f"mean sojourn:      {result.mean_sojourn_s:10.1f} s")
     print(f"  mean wait:       {result.mean_wait_s:10.1f} s")
@@ -362,6 +464,72 @@ def _cmd_open(args: argparse.Namespace) -> int:
                 f"[{w.start_s:8.0f},{w.end_s:8.0f}) {w.arrivals:4d} {w.completions:4d} "
                 f"{w.mean_in_flight:9.2f} {w.p50_sojourn_s:8.1f} {w.p95_sojourn_s:8.1f}"
             )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .experiments import paper_workload
+    from .sim import DriveFaultProcess, RetryPolicy, TransientFaults
+
+    settings = _settings(args)
+    workload = paper_workload(settings)
+    spec = settings.spec()
+    kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
+    session = SimulationSession(workload, spec, scheme=make_scheme(args.scheme, **kwargs))
+
+    faults: List = [
+        DriveFaultProcess(
+            mtbf_s=args.mtbf * 3600.0,
+            mttr_s=args.mttr * 3600.0,
+            distribution=args.distribution,
+            shape=args.shape,
+        )
+    ]
+    if args.transient_prob > 0:
+        faults.append(
+            TransientFaults(
+                probability=args.transient_prob,
+                retry=RetryPolicy(max_retries=args.retries),
+            )
+        )
+    fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+    result = session.open(
+        policy="concurrent",
+        failures=_parse_fail_args(getattr(args, "fail", None)) or None,
+        faults=tuple(faults),
+        fault_seed=fault_seed,
+    ).run(args.rate, num_arrivals=args.arrivals, seed=args.seed)
+
+    faults_summary = result.faults
+    print(f"scheme:            {result.scheme}")
+    print(f"arrival rate:      {result.arrival_rate_per_hour:10.1f} /h")
+    print(f"drive MTBF/MTTR:   {args.mtbf:.2f} h / {args.mttr:.2f} h "
+          f"({args.distribution}, seed {fault_seed})")
+    print(f"arrivals served:   {len(result):10d}")
+    print(f"  aborted:         {result.aborted_requests:10d}")
+    print(f"horizon:           {result.horizon_s:10.1f} s")
+    print(f"availability:      {result.availability:10.2%}")
+    print(f"degraded time:     {result.degraded_time_s:10.1f} s "
+          f"({result.degraded_time_s / result.horizon_s:.1%} of horizon)")
+    print(f"drive failures:    {faults_summary['drive_failures']:10.0f}")
+    print(f"drive repairs:     {faults_summary['drive_repairs']:10.0f}")
+    print(f"transient errors:  {faults_summary['transient_errors']:10.0f}")
+    print(f"  retries:         {faults_summary['retries']:10.0f}")
+    print(f"  escalations:     {faults_summary['escalations']:10.0f}")
+    print(f"mean sojourn:      {result.mean_sojourn_s:10.1f} s")
+    print(f"p95 sojourn:       {result.sojourn_percentile(95):10.1f} s")
+
+    if args.out_dir:
+        from pathlib import Path
+
+        out = Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        trace_path = out / "trace.json"
+        metrics_path = out / "metrics.jsonl"
+        result.write_trace(trace_path)
+        lines = result.write_metrics(metrics_path)
+        print(f"trace:             {trace_path}  (open at https://ui.perfetto.dev)")
+        print(f"metrics:           {metrics_path}  ({lines} lines)")
     return 0
 
 
@@ -507,6 +675,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "run": _cmd_run,
     "open": _cmd_open,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "compare": _cmd_compare,
     "schemes": _cmd_schemes,

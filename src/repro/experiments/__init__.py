@@ -31,6 +31,7 @@ from .parallel import (
     spawn_seed,
 )
 from .extensions import (
+    availability,
     degraded,
     disk_stage,
     incremental,
@@ -92,5 +93,6 @@ __all__ = [
     "degraded",
     "seek_model",
     "open_system",
+    "availability",
     "run_open_comparison",
 ]

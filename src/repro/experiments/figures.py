@@ -622,6 +622,7 @@ def ablation(
 def _extension_experiments():
     """Deferred import: extensions depend on this module's registry peers."""
     from .extensions import (
+        availability,
         degraded,
         disk_stage,
         incremental,
@@ -641,6 +642,7 @@ def _extension_experiments():
         "degraded": degraded,
         "seek_model": seek_model,
         "open_system": open_system,
+        "availability": availability,
     }
 
 

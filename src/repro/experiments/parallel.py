@@ -100,9 +100,12 @@ class PointSpec:
     #: Closed-loop sampling parameters.
     num_samples: int = 200
     warmup: int = 0
-    #: ``"closed"`` (paper model), ``"open"``, ``"fcfs"``, ``"incremental"``.
+    #: ``"closed"`` (paper model), ``"open"``, ``"fcfs"``, ``"incremental"``,
+    #: ``"chaos"`` (open system under stochastic drive fail/repair).
     kind: str = "closed"
-    #: Kind-specific parameters (policy, rate_per_hour, num_arrivals, …).
+    #: Kind-specific parameters (policy, rate_per_hour, num_arrivals, …;
+    #: for ``chaos`` also mtbf_h / mttr_h / distribution / shape — scalars,
+    #: so existing kinds' cache keys are untouched).
     run_kwargs: KwargsTuple = ()
     #: Drives failed before serving (degraded-operation sweeps).
     failed_drives: Tuple[str, ...] = ()
@@ -220,6 +223,28 @@ def evaluate_point(point: PointSpec, seed: int):
         )
     if point.kind == "open":
         return session.open(policy=run_kwargs["policy"]).run(
+            run_kwargs["rate_per_hour"],
+            num_arrivals=run_kwargs["num_arrivals"],
+            seed=seed,
+        )
+    if point.kind == "chaos":
+        from ..sim import DriveFaultProcess
+
+        # The fault streams get their own root derived from the point seed,
+        # so arrival sampling stays paired with the non-chaos twin of this
+        # cell while fault timing is decorrelated from it.
+        fault_seed = spawn_seed(seed, ("faults",))
+        faults = (
+            DriveFaultProcess(
+                mtbf_s=run_kwargs["mtbf_h"] * 3600.0,
+                mttr_s=run_kwargs["mttr_h"] * 3600.0,
+                distribution=run_kwargs.get("distribution", "exponential"),
+                shape=run_kwargs.get("shape", 1.0),
+            ),
+        )
+        return session.open(
+            policy=run_kwargs["policy"], faults=faults, fault_seed=fault_seed
+        ).run(
             run_kwargs["rate_per_hour"],
             num_arrivals=run_kwargs["num_arrivals"],
             seed=seed,

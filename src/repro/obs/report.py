@@ -47,6 +47,7 @@ STAGE_ORDER = [
     "robot_exchange",
     "robot_fetch",
     "load",
+    "fault_transient",
     "seek",
     "disk_wait",
     "transfer",

@@ -2,6 +2,17 @@
 
 from .analytic import mounted_response, uncontended_switch_time
 from .engine import RequestExecution, simulate_request
+from .faults import (
+    DriveFailure,
+    DriveFaultProcess,
+    FaultEscalation,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    RobotOutage,
+    TransientFaults,
+    failures_to_specs,
+)
 from .queueing import QueuedRequestRecord, QueueingResult, simulate_fcfs_queue
 from .metrics import (
     DriveServiceRecord,
@@ -34,6 +45,15 @@ __all__ = [
     "simulate_open_system",
     "SCHEDULING_POLICIES",
     "available_scheduling_policies",
+    "FaultSpec",
+    "DriveFailure",
+    "DriveFaultProcess",
+    "RobotOutage",
+    "TransientFaults",
+    "RetryPolicy",
+    "FaultEscalation",
+    "FaultInjector",
+    "failures_to_specs",
     "SimulationSession",
     "evaluate_scheme",
     "RequestMetrics",

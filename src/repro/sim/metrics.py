@@ -60,9 +60,13 @@ class RequestMetrics:
     num_tapes: int
     num_switches: int
     num_drives: int
+    #: True when the request was failed rather than fully served (fault
+    #: injection: every candidate drive down with no repair pending).
+    #: ``response_s`` then measures arrival to the abort decision.
+    aborted: bool = False
 
     def __post_init__(self) -> None:
-        if self.response_s <= 0:
+        if self.response_s <= 0 and not self.aborted:
             raise ValueError(f"non-positive response time {self.response_s}")
 
     @property
@@ -73,6 +77,8 @@ class RequestMetrics:
     @property
     def bandwidth_mb_s(self) -> float:
         """Effective data retrieval bandwidth for this request."""
+        if self.response_s <= 0:
+            return 0.0  # aborted at the arrival instant: no bytes moved
         return self.size_mb / self.response_s
 
     @classmethod
@@ -83,6 +89,7 @@ class RequestMetrics:
         num_tapes: int,
         records: Sequence[DriveServiceRecord],
         start_s: float = 0.0,
+        aborted: bool = False,
     ) -> "RequestMetrics":
         """Aggregate one request's drive records.
 
@@ -102,6 +109,7 @@ class RequestMetrics:
             num_tapes=num_tapes,
             num_switches=sum(r.num_switches for r in records),
             num_drives=len(records),
+            aborted=aborted,
         )
 
 

@@ -40,6 +40,7 @@ from ..des import Environment, Event, Interrupt, Resource, ResourceUsageMonitor,
 from ..hardware import TapeDrive, TapeLibrary, TapeId
 from ..obs import MetricsRegistry
 from .engine import RequestExecution, _serve_job, _switch_to
+from .faults import FaultEscalation, FaultInjector, FaultSpec, failures_to_specs
 from .metrics import DriveServiceRecord, RequestMetrics, WindowStat, sliding_window_stats
 from .queueing import QueuedRequestRecord, QueueingResult
 from .replacement import replacement_key
@@ -81,6 +82,25 @@ class OpenSystemResult(QueueingResult):
     trace: Optional[Trace] = None
     #: Live-instrument registry with its snapshot series.
     registry: Optional[MetricsRegistry] = None
+    #: Fault-layer summary (availability, degraded time, counters) from the
+    #: run's :class:`~repro.sim.faults.FaultInjector`; empty when none armed.
+    faults: Dict[str, float] = field(default_factory=dict)
+
+    # -- fault/availability views -----------------------------------------
+    @property
+    def availability(self) -> float:
+        """Time-weighted mean fraction of drives up (1.0 without faults)."""
+        return float(self.faults.get("availability", 1.0))
+
+    @property
+    def degraded_time_s(self) -> float:
+        """Total time at least one drive was down."""
+        return float(self.faults.get("degraded_time_s", 0.0))
+
+    @property
+    def aborted_requests(self) -> int:
+        """Requests that completed as aborted (every candidate drive down)."""
+        return sum(1 for record in self.records if record.aborted)
 
     # -- telemetry views -------------------------------------------------
     def spans(self) -> list:
@@ -147,13 +167,12 @@ class SerialFCFSPolicy:
     """
 
     name = "serial-fcfs"
+    #: Rejected at :class:`OpenSystem` construction when fault specs (or the
+    #: legacy ``failures=`` map) are present: the policy arms no recovery
+    #: hooks between requests.
+    supports_faults = False
 
     def bind(self, opensys: "OpenSystem") -> None:
-        if opensys.failures:
-            raise ValueError(
-                "drive-failure injection requires the 'concurrent' policy "
-                "(serial-fcfs arms no watchdogs between requests)"
-            )
         self.os = opensys
         self.lock = Resource(opensys.env, capacity=1)
 
@@ -230,6 +249,10 @@ class _DispatchedJob:
     #: owning request's root span id.
     span_id: Optional[int] = None
     parent_id: Optional[int] = None
+    #: Set when the job was failed instead of served (no candidate drive
+    #: left and no repair pending); the owning request completes aborted.
+    aborted: bool = False
+    error: str = ""
 
 
 class ConcurrentPolicy:
@@ -241,6 +264,7 @@ class ConcurrentPolicy:
     """
 
     name = "concurrent"
+    supports_faults = True
 
     def bind(self, opensys: "OpenSystem") -> None:
         self.os = opensys
@@ -248,24 +272,6 @@ class ConcurrentPolicy:
             library.id: _LibraryDispatcher(opensys, library)
             for library in opensys.system.libraries
         }
-        for drive_name, fail_at in opensys.failures.items():
-            self._arm_failure(drive_name, fail_at)
-
-    def _arm_failure(self, drive_name: str, fail_at: float) -> None:
-        env = self.os.env
-        for dispatcher in self.dispatchers.values():
-            for drive in dispatcher.library.drives:
-                if str(drive.id) == drive_name:
-
-                    def watchdog(delay=fail_at - env.now, d=dispatcher, idx=drive.id.index):
-                        yield env.timeout(max(0.0, delay))
-                        worker = d.workers.get(idx)
-                        if worker is not None and worker.is_alive:
-                            worker.interrupt("drive-failure")
-
-                    env.process(watchdog())
-                    return
-        raise ValueError(f"unknown drive name {drive_name!r}")
 
     def serve(
         self,
@@ -305,20 +311,39 @@ class ConcurrentPolicy:
 
         yield env.all_of([dj.done for dj in djobs])
 
-        metrics = RequestMetrics.from_drive_records(
-            request_id=request.id,
-            size_mb=total_mb,
-            num_tapes=len(jobs),
-            records=list(records.values()),
-            start_s=arrival_s,
-        )
-        started = min(dj.started_at for dj in djobs if dj.started_at is not None)
+        aborted = any(dj.aborted for dj in djobs)
+        if records:
+            metrics = RequestMetrics.from_drive_records(
+                request_id=request.id,
+                size_mb=total_mb,
+                num_tapes=len(jobs),
+                records=list(records.values()),
+                start_s=arrival_s,
+                aborted=aborted,
+            )
+        else:
+            # Aborted before any drive touched it: every candidate drive in
+            # some library was already down with no repair pending.
+            metrics = RequestMetrics(
+                request_id=request.id,
+                size_mb=total_mb,
+                response_s=env.now - arrival_s,
+                seek_s=0.0,
+                transfer_s=0.0,
+                num_tapes=len(jobs),
+                num_switches=0,
+                num_drives=0,
+                aborted=True,
+            )
+        starts = [dj.started_at for dj in djobs if dj.started_at is not None]
+        started = min(starts) if starts else env.now
         record = QueuedRequestRecord(
             request_id=request.id,
             arrival_s=arrival_s,
             start_s=started,
             finish_s=env.now,
             size_mb=total_mb,
+            aborted=aborted,
         )
         return record, metrics
 
@@ -350,6 +375,7 @@ class _LibraryDispatcher:
     """
 
     def __init__(self, opensys: "OpenSystem", library: TapeLibrary) -> None:
+        self.opensys = opensys
         self.env = opensys.env
         self.library = library
         self.trace = opensys.trace
@@ -369,6 +395,24 @@ class _LibraryDispatcher:
         #: Tape -> drive index responsible for it right now (assignment
         #: through service; prevents two drives mounting one cartridge).
         self.committed: Dict[TapeId, int] = {}
+        #: Drive indices with a failure interrupt in flight (guards against
+        #: double interrupts when two fault processes hit one drive at once).
+        self._dying: set = set()
+        #: Drive index -> live restore-on-repair process (pinned drives).
+        self._restores: Dict[int, object] = {}
+        #: Parked restore processes, woken at every dispatch round.
+        self._restore_waiters: List[Event] = []
+        #: Set by :meth:`FaultInjector.arm` when a transient stream targets
+        #: one of this library's drives (keeps the no-faults path branch-free
+        #: beyond one attribute test).
+        self.transients_armed = False
+        #: Batch-0 home tape of each pinned drive, captured at construction;
+        #: repaired pinned drives restore this mount when feasible.
+        self.pinned_home: Dict[int, TapeId] = {
+            drive.id.index: drive.mounted.id
+            for drive in library.drives
+            if drive.pinned and drive.mounted is not None
+        }
         self.workers = {
             drive.id.index: self.env.process(self._worker(drive))
             for drive in library.drives
@@ -377,18 +421,22 @@ class _LibraryDispatcher:
 
     # -- admission ------------------------------------------------------
     def submit(self, djob: _DispatchedJob) -> None:
-        if not self.workers:
-            raise RuntimeError(
-                f"library {self.library.id} has no live drives to serve "
-                f"tape {djob.job.tape_id}"
-            )
         self.pending.append(djob)
         self._dispatch()
+        if not self.workers:
+            # No live drive at submit time: abort now unless a committed
+            # repair will resurrect one (the job then waits for it).
+            self._abort_unservable()
 
     def _dispatch(self) -> None:
         while self.pending and self._try_assign():
             pass
         self.pending_gauge.set(len(self.pending), self.env.now)
+        if self._restore_waiters:
+            waiters, self._restore_waiters = self._restore_waiters, []
+            for event in waiters:
+                if not event.triggered:
+                    event.succeed()
 
     def _try_assign(self) -> bool:
         """Assign the first admissible pending job; True if one was placed."""
@@ -440,6 +488,161 @@ class _LibraryDispatcher:
         if wake is not None:
             wake.succeed()
 
+    # -- failure / repair hooks (driven by the FaultInjector) ------------
+    def fail_drive(self, drive: TapeDrive, cause: str = "drive-failure") -> bool:
+        """Interrupt the drive's worker (and any restore in flight).
+
+        Returns False when the drive is already dead or dying, so two fault
+        processes hitting one drive at the same instant cannot double-fail
+        it (the loser must not later "repair" a failure it never caused).
+        """
+        idx = drive.id.index
+        worker = self.workers.get(idx)
+        if worker is None or not worker.is_alive or idx in self._dying:
+            return False
+        self._dying.add(idx)
+        restore = self._restores.get(idx)
+        if restore is not None and restore.is_alive:
+            restore.interrupt(cause)
+        worker.interrupt(cause)
+        return True
+
+    def repair_drive(self, drive: TapeDrive) -> bool:
+        """Bring a failed drive back: spawn a fresh worker, rejoin the pool.
+
+        Pinned drives additionally start a restore process that remounts
+        their batch-0 home tape once the cartridge is back in its cell and
+        the drive is idle — ending degraded parallel-batch mode.
+        """
+        idx = drive.id.index
+        if idx in self.workers:
+            return False
+        drive.failed = False
+        self.workers[idx] = self.env.process(self._worker(drive))
+        injector = self.opensys.injector
+        if injector is not None:
+            injector.note_drive_up(str(drive.id))
+        home = self.pinned_home.get(idx)
+        if drive.pinned and home is not None and idx not in self._restores:
+            self._restores[idx] = self.env.process(
+                self._restore_pinned(drive, home)
+            )
+        self._dispatch()
+        return True
+
+    def _restore_pinned(self, drive: TapeDrive, home: TapeId):
+        """Remount a repaired pinned drive's home tape when feasible.
+
+        Waits (woken at every dispatch round) until the drive is idle and
+        the home cartridge is reachable: either back in its cell, or parked
+        in an *idle* switch drive that served it in degraded mode — then
+        it is reclaimed (rewind + robot unload back to the cell) before the
+        normal switch.  Queued jobs always win ties: the restore only
+        claims drives nothing is assigned to.
+        """
+        env = self.env
+        idx = drive.id.index
+        try:
+            while True:
+                if drive.failed or idx not in self.workers:
+                    return
+                holder = self.library.drive_holding(home)
+                if holder is drive:
+                    return  # already home (e.g. a queued job remounted it)
+                self_idle = (
+                    home not in self.committed
+                    and idx not in self.busy
+                    and idx not in self.inbox
+                )
+                holder_idx = holder.id.index if holder is not None else None
+                can_reclaim = holder is None or (
+                    holder_idx in self.workers
+                    and holder_idx not in self.busy
+                    and holder_idx not in self.inbox
+                )
+                if self_idle and can_reclaim:
+                    self.busy.add(idx)
+                    if holder_idx is not None:
+                        self.busy.add(holder_idx)
+                    self.committed[home] = idx
+                    record = DriveServiceRecord(str(drive.id))
+                    try:
+                        if holder is not None:
+                            yield from self._eject(holder, home)
+                        yield from _switch_to(
+                            env, self.library, drive, home, record, self.trace
+                        )
+                    finally:
+                        self.busy.discard(idx)
+                        if holder_idx is not None:
+                            self.busy.discard(holder_idx)
+                        if self.committed.get(home) == idx:
+                            del self.committed[home]
+                    return
+                event = env.event()
+                self._restore_waiters.append(event)
+                yield event
+        except Interrupt:
+            return  # the drive failed again mid-restore; worker cleans up
+        finally:
+            self._restores.pop(idx, None)
+            self._dispatch()
+
+    def _eject(self, holder: TapeDrive, tape_id: TapeId):
+        """Rewind + robot unload: return a reclaimed cartridge to its cell."""
+        env = self.env
+        name = str(holder.id)
+        robot = self.library.robot
+        rewind = holder.rewind_time()
+        if rewind > 0:
+            with self.trace.span(env, "rewind", drive=name):
+                yield env.timeout(rewind)
+        requested_at = env.now
+        with robot.resource.request() as grant:
+            yield grant
+            if env.now > requested_at:
+                self.trace.record(
+                    "robot_wait", requested_at, env.now, drive=name
+                )
+            if holder.mounted is None or holder.mounted.id != tape_id:
+                return  # the holder failed (and ejected) while we waited
+            with self.trace.span(env, "unload", drive=name):
+                yield env.timeout(holder.unload_time)
+            with self.trace.span(env, "robot_exchange", drive=name):
+                yield env.timeout(robot.move_time)
+            # The holder may have failed mid-eject: its worker already
+            # pulled the cartridge back to the cell, which is what we want.
+            if holder.mounted is not None and holder.mounted.id == tape_id:
+                holder.unmount()
+
+    def _abort_unservable(self) -> None:
+        """Fail every queued job when no drive can ever serve it.
+
+        Called when the last live drive leaves the pool (and at submit into
+        a dead library).  Jobs survive only if the fault injector has a
+        *committed* repair for one of this library's drives — a future
+        stochastic failure/repair cycle cannot resurrect a drive that died
+        for another reason, so waiting on one would hang the environment.
+        """
+        if self.workers:
+            return
+        injector = self.opensys.injector
+        if injector is not None and injector.will_recover(self.library):
+            return
+        doomed = list(self.inbox.values()) + list(self.pending)
+        self.inbox.clear()
+        self.pending.clear()
+        for djob in doomed:
+            self.committed.pop(djob.job.tape_id, None)
+            djob.aborted = True
+            djob.error = (
+                f"library {self.library.id}: all drives failed, none pending "
+                "repair"
+            )
+            self._close_job_span(djob, drive_name="", aborted=True)
+            djob.done.succeed()
+        self.pending_gauge.set(0, self.env.now)
+
     # -- the drive worker ------------------------------------------------
     def _worker(self, drive: TapeDrive):
         """Persistent drive process: serve dispatched jobs until failure.
@@ -472,9 +675,20 @@ class _LibraryDispatcher:
                         parent=djob.span_id, request=djob.request_id,
                         drive=drive_name,
                     )
+                injector = self.opensys.injector
                 if drive.mounted is None or drive.mounted.id != job.tape_id:
+                    if self.transients_armed:
+                        yield from injector.transient_gate(
+                            drive_name, "mount",
+                            parent=djob.span_id, request=djob.request_id,
+                        )
                     yield from _switch_to(
                         env, self.library, drive, job.tape_id, record, trace,
+                        parent=djob.span_id, request=djob.request_id,
+                    )
+                if self.transients_armed:
+                    yield from injector.transient_gate(
+                        drive_name, "read",
                         parent=djob.span_id, request=djob.request_id,
                     )
                 yield from _serve_job(
@@ -488,19 +702,23 @@ class _LibraryDispatcher:
                 self._close_job_span(finished, drive_name)
                 finished.done.succeed()
                 self._dispatch()
-        except Interrupt:
+        except (Interrupt, FaultEscalation) as cause:
             drive.failed = True
             trace.record(
                 "drive_failure", env.now, env.now,
                 parent=djob.span_id if djob is not None else None,
                 request=djob.request_id if djob is not None else None,
-                drive=drive_name,
+                drive=drive_name, cause=str(cause),
             )
             if drive.mounted is not None:
                 drive.unmount()  # cartridge pulled back to its cell
             self.workers.pop(idx, None)
             self.wake.pop(idx, None)
             self.busy.discard(idx)
+            self._dying.discard(idx)
+            injector = self.opensys.injector
+            if injector is not None:
+                injector.note_drive_down(drive_name)
             orphan = self.inbox.pop(idx, None) or djob
             if orphan is not None:
                 self.committed.pop(orphan.job.tape_id, None)
@@ -518,9 +736,18 @@ class _LibraryDispatcher:
                     orphan.job = orphan.job.split_remaining()
                     self.pending.appendleft(orphan)
             self._dispatch()
+            # If this was the library's last drive and no repair is
+            # committed, the queue can never drain: fail it now.
+            self._abort_unservable()
 
-    def _close_job_span(self, djob: _DispatchedJob, drive_name: str) -> None:
+    def _close_job_span(
+        self, djob: _DispatchedJob, drive_name: str, aborted: bool = False
+    ) -> None:
         """Close the job's reserved ``tape_job`` span (exactly once)."""
+        attrs = {"tape": str(djob.job.tape_id), "drive": drive_name}
+        if aborted:
+            attrs["aborted"] = True
+            attrs["error"] = djob.error
         self.trace.record_reserved(
             djob.span_id,
             "tape_job",
@@ -528,8 +755,7 @@ class _LibraryDispatcher:
             self.env.now,
             parent=djob.parent_id,
             request=djob.request_id,
-            tape=str(djob.job.tape_id),
-            drive=drive_name,
+            **attrs,
         )
 
 
@@ -563,8 +789,16 @@ class OpenSystem:
     policy:
         A name from :data:`SCHEDULING_POLICIES` (default ``"concurrent"``).
     failures:
-        Optional drive name -> absolute failure time map (``concurrent``
-        policy only).
+        Optional drive name -> absolute failure time map — legacy sugar for
+        one-shot permanent :class:`~repro.sim.faults.DriveFailure` specs
+        (``concurrent`` policy only).
+    faults:
+        Optional iterable of :class:`~repro.sim.faults.FaultSpec`s, armed
+        at each :meth:`run` (``concurrent`` policy only).  Both fault specs
+        and the legacy map are validated here, before any simulation runs.
+    fault_seed:
+        Root seed for the fault processes' random substreams (independent
+        of the arrival-stream seed passed to :meth:`run`).
     """
 
     def __init__(
@@ -572,6 +806,8 @@ class OpenSystem:
         session,
         policy: str = "concurrent",
         failures: Optional[Dict[str, float]] = None,
+        faults: Optional[Tuple[FaultSpec, ...]] = None,
+        fault_seed: int = 0,
     ) -> None:
         self.session = session
         self.system = session.system
@@ -582,8 +818,28 @@ class OpenSystem:
         self.replacement_policy = session.replacement_policy
         self.tape_priority = session.placement.tape_priority
         self.failures = dict(failures or {})
+
+        try:
+            factory = SCHEDULING_POLICIES[policy]
+        except KeyError:
+            known = ", ".join(available_scheduling_policies())
+            raise ValueError(
+                f"unknown scheduling policy {policy!r}; known: {known}"
+            ) from None
+        self.fault_specs: Tuple[FaultSpec, ...] = tuple(faults or ()) + (
+            failures_to_specs(self.failures)
+        )
+        for spec in self.fault_specs:
+            spec.validate(self.system)
+        if self.fault_specs and not getattr(factory, "supports_faults", False):
+            raise ValueError(
+                f"fault injection requires the 'concurrent' policy, not "
+                f"{policy!r} (it arms no recovery hooks between requests)"
+            )
+
         self.env = Environment()
         self._ran = False
+        self._expected = 0
 
         # Registry first: policy binding and monitor attachment publish
         # instruments into it.
@@ -592,6 +848,7 @@ class OpenSystem:
         self._in_flight = self.registry.gauge("requests.in_flight", unit="requests")
         self._arrived = self.registry.counter("requests.arrived", unit="requests")
         self._completed = self.registry.counter("requests.completed", unit="requests")
+        self._aborted = self.registry.counter("requests.aborted", unit="requests")
         self._switches = self.registry.counter("tape.switches", unit="switches")
 
         streams = self.system.spec.disk_streams
@@ -608,16 +865,12 @@ class OpenSystem:
                 "disk", registry=self.registry
             ).attach(self.disk)
 
-        try:
-            factory = SCHEDULING_POLICIES[policy]
-        except KeyError:
-            known = ", ".join(available_scheduling_policies())
-            raise ValueError(
-                f"unknown scheduling policy {policy!r}; known: {known}"
-            ) from None
         self.policy_name = policy
+        self.injector: Optional[FaultInjector] = None
         self.policy = factory()
         self.policy.bind(self)
+        if self.fault_specs:
+            self.injector = FaultInjector(self.fault_specs, seed=fault_seed).bind(self)
 
     @property
     def index(self):
@@ -656,6 +909,7 @@ class OpenSystem:
                 )
             self.session.reset()
         self._ran = True
+        self._expected = num_arrivals
 
         rng = np.random.default_rng(seed)
         inter = rng.exponential(3600.0 / arrival_rate_per_hour, size=num_arrivals)
@@ -672,10 +926,14 @@ class OpenSystem:
                 self.env.process(self._request_runner(request, float(arrival), outcomes))
 
         self.env.process(arrival_process())
+        if self.injector is not None:
+            self.injector.arm()
         if sample_period_s is not None:
             self.registry.install_sampler(self.env, sample_period_s)
         self.env.run()
         self.policy.check_drained()
+        if self.injector is not None:
+            self.injector.finalize()
         self.registry.snapshot(self.env.now)
         if len(outcomes) != num_arrivals:
             raise RuntimeError(
@@ -683,6 +941,7 @@ class OpenSystem:
                 "(environment drained early)"
             )
 
+        num_drives = sum(len(library.drives) for library in self.system.libraries)
         outcomes.sort(key=lambda pair: pair[0].arrival_s)
         return OpenSystemResult(
             scheme=self.session.scheme_name,
@@ -694,6 +953,11 @@ class OpenSystem:
             horizon_s=self.env.now,
             trace=self.trace,
             registry=self.registry,
+            faults=(
+                self.injector.summary(self.env.now, num_drives=num_drives)
+                if self.injector is not None
+                else {}
+            ),
         )
 
     def _request_runner(self, request: Request, arrival_s: float, sink: List[_Outcome]):
@@ -713,8 +977,14 @@ class OpenSystem:
             )
         self._in_flight.add(-1, self.env.now)
         self._completed.inc()
+        if outcome[0].aborted:
+            self._aborted.inc()
         self._switches.inc(outcome[1].num_switches)
         sink.append(outcome)
+        if self.injector is not None and len(sink) >= self._expected:
+            # Last planned arrival landed: stop recurring fault processes so
+            # the environment drains instead of ticking MTBF clocks forever.
+            self.injector.stand_down()
 
     def __repr__(self) -> str:
         return (
@@ -730,10 +1000,15 @@ def simulate_open_system(
     seed: int = 0,
     policy: str = "concurrent",
     failures: Optional[Dict[str, float]] = None,
+    faults: Optional[Tuple[FaultSpec, ...]] = None,
+    fault_seed: int = 0,
     sample_period_s: Optional[float] = None,
 ) -> OpenSystemResult:
     """One-shot convenience: build an :class:`OpenSystem`, run one stream."""
-    return OpenSystem(session, policy=policy, failures=failures).run(
+    return OpenSystem(
+        session, policy=policy, failures=failures, faults=faults,
+        fault_seed=fault_seed,
+    ).run(
         arrival_rate_per_hour,
         num_arrivals=num_arrivals,
         seed=seed,

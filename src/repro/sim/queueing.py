@@ -39,6 +39,9 @@ class QueuedRequestRecord:
     start_s: float
     finish_s: float
     size_mb: float
+    #: True when the request was failed rather than served (every candidate
+    #: drive down with no repair pending — open-system fault injection).
+    aborted: bool = False
 
     @property
     def wait_s(self) -> float:

@@ -76,7 +76,13 @@ class SimulationSession:
     def scheme_name(self) -> str:
         return self.placement.scheme
 
-    def open(self, policy: str = "concurrent", failures: Optional[dict] = None):
+    def open(
+        self,
+        policy: str = "concurrent",
+        failures: Optional[dict] = None,
+        faults: Optional[tuple] = None,
+        fault_seed: int = 0,
+    ):
         """Open-system serving: concurrent in-flight requests on one clock.
 
         Returns an :class:`~repro.sim.opensystem.OpenSystem` owning a
@@ -85,10 +91,18 @@ class SimulationSession:
         ``policy`` (``"serial-fcfs"`` reproduces
         :func:`~repro.sim.queueing.simulate_fcfs_queue` seed-for-seed;
         ``"concurrent"`` overlaps requests across libraries and drives).
+
+        ``faults`` arms declarative :class:`~repro.sim.faults.FaultSpec`s
+        (stochastic drive fail/repair, robot outages, transient errors);
+        ``failures`` is the legacy one-shot map (drive name -> failure
+        time).  Both validate here, before any simulation starts.
         """
         from .opensystem import OpenSystem
 
-        return OpenSystem(self, policy=policy, failures=failures)
+        return OpenSystem(
+            self, policy=policy, failures=failures, faults=faults,
+            fault_seed=fault_seed,
+        )
 
     def serve(self, request: Request, failures: Optional[dict] = None) -> RequestMetrics:
         """Serve one request to completion on an exclusive environment.

@@ -130,3 +130,72 @@ class TestCommands:
              "--out-dir", str(tmp_path / "t")]
         )
         assert rc == 2
+
+
+class TestFaultCommands:
+    def test_open_fail_flag(self, capsys):
+        rc = main(
+            ["open", "--scale", "small", "--arrivals", "10",
+             "--fail", "L0.D0=1800", "--fail", "L0.D1=3600"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aborted:" in out
+        assert "availability:" in out
+
+    def test_open_fail_rejects_bad_format(self):
+        with pytest.raises(SystemExit, match="DRIVE=TIME"):
+            main(["open", "--scale", "small", "--fail", "L0.D0"])
+
+    def test_open_fail_rejects_bad_number(self):
+        with pytest.raises(SystemExit, match="must be a number"):
+            main(["open", "--scale", "small", "--fail", "L0.D0=soon"])
+
+    def test_open_fail_rejects_unknown_drive(self):
+        with pytest.raises(ValueError, match="unknown drive"):
+            main(["open", "--scale", "small", "--fail", "L9.D9=10"])
+
+    def test_chaos_prints_fault_summary(self, capsys):
+        rc = main(
+            ["chaos", "--scale", "small", "--arrivals", "15",
+             "--mtbf", "0.5", "--mttr", "0.1", "--seed", "7"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "availability:" in out
+        assert "drive failures:" in out
+        assert "drive repairs:" in out
+        assert "mean sojourn:" in out
+
+    def test_chaos_with_transients_and_export(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        out_dir = tmp_path / "chaos"
+        rc = main(
+            ["chaos", "--scale", "small", "--arrivals", "10",
+             "--mtbf", "100.0", "--mttr", "0.1",
+             "--transient-prob", "0.2", "--retries", "3",
+             "--out-dir", str(out_dir)]
+        )
+        assert rc == 0
+        assert (out_dir / "trace.json").exists()
+        assert (out_dir / "metrics.jsonl").exists()
+        out = capsys.readouterr().out
+        assert "transient errors:" in out
+
+    def test_chaos_is_deterministic(self, capsys):
+        argv = ["chaos", "--scale", "small", "--arrivals", "12",
+                "--mtbf", "0.5", "--mttr", "0.1", "--seed", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_chaos_weibull_shape(self, capsys):
+        rc = main(
+            ["chaos", "--scale", "small", "--arrivals", "10",
+             "--mtbf", "0.5", "--mttr", "0.1",
+             "--distribution", "weibull", "--shape", "1.5"]
+        )
+        assert rc == 0
+        assert "weibull" in capsys.readouterr().out
