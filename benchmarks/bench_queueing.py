@@ -72,7 +72,7 @@ def test_bench_opensystem_json(settings, timed_open_run, bench_json):
         "policies": {},
     }
     for policy in ("serial-fcfs", "concurrent"):
-        wall_s, events, spans, result = timed_open_run(policy, rate, arrivals)
+        wall_s, events, spans, result, _ = timed_open_run(policy, rate, arrivals)
         assert wall_s > 0 and events > 0
         section["policies"][policy] = {
             "wall_s": round(wall_s, 4),

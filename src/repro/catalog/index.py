@@ -31,15 +31,32 @@ class LocationIndex:
 
     @classmethod
     def from_system(cls, system: TapeSystem) -> "LocationIndex":
-        """Build the index by scanning all tape layouts."""
+        """Build the index by scanning all tape layouts.
+
+        The bulk build runs inside every simulation's timed region (the
+        index is materialized lazily on first request), so the common
+        first-sighting of a whole object inserts directly; only repeat
+        sightings (striped fragments — or duplicates, which must still
+        raise) go through :meth:`add`'s full validation.
+        """
         index = cls()
+        locations = index._locations
+        add = index.add
         for tape in system.all_tapes():
+            tape_id = tape.id
             for extent in tape:
-                index.add(extent.object_id, tape.id, extent)
+                object_id = extent.object_id
+                if object_id not in locations:
+                    locations[object_id] = [(tape_id, extent)]
+                else:
+                    add(object_id, tape_id, extent)
         return index
 
     def add(self, object_id: int, tape_id: TapeId, extent: ObjectExtent) -> None:
-        entries = self._locations.setdefault(object_id, [])
+        entries = self._locations.get(object_id)
+        if entries is None:
+            self._locations[object_id] = [(tape_id, extent)]
+            return
         if entries:
             first = entries[0][1]
             if extent.parts == 1 or first.parts == 1:

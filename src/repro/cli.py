@@ -8,6 +8,7 @@ Subcommands
 ``run``              evaluate one scheme on one configuration
 ``open``             open-system serving: Poisson arrivals on one shared clock
 ``chaos``            open-system run under stochastic drive fail/repair faults
+``profile``          run an open-system workload under cProfile; print hot spots
 ``trace``            run a workload and export telemetry (Perfetto trace + metrics)
 ``schemes``          list registered placement schemes
 ``workload``         generate and dump/inspect a workload trace
@@ -267,6 +268,48 @@ def build_parser() -> argparse.ArgumentParser:
         "non-zero exit on problems",
     )
     _add_settings_args(tr)
+
+    pf = sub.add_parser(
+        "profile",
+        help="profile an open-system run under cProfile and print the hot spots",
+        description=(
+            "Serves a Poisson arrival stream (like `open`) with the Python "
+            "profiler attached to the simulation run only (placement and "
+            "session construction are excluded), then prints events/sec and "
+            "the top functions by the chosen sort key.  This is the harness "
+            "behind docs/performance.md: use it before and after touching "
+            "the DES kernel or engine hot paths."
+        ),
+    )
+    pf.add_argument(
+        "--policy",
+        default="serial-fcfs",
+        choices=sorted(available_scheduling_policies()),
+        help="request-scheduling policy to profile",
+    )
+    pf.add_argument("--scheme", default="parallel_batch", choices=sorted(available_schemes()))
+    pf.add_argument("--m", type=int, default=4, help="switch drives per library (parallel_batch)")
+    pf.add_argument("--rate", type=float, default=8.0, help="Poisson arrival rate per hour")
+    pf.add_argument("--arrivals", type=int, default=60, help="number of arrivals to serve")
+    pf.add_argument("--seed", type=int, default=0, help="arrival/sampling seed")
+    pf.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="rows of the profile table to print (default: 25)",
+    )
+    pf.add_argument(
+        "--sort", default="tottime", choices=["tottime", "cumulative", "calls"],
+        help="pstats sort key (default: tottime)",
+    )
+    pf.add_argument(
+        "--stats-out", default=None, metavar="PATH",
+        help="also dump the raw profile for snakeviz/pstats post-processing",
+    )
+    pf.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="also export trace.json + metrics.jsonl telemetry from the "
+        "profiled run (requires tracing enabled)",
+    )
+    _add_settings_args(pf)
 
     cmp_p = sub.add_parser(
         "compare", help="paired statistical comparison of two schemes"
@@ -533,6 +576,65 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+    from time import perf_counter
+
+    from .experiments import paper_workload
+
+    settings = _settings(args)
+    workload = paper_workload(settings)
+    spec = settings.spec()
+    kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
+    session = SimulationSession(workload, spec, scheme=make_scheme(args.scheme, **kwargs))
+    opensys = session.open(policy=args.policy)
+
+    profiler = cProfile.Profile()
+    start = perf_counter()
+    profiler.enable()
+    result = opensys.run(args.rate, num_arrivals=args.arrivals, seed=args.seed)
+    profiler.disable()
+    wall = perf_counter() - start
+
+    events = opensys.env.events_processed
+    print(f"policy:            {result.policy}")
+    print(f"scheme:            {result.scheme}")
+    print(f"arrivals served:   {len(result):10d}")
+    print(f"horizon:           {result.horizon_s:10.1f} s")
+    print(f"wall time:         {wall:10.3f} s")
+    print(f"events processed:  {events:10d}")
+    print(f"events/sec:        {events / wall:10,.0f}")
+    print(f"spans recorded:    {len(result.spans()):10d}")
+    print()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+    if args.stats_out:
+        stats.dump_stats(args.stats_out)
+        print(f"raw profile:       {args.stats_out}")
+    if args.trace_out:
+        from pathlib import Path
+
+        if not result.spans():
+            print(
+                "warning: no spans recorded (tracing disabled?); skipping "
+                "--trace-out export",
+                file=sys.stderr,
+            )
+        else:
+            out = Path(args.trace_out)
+            out.mkdir(parents=True, exist_ok=True)
+            trace_path = out / "trace.json"
+            metrics_path = out / "metrics.jsonl"
+            result.write_trace(trace_path)
+            lines = result.write_metrics(metrics_path)
+            print(f"trace:             {trace_path}  (open at https://ui.perfetto.dev)")
+            print(f"metrics:           {metrics_path}  ({lines} lines)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -676,6 +778,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "open": _cmd_open,
     "chaos": _cmd_chaos,
+    "profile": _cmd_profile,
     "trace": _cmd_trace,
     "compare": _cmd_compare,
     "schemes": _cmd_schemes,

@@ -28,6 +28,8 @@ __all__ = ["PENDING", "Event", "Timeout", "Condition", "AllOf", "AnyOf"]
 class _Pending:
     """Sentinel marking an event that has no value yet."""
 
+    __slots__ = ()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<PENDING>"
 
@@ -49,6 +51,8 @@ class Event:
     env:
         The owning :class:`~repro.des.core.Environment`.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -144,6 +148,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -168,6 +174,8 @@ class Condition(Event):
     that have triggered so far to their values (see :class:`ConditionValue`).
     A failing child event fails the whole condition immediately.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -226,6 +234,8 @@ class Condition(Event):
 class ConditionValue:
     """Ordered mapping of triggered child events to their values."""
 
+    __slots__ = ("events",)
+
     def __init__(self, events: List[Event]) -> None:
         self.events = events
 
@@ -260,12 +270,16 @@ class ConditionValue:
 class AllOf(Condition):
     """Triggers when *all* child events have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Triggers when *any* child event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

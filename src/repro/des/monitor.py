@@ -26,7 +26,7 @@ span, and :meth:`~Trace.span` returns a shared null context manager.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from sys import intern as _intern
 from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = [
@@ -45,9 +45,15 @@ def trace_enabled_by_env() -> bool:
     return os.environ.get("REPRO_TRACE", "1").strip().lower() not in _FALSY
 
 
-@dataclass(frozen=True)
 class Span:
     """A named interval of simulated time.
+
+    A plain ``__slots__`` class rather than a frozen dataclass: spans are
+    the single most-allocated telemetry object (one per instrumented stage),
+    and the frozen-dataclass ``object.__setattr__``-per-field constructor
+    showed up directly in the kernel profile.  Field order, defaults,
+    keyword construction, value equality and the ``end >= start`` check are
+    all preserved.
 
     Attributes
     ----------
@@ -65,13 +71,27 @@ class Span:
         The request whose service this span belongs to, if any.
     """
 
-    name: str
-    start: float
-    end: float
-    attrs: Dict[str, Any] = field(default_factory=dict)
-    span_id: int = 0
-    parent_id: Optional[int] = None
-    request_id: Optional[int] = None
+    __slots__ = ("name", "start", "end", "attrs", "span_id", "parent_id", "request_id")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: Optional[Dict[str, Any]] = None,
+        span_id: int = 0,
+        parent_id: Optional[int] = None,
+        request_id: Optional[int] = None,
+    ) -> None:
+        if end < start:
+            raise ValueError(f"span {name!r} ends ({end}) before it starts ({start})")
+        self.name = _intern(name)
+        self.start = start
+        self.end = end
+        self.attrs = {} if attrs is None else attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.request_id = request_id
 
     @property
     def duration(self) -> float:
@@ -82,9 +102,29 @@ class Span:
         """True when the instrumented stage unwound with an exception."""
         return bool(self.attrs.get("aborted", False))
 
-    def __post_init__(self) -> None:
-        if self.end < self.start:
-            raise ValueError(f"span {self.name!r} ends ({self.end}) before it starts ({self.start})")
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Span):
+            return (
+                self.name == other.name
+                and self.start == other.start
+                and self.end == other.end
+                and self.attrs == other.attrs
+                and self.span_id == other.span_id
+                and self.parent_id == other.parent_id
+                and self.request_id == other.request_id
+            )
+        return NotImplemented
+
+    # Like the frozen dataclass it replaces (whose generated hash tripped
+    # over the dict field), spans are not hashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, start={self.start!r}, end={self.end!r}, "
+            f"attrs={self.attrs!r}, span_id={self.span_id!r}, "
+            f"parent_id={self.parent_id!r}, request_id={self.request_id!r})"
+        )
 
 
 class _NullSpanContext:
@@ -112,36 +152,44 @@ class SpanContext:
     span exactly once — re-entering a finished context raises, and an
     exception unwinding the block (worker interrupt) closes the span at the
     interruption time with ``aborted=True``.
+
+    The exit path appends a raw field tuple rather than building a
+    :class:`Span`: span objects are materialized lazily by the first query
+    (see :meth:`Trace._all`), keeping per-span bookkeeping off the
+    per-event hot path.
     """
 
-    __slots__ = ("_trace", "_env", "name", "attrs", "id", "parent_id", "request_id", "_start", "span")
+    __slots__ = ("_trace", "_env", "name", "attrs", "id", "parent_id", "request_id", "_start", "_closed")
 
     def __init__(self, trace: "Trace", env, name: str, parent: Optional[int], request: Optional[int], attrs: Dict[str, Any]) -> None:
         self._trace = trace
         self._env = env
         self.name = name
         self.attrs = attrs
-        self.id = trace._reserve_id()
+        sid = trace._next_id
+        trace._next_id = sid + 1
+        self.id = sid
         self.parent_id = parent
         self.request_id = request
         self._start: Optional[float] = None
-        self.span: Optional[Span] = None
+        self._closed = False
 
     def __enter__(self) -> "SpanContext":
-        if self.span is not None:
+        if self._closed:
             raise RuntimeError(f"span context {self.name!r} (id {self.id}) already closed")
         self._start = self._env.now
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> bool:
-        if self.span is None:  # close exactly once
+        if not self._closed:  # close exactly once
+            self._closed = True
             attrs = self.attrs
             if exc_type is not None:
                 attrs = dict(attrs)
                 attrs["aborted"] = True
-            self.span = self._trace._append(
-                self.name, self._start, self._env.now, attrs,
-                self.id, self.parent_id, self.request_id,
+            self._trace._spans.append(
+                (self.name, self._start, self._env.now, attrs,
+                 self.id, self.parent_id, self.request_id)
             )
         return False
 
@@ -157,12 +205,25 @@ def _span_disabled(env, name: str, parent=None, request=None, **attrs: Any) -> _
 
 
 class Trace:
-    """An append-only collection of spans with causal-tree query helpers."""
+    """An append-only collection of spans with causal-tree query helpers.
+
+    Hot-path storage is *lazy*: the :class:`SpanContext` exit path appends a
+    raw field tuple, and :class:`Span` objects are only built (in place, at
+    most once per entry) when the trace is first queried — which in every
+    simulation driver happens after ``env.run()`` returns, so span
+    construction never competes with event processing for wall time.
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = bool(enabled) and trace_enabled_by_env()
-        self._spans: List[Span] = []
+        #: Mixed storage: Span instances (from ``record``/``record_reserved``)
+        #: and raw field tuples ``(name, start, end, attrs, span_id,
+        #: parent_id, request_id)``, in recording order.  Tuples come from
+        #: SpanContext exits and from the engine's guarded seek/transfer
+        #: fast lane, which appends here directly.
+        self._spans: List[Any] = []
         self._next_id = 1
+        self._clean_upto = 0  # entries below this index are Span objects
         if not self.enabled:
             # Shadow the bound methods so the disabled hot path is a plain
             # function call that touches no instance state.
@@ -172,22 +233,25 @@ class Trace:
     # -- recording --------------------------------------------------------
     def _reserve_id(self) -> int:
         sid = self._next_id
-        self._next_id += 1
+        self._next_id = sid + 1
         return sid
 
-    def _append(
-        self,
-        name: str,
-        start: float,
-        end: float,
-        attrs: Dict[str, Any],
-        span_id: int,
-        parent_id: Optional[int],
-        request_id: Optional[int],
-    ) -> Span:
-        span = Span(name, start, end, attrs, span_id, parent_id, request_id)
-        self._spans.append(span)
-        return span
+    def _all(self) -> List[Span]:
+        """The span list with any raw tuples materialized in place."""
+        spans = self._spans
+        n = len(spans)
+        if self._clean_upto != n:
+            for i in range(self._clean_upto, n):
+                entry = spans[i]
+                if type(entry) is tuple:
+                    attrs = entry[3]
+                    if type(attrs) is tuple:
+                        # Flat (key, value, key, value, ...) from the engine
+                        # fast lane: the dict is only built here, lazily.
+                        entry = entry[:3] + (dict(zip(attrs[::2], attrs[1::2])),) + entry[4:]
+                    spans[i] = Span(*entry)
+            self._clean_upto = n
+        return spans
 
     def record(
         self,
@@ -201,7 +265,11 @@ class Trace:
         """Append a closed span (no-op when disabled)."""
         if not self.enabled:
             return None
-        return self._append(name, start, end, attrs, self._reserve_id(), parent, request)
+        sid = self._next_id
+        self._next_id = sid + 1
+        span = Span(name, start, end, attrs, sid, parent, request)
+        self._spans.append(span)
+        return span
 
     def reserve_id(self) -> Optional[int]:
         """Reserve a span id to close later via :meth:`record_reserved`.
@@ -227,7 +295,9 @@ class Trace:
         """Close a span whose id was handed out by :meth:`reserve_id`."""
         if not self.enabled or span_id is None:
             return None
-        return self._append(name, start, end, attrs, span_id, parent, request)
+        span = Span(name, start, end, attrs, span_id, parent, request)
+        self._spans.append(span)
+        return span
 
     def span(
         self,
@@ -249,18 +319,19 @@ class Trace:
     def clear(self) -> None:
         self._spans.clear()
         self._next_id = 1
+        self._clean_upto = 0
 
     # -- queries ------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._spans)
 
     def __iter__(self) -> Iterator[Span]:
-        return iter(self._spans)
+        return iter(self._all())
 
     def spans(self, name: Optional[str] = None, **attrs: Any) -> List[Span]:
         """Spans matching ``name`` and all given attribute values."""
         out = []
-        for span in self._spans:
+        for span in self._all():
             if name is not None and span.name != name:
                 continue
             if any(span.attrs.get(k) != v for k, v in attrs.items()):
@@ -293,31 +364,32 @@ class Trace:
     # -- causal-tree views ---------------------------------------------------
     def by_id(self) -> Dict[int, Span]:
         """Map span_id -> span (bare spans with id 0 are excluded)."""
-        return {s.span_id: s for s in self._spans if s.span_id}
+        return {s.span_id: s for s in self._all() if s.span_id}
 
     def children(self, span_id: int) -> List[Span]:
         """Direct children of one span, in recording order."""
-        return [s for s in self._spans if s.parent_id == span_id]
+        return [s for s in self._all() if s.parent_id == span_id]
 
     def roots(self, request_id: Optional[int] = None) -> List[Span]:
         """Parentless spans (optionally restricted to one request)."""
         return [
             s
-            for s in self._spans
+            for s in self._all()
             if s.parent_id is None
             and (request_id is None or s.request_id == request_id)
         ]
 
     def request_spans(self, request_id: int) -> List[Span]:
         """Every span attributed to one request, in recording order."""
-        return [s for s in self._spans if s.request_id == request_id]
+        return [s for s in self._all() if s.request_id == request_id]
 
     def leaves(self, request_id: Optional[int] = None) -> List[Span]:
         """Spans with no children (optionally restricted to one request)."""
-        parents = {s.parent_id for s in self._spans if s.parent_id is not None}
+        all_spans = self._all()
+        parents = {s.parent_id for s in all_spans if s.parent_id is not None}
         return [
             s
-            for s in self._spans
+            for s in all_spans
             if s.span_id not in parents
             and (request_id is None or s.request_id == request_id)
         ]
@@ -325,7 +397,7 @@ class Trace:
     def request_ids(self) -> List[int]:
         """Distinct request ids present, in first-seen order."""
         seen: Dict[int, None] = {}
-        for s in self._spans:
+        for s in self._all():
             if s.request_id is not None:
                 seen.setdefault(s.request_id, None)
         return list(seen)
@@ -350,6 +422,12 @@ class ResourceUsageMonitor:
     counter (names ``resource.<name>.in_use`` / ``.queue_depth`` /
     ``.grants``), sampled by the registry's periodic snapshots.
     """
+
+    __slots__ = (
+        "name", "grants", "in_use", "max_in_use", "busy_s", "slot_busy_s",
+        "_since", "queue_depth", "max_queue_depth", "queue_wait_s",
+        "_queue_since", "_grants_counter", "_in_use_gauge", "_queue_gauge",
+    )
 
     def __init__(self, name: str, registry=None) -> None:
         self.name = name

@@ -24,6 +24,8 @@ ProcessGenerator = Generator[Event, Any, Any]
 class Initialize(Event):
     """Immediately-scheduled event that starts a process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         assert self.callbacks is not None
@@ -35,6 +37,8 @@ class Initialize(Event):
 
 class InterruptEvent(Event):
     """Immediately-scheduled event that throws an Interrupt into a process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process", cause: Any) -> None:
         super().__init__(env)
@@ -53,6 +57,8 @@ class Process(Event):
     return value) or raises (failure, with the exception).  Other processes
     may therefore ``yield`` a process to wait for its completion.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "throw"):

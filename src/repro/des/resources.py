@@ -33,6 +33,8 @@ __all__ = ["Resource", "PriorityResource", "RequestEvent", "ReleaseEvent"]
 class RequestEvent(Event):
     """Event that triggers once the resource grants this request."""
 
+    __slots__ = ("resource", "requested_at")
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -55,6 +57,8 @@ class RequestEvent(Event):
 class PriorityRequestEvent(RequestEvent):
     """Request carrying a priority (lower value = served earlier)."""
 
+    __slots__ = ("priority",)
+
     def __init__(self, resource: "PriorityResource", priority: float = 0.0) -> None:
         self.priority = priority
         super().__init__(resource)
@@ -62,6 +66,8 @@ class PriorityRequestEvent(RequestEvent):
 
 class ReleaseEvent(Event):
     """Immediately-succeeding event produced by :meth:`Resource.release`."""
+
+    __slots__ = ()
 
     def __init__(self, resource: "Resource", request: RequestEvent) -> None:
         super().__init__(resource.env)

@@ -32,6 +32,8 @@ __all__ = ["Store", "PriorityStore", "PriorityItem", "Container"]
 class StorePut(Event):
     """Triggers once the item has been accepted by the store."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
@@ -41,6 +43,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Triggers with the retrieved item as its value."""
+
+    __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
@@ -150,6 +154,8 @@ class PriorityStore(Store):
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
@@ -160,6 +166,8 @@ class ContainerPut(Event):
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")

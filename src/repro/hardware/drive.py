@@ -20,13 +20,21 @@ __all__ = ["DriveId", "TapeDrive"]
 
 @dataclass(frozen=True, order=True)
 class DriveId:
-    """Globally unique drive address: (library index, drive index)."""
+    """Globally unique drive address: (library index, drive index).
+
+    The rendered form is cached at construction: drive names label every
+    span and service record, so ``str(drive.id)`` runs tens of thousands of
+    times per simulation.
+    """
 
     library: int
     index: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_str", f"L{self.library}.D{self.index}")
+
     def __str__(self) -> str:
-        return f"L{self.library}.D{self.index}"
+        return self._str  # type: ignore[attr-defined]
 
 
 #: Monotonic mount counter shared by all drives: lets replacement policies

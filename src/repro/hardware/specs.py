@@ -62,6 +62,9 @@ class TapeSpec:
             raise ValueError(
                 f"locate_startup_s must be >= 0, got {self.locate_startup_s}"
             )
+        # locate_time runs once per head movement (the single hottest timing
+        # helper); cache the derived rate so it is one attribute read there.
+        object.__setattr__(self, "_locate_rate", self.capacity_mb / self.max_rewind_s)
 
     @property
     def locate_rate_mb_s(self) -> float:
@@ -70,7 +73,7 @@ class TapeSpec:
         Linear positioning model: traversing the whole tape takes
         ``max_rewind_s``, so the rate is capacity / max rewind.
         """
-        return self.capacity_mb / self.max_rewind_s
+        return self._locate_rate  # type: ignore[attr-defined]
 
     @property
     def avg_rewind_s(self) -> float:
@@ -86,7 +89,7 @@ class TapeSpec:
         distance = abs(to_mb - from_mb)
         if distance == 0:
             return 0.0
-        return self.locate_startup_s + distance / self.locate_rate_mb_s
+        return self.locate_startup_s + distance / self._locate_rate  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)

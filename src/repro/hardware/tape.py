@@ -12,13 +12,35 @@ __all__ = ["TapeId", "ObjectExtent", "Tape"]
 
 @dataclass(frozen=True, order=True)
 class TapeId:
-    """Globally unique tape address: (library index, slot index)."""
+    """Globally unique tape address: (library index, slot index).
+
+    Tape ids are compared and hashed constantly on the scheduler hot path
+    (committed-tape maps, mounted-drive scans, displacement checks), and
+    nearly all of those comparisons are against the *canonical* id objects
+    that flow out of ``Library.tapes`` / ``Tape.id``.  The manual ``__eq__``
+    below short-circuits on identity first, and the hash of the (immutable)
+    field pair is computed once and cached.
+    """
 
     library: int
     slot: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.library, self.slot)))
+        object.__setattr__(self, "_str", f"L{self.library}.T{self.slot}")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, TapeId):
+            return self.library == other.library and self.slot == other.slot
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:
-        return f"L{self.library}.T{self.slot}"
+        return self._str  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)
@@ -52,6 +74,10 @@ class ObjectExtent:
             raise ValueError(f"parts must be >= 1, got {self.parts}")
         if not 0 <= self.part < self.parts:
             raise ValueError(f"part {self.part} out of range for {self.parts} parts")
+        # The extent end is read on every seek/transfer (head advance, sweep
+        # planning, layout validation); computing it once here keeps the
+        # property a plain attribute read.
+        object.__setattr__(self, "_end_mb", self.start_mb + self.size_mb)
 
     @property
     def is_fragment(self) -> bool:
@@ -59,7 +85,7 @@ class ObjectExtent:
 
     @property
     def end_mb(self) -> float:
-        return self.start_mb + self.size_mb
+        return self._end_mb  # type: ignore[attr-defined]
 
     def overlaps(self, other: "ObjectExtent") -> bool:
         return self.start_mb < other.end_mb and other.start_mb < self.end_mb

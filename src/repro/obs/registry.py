@@ -160,6 +160,8 @@ class MetricsRegistry:
     simulation alive.
     """
 
+    __slots__ = ("counters", "gauges", "histograms", "snapshots")
+
     def __init__(self) -> None:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}

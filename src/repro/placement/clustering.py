@@ -38,7 +38,8 @@ def similarity_edges(
     probability of requests containing both objects of pair ``e``.
     """
     keys: List[np.ndarray] = []
-    weights: List[np.ndarray] = []
+    pair_counts: List[int] = []
+    pair_probs: List[float] = []
     probs = requests.probabilities
     for request, p in zip(requests, probs):
         ids = np.sort(np.asarray(request.object_ids, dtype=np.int64))
@@ -47,11 +48,15 @@ def similarity_edges(
             continue
         a, b = np.triu_indices(c, k=1)
         keys.append(ids[a] * num_objects + ids[b])
-        weights.append(np.full(len(a), p))
+        pair_counts.append(len(a))
+        pair_probs.append(p)
     if not keys:
         return np.empty((0, 2), dtype=np.int64), np.empty(0)
     all_keys = np.concatenate(keys)
-    all_weights = np.concatenate(weights)
+    # One repeat assembles the whole weight column (each request's
+    # probability, repeated once per pair) instead of allocating and
+    # concatenating a per-request ``np.full`` slice.
+    all_weights = np.repeat(np.asarray(pair_probs), pair_counts)
     uniq, inverse = np.unique(all_keys, return_inverse=True)
     agg = np.bincount(inverse, weights=all_weights)
     pairs = np.stack([uniq // num_objects, uniq % num_objects], axis=1)

@@ -387,16 +387,35 @@ def _serve_job(
     drive_name = str(drive.id)
     # The per-extent loop is the engine's hot path: with tracing off, even a
     # null-context call per seek/transfer is measurable, so hoist the check.
+    # With tracing on, the seek/transfer spans (the majority of all spans in
+    # any run) bypass the SpanContext machinery entirely: the span id is
+    # claimed and the raw span tuple appended inline (the storage format
+    # ``Trace._all`` materializes lazily), reproducing the context manager's
+    # id-allocation order, timestamps and aborted-on-interrupt tagging.
     tracing = trace.enabled
+    if tracing:
+        span_append = trace._spans.append
     for extent in ordered:
         seek, transfer = drive.read_extent(extent)
         if seek > 0:
             if tracing:
-                with trace.span(
-                    env, "seek", parent=parent, request=request,
-                    drive=drive_name, object=extent.object_id,
-                ):
+                sid = trace._next_id
+                trace._next_id = sid + 1
+                started = env._now
+                try:
                     yield env.timeout(seek)
+                except BaseException:
+                    span_append((
+                        "seek", started, env._now,
+                        {"drive": drive_name, "object": extent.object_id, "aborted": True},
+                        sid, parent, request,
+                    ))
+                    raise
+                span_append((
+                    "seek", started, env._now,
+                    ("drive", drive_name, "object", extent.object_id),
+                    sid, parent, request,
+                ))
             else:
                 yield env.timeout(seek)
         record.seek_s += seek
@@ -410,19 +429,43 @@ def _serve_job(
                         parent=parent, request=request, drive=drive_name,
                     )
                 if tracing:
-                    with trace.span(
-                        env, "transfer", parent=parent, request=request,
-                        drive=drive_name, object=extent.object_id,
-                    ):
+                    sid = trace._next_id
+                    trace._next_id = sid + 1
+                    started = env._now
+                    try:
                         yield env.timeout(transfer)
+                    except BaseException:
+                        span_append((
+                            "transfer", started, env._now,
+                            {"drive": drive_name, "object": extent.object_id, "aborted": True},
+                            sid, parent, request,
+                        ))
+                        raise
+                    span_append((
+                        "transfer", started, env._now,
+                        ("drive", drive_name, "object", extent.object_id),
+                        sid, parent, request,
+                    ))
                 else:
                     yield env.timeout(transfer)
         elif tracing:
-            with trace.span(
-                env, "transfer", parent=parent, request=request,
-                drive=drive_name, object=extent.object_id,
-            ):
+            sid = trace._next_id
+            trace._next_id = sid + 1
+            started = env._now
+            try:
                 yield env.timeout(transfer)
+            except BaseException:
+                span_append((
+                    "transfer", started, env._now,
+                    {"drive": drive_name, "object": extent.object_id, "aborted": True},
+                    sid, parent, request,
+                ))
+                raise
+            span_append((
+                "transfer", started, env._now,
+                ("drive", drive_name, "object", extent.object_id),
+                sid, parent, request,
+            ))
         else:
             yield env.timeout(transfer)
         record.transfer_s += transfer
@@ -445,14 +488,41 @@ def _switch_to(
     drive_name = str(drive.id)
     robot = library.robot
 
-    with trace.span(
-        env, "switch", parent=parent, request=request,
-        drive=drive_name, tape=str(tape_id),
-    ) as sw:
+    # Same guarded fast lane as ``_serve_job``: a full switch emits one
+    # parent span plus 3–4 leaf spans, all with fixed attributes, so each
+    # site claims its id inline and appends the raw field tuple directly
+    # (ids in the same order, timestamps and aborted-tagging identical to
+    # the ``SpanContext`` path it replaces).
+    tracing = trace.enabled
+    if tracing:
+        span_append = trace._spans.append
+        swid = trace._next_id
+        trace._next_id = swid + 1
+        sw_started = env._now
+    else:
+        swid = None
+    try:
         if drive.mounted is not None:
             rewind = drive.rewind_time()
             if rewind > 0:
-                with trace.span(env, "rewind", parent=sw.id, request=request, drive=drive_name):
+                if tracing:
+                    sid = trace._next_id
+                    trace._next_id = sid + 1
+                    started = env._now
+                    try:
+                        yield env.timeout(rewind)
+                    except BaseException:
+                        span_append((
+                            "rewind", started, env._now,
+                            {"drive": drive_name, "aborted": True},
+                            sid, swid, request,
+                        ))
+                        raise
+                    span_append((
+                        "rewind", started, env._now, ("drive", drive_name),
+                        sid, swid, request,
+                    ))
+                else:
                     yield env.timeout(rewind)
 
             requested_at = env.now
@@ -462,24 +532,69 @@ def _switch_to(
                 if wait > 0:
                     trace.record(
                         "robot_wait", requested_at, env.now,
-                        parent=sw.id, request=request, drive=drive_name,
+                        parent=swid, request=request, drive=drive_name,
                     )
                 record.robot_wait_s += wait
                 # The paper "models robotic arm mount/unmount operations as
                 # constant time values": the arm is held for the whole
                 # unload + return-to-cell + fetch + mount sequence.
-                with trace.span(env, "unload", parent=sw.id, request=request, drive=drive_name):
+                if tracing:
+                    sid = trace._next_id
+                    trace._next_id = sid + 1
+                    started = env._now
+                    try:
+                        yield env.timeout(drive.unload_time)
+                    except BaseException:
+                        span_append((
+                            "unload", started, env._now,
+                            {"drive": drive_name, "aborted": True},
+                            sid, swid, request,
+                        ))
+                        raise
+                    span_append((
+                        "unload", started, env._now, ("drive", drive_name),
+                        sid, swid, request,
+                    ))
+                    sid = trace._next_id
+                    trace._next_id = sid + 1
+                    started = env._now
+                    try:
+                        yield env.timeout(robot.exchange_time)
+                    except BaseException:
+                        span_append((
+                            "robot_exchange", started, env._now,
+                            {"drive": drive_name, "aborted": True},
+                            sid, swid, request,
+                        ))
+                        raise
+                    span_append((
+                        "robot_exchange", started, env._now, ("drive", drive_name),
+                        sid, swid, request,
+                    ))
+                else:
                     yield env.timeout(drive.unload_time)
-                with trace.span(
-                    env, "robot_exchange", parent=sw.id, request=request, drive=drive_name
-                ):
                     yield env.timeout(robot.exchange_time)
                 drive.unmount()
                 drive.mount(new_tape)
-                with trace.span(
-                    env, "load", parent=sw.id, request=request,
-                    drive=drive_name, tape=str(tape_id),
-                ):
+                if tracing:
+                    sid = trace._next_id
+                    trace._next_id = sid + 1
+                    started = env._now
+                    try:
+                        yield env.timeout(drive.load_time)
+                    except BaseException:
+                        span_append((
+                            "load", started, env._now,
+                            {"drive": drive_name, "tape": str(tape_id), "aborted": True},
+                            sid, swid, request,
+                        ))
+                        raise
+                    span_append((
+                        "load", started, env._now,
+                        ("drive", drive_name, "tape", str(tape_id)),
+                        sid, swid, request,
+                    ))
+                else:
                     yield env.timeout(drive.load_time)
         else:
             requested_at = env.now
@@ -489,18 +604,62 @@ def _switch_to(
                 if wait > 0:
                     trace.record(
                         "robot_wait", requested_at, env.now,
-                        parent=sw.id, request=request, drive=drive_name,
+                        parent=swid, request=request, drive=drive_name,
                     )
                 record.robot_wait_s += wait
-                with trace.span(
-                    env, "robot_fetch", parent=sw.id, request=request, drive=drive_name
-                ):
-                    yield env.timeout(robot.move_time)  # fetch only: drive was empty
+                if tracing:
+                    sid = trace._next_id
+                    trace._next_id = sid + 1
+                    started = env._now
+                    try:
+                        yield env.timeout(robot.move_time)  # fetch only: drive was empty
+                    except BaseException:
+                        span_append((
+                            "robot_fetch", started, env._now,
+                            {"drive": drive_name, "aborted": True},
+                            sid, swid, request,
+                        ))
+                        raise
+                    span_append((
+                        "robot_fetch", started, env._now, ("drive", drive_name),
+                        sid, swid, request,
+                    ))
+                else:
+                    yield env.timeout(robot.move_time)
                 drive.mount(new_tape)
-                with trace.span(
-                    env, "load", parent=sw.id, request=request,
-                    drive=drive_name, tape=str(tape_id),
-                ):
+                if tracing:
+                    sid = trace._next_id
+                    trace._next_id = sid + 1
+                    started = env._now
+                    try:
+                        yield env.timeout(drive.load_time)
+                    except BaseException:
+                        span_append((
+                            "load", started, env._now,
+                            {"drive": drive_name, "tape": str(tape_id), "aborted": True},
+                            sid, swid, request,
+                        ))
+                        raise
+                    span_append((
+                        "load", started, env._now,
+                        ("drive", drive_name, "tape", str(tape_id)),
+                        sid, swid, request,
+                    ))
+                else:
                     yield env.timeout(drive.load_time)
+    except BaseException:
+        if tracing:
+            span_append((
+                "switch", sw_started, env._now,
+                {"drive": drive_name, "tape": str(tape_id), "aborted": True},
+                swid, parent, request,
+            ))
+        raise
+    if tracing:
+        span_append((
+            "switch", sw_started, env._now,
+            ("drive", drive_name, "tape", str(tape_id)),
+            swid, parent, request,
+        ))
 
     record.num_switches += 1

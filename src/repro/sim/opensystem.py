@@ -29,6 +29,7 @@ Entry points: ``session.open(policy=...)`` or :func:`simulate_open_system`.
 
 from __future__ import annotations
 
+import gc
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
@@ -429,8 +430,29 @@ class _LibraryDispatcher:
             self._abort_unservable()
 
     def _dispatch(self) -> None:
-        while self.pending and self._try_assign():
-            pass
+        if self.pending:
+            # Round-invariant context, hoisted out of the assignment loop:
+            # the live-drive pool and its degraded flag cannot change during
+            # a synchronous dispatch round (workers only resume at a later
+            # kernel step), and ``protected`` — tapes of pending jobs plus
+            # committed tapes — is invariant under assignment because an
+            # assigned job's tape moves from the pending side of the union
+            # to the committed side.
+            workers = self.workers
+            live = [d for d in self.library.drives if d.id.index in workers]
+            degraded = not any(not d.pinned for d in live)
+            protected = {dj.job.tape_id for dj in self.pending} | set(self.committed)
+            # Mounted-cartridge index in drive order (mounts only change
+            # when a worker later resumes), replacing a per-pending-job
+            # ``drive_holding`` scan with one dict lookup.  ``setdefault``
+            # keeps the first-match semantics of the scan it replaces.
+            mounted = {}
+            for d in self.library.drives:
+                tape = d.mounted
+                if tape is not None:
+                    mounted.setdefault(tape.id, d)
+            while self.pending and self._try_assign(live, degraded, protected, mounted):
+                pass
         self.pending_gauge.set(len(self.pending), self.env.now)
         if self._restore_waiters:
             waiters, self._restore_waiters = self._restore_waiters, []
@@ -438,20 +460,20 @@ class _LibraryDispatcher:
                 if not event.triggered:
                     event.succeed()
 
-    def _try_assign(self) -> bool:
+    def _try_assign(self, live, degraded, protected, mounted) -> bool:
         """Assign the first admissible pending job; True if one was placed."""
-        live = [d for d in self.library.drives if d.id.index in self.workers]
-        idle = [d for d in live if d.id.index not in self.busy]
+        busy = self.busy
+        idle = [d for d in live if d.id.index not in busy]
         if not idle:
             return False
-        degraded = not any(not d.pinned for d in live)
-        protected = {dj.job.tape_id for dj in self.pending} | set(self.committed)
+        committed = self.committed
+        workers = self.workers
         for djob in self.pending:
             tape_id = djob.job.tape_id
-            holder_idx = self.committed.get(tape_id)
+            holder_idx = committed.get(tape_id)
             if holder_idx is None:
-                holder = self.library.drive_holding(tape_id)
-                if holder is not None and holder.id.index in self.workers:
+                holder = mounted.get(tape_id)
+                if holder is not None and holder.id.index in workers:
                     holder_idx = holder.id.index
             if holder_idx is not None:
                 if holder_idx in self.busy:
@@ -900,41 +922,56 @@ class OpenSystem:
             )
         if num_arrivals <= 0:
             raise ValueError(f"num_arrivals must be positive, got {num_arrivals}")
-        if reset:
-            if self._ran:
-                raise ValueError(
-                    "reset=True is only valid for the first run on this "
-                    "OpenSystem (the clock and hardware state have advanced); "
-                    "pass reset=False to continue the stream"
-                )
-            self.session.reset()
-        self._ran = True
-        self._expected = num_arrivals
+        # Pause automatic cyclic GC for the whole stream, not just the
+        # inner ``env.run()`` loop (which pauses on its own and leaves a
+        # pre-disabled GC alone): ``session.reset()`` and the setup /
+        # finalization around the event loop allocate enough to trigger
+        # full-heap collections that rescan the persistent workload graph —
+        # inside any wall/CPU measurement a caller wraps around this call.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if reset:
+                if self._ran:
+                    raise ValueError(
+                        "reset=True is only valid for the first run on this "
+                        "OpenSystem (the clock and hardware state have advanced); "
+                        "pass reset=False to continue the stream"
+                    )
+                self.session.reset()
+            self._ran = True
+            self._expected = num_arrivals
 
-        rng = np.random.default_rng(seed)
-        inter = rng.exponential(3600.0 / arrival_rate_per_hour, size=num_arrivals)
-        arrivals = np.cumsum(inter) + self.env.now
-        sampled = self.session.workload.requests.sample(rng, num_arrivals)
+            rng = np.random.default_rng(seed)
+            inter = rng.exponential(3600.0 / arrival_rate_per_hour, size=num_arrivals)
+            arrivals = np.cumsum(inter) + self.env.now
+            sampled = self.session.workload.requests.sample(rng, num_arrivals)
 
-        outcomes: List[_Outcome] = []
+            outcomes: List[_Outcome] = []
 
-        def arrival_process():
-            for arrival, request in zip(arrivals, sampled):
-                delay = float(arrival) - self.env.now
-                if delay > 0:
-                    yield self.env.timeout(delay)
-                self.env.process(self._request_runner(request, float(arrival), outcomes))
+            def arrival_process():
+                for arrival, request in zip(arrivals, sampled):
+                    delay = float(arrival) - self.env.now
+                    if delay > 0:
+                        yield self.env.timeout(delay)
+                    self.env.process(
+                        self._request_runner(request, float(arrival), outcomes)
+                    )
 
-        self.env.process(arrival_process())
-        if self.injector is not None:
-            self.injector.arm()
-        if sample_period_s is not None:
-            self.registry.install_sampler(self.env, sample_period_s)
-        self.env.run()
-        self.policy.check_drained()
-        if self.injector is not None:
-            self.injector.finalize()
-        self.registry.snapshot(self.env.now)
+            self.env.process(arrival_process())
+            if self.injector is not None:
+                self.injector.arm()
+            if sample_period_s is not None:
+                self.registry.install_sampler(self.env, sample_period_s)
+            self.env.run()
+            self.policy.check_drained()
+            if self.injector is not None:
+                self.injector.finalize()
+            self.registry.snapshot(self.env.now)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if len(outcomes) != num_arrivals:
             raise RuntimeError(
                 f"{num_arrivals - len(outcomes)} requests never completed "

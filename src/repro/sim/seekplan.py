@@ -36,11 +36,37 @@ def sweep_cost(
 def plan_retrieval(
     extents: Sequence[ObjectExtent], head_mb: float, spec: TapeSpec
 ) -> Tuple[List[ObjectExtent], float]:
-    """Choose the cheaper sweep; returns (ordered extents, total seek time)."""
+    """Choose the cheaper sweep; returns (ordered extents, total seek time).
+
+    Planning runs once per tape visit inside the simulation hot loop, so the
+    two candidate sweeps are sorted exactly once each and costed inline
+    (same float expression as :func:`sweep_cost`, hoisting the spec lookups).
+    """
     if not extents:
         return [], 0.0
-    up = sweep_cost(extents, head_mb, spec, ascending=True)
-    down = sweep_cost(extents, head_mb, spec, ascending=False)
-    ascending = up <= down
-    ordered = sorted(extents, key=lambda e: e.start_mb, reverse=not ascending)
-    return ordered, min(up, down)
+    startup = spec.locate_startup_s
+    rate = spec.locate_rate_mb_s
+
+    asc = sorted(extents, key=lambda e: e.start_mb)
+    up = 0.0
+    position = head_mb
+    for extent in asc:
+        start = extent.start_mb
+        distance = abs(start - position)
+        if distance != 0:
+            up += startup + distance / rate
+        position = extent.end_mb
+
+    desc = sorted(extents, key=lambda e: e.start_mb, reverse=True)
+    down = 0.0
+    position = head_mb
+    for extent in desc:
+        start = extent.start_mb
+        distance = abs(start - position)
+        if distance != 0:
+            down += startup + distance / rate
+        position = extent.end_mb
+
+    if up <= down:
+        return asc, up
+    return desc, down

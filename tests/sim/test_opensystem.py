@@ -13,9 +13,12 @@ Covers the refactor's contract from three sides:
   overlap-aware `QueueingResult` aggregates.
 """
 
+import hashlib
+
 import numpy as np
 import pytest
 
+from repro.des import trace_enabled_by_env
 from repro.hardware import DriveSpec, LibrarySpec, ObjectExtent, SystemSpec, TapeId, TapeSpec
 from repro.placement import (
     ClusterProbabilityPlacement,
@@ -23,11 +26,13 @@ from repro.placement import (
     ParallelBatchPlacement,
 )
 from repro.sim import (
+    DriveFaultProcess,
     OpenSystem,
     QueuedRequestRecord,
     QueueingResult,
     SimulationSession,
     TapeJob,
+    TransientFaults,
     available_scheduling_policies,
     in_flight_profile,
     simulate_fcfs_queue,
@@ -228,21 +233,25 @@ class TestConcurrentFailures:
 # ---------------------------------------------------------------------------
 
 
+def _starved_session():
+    """A drive-starved system: small tapes spread even the popular objects
+    across many cartridges while only two drives serve each library, so
+    every request forces tape switches and the robot arm and the
+    displacement logic are genuinely contended."""
+    workload = _workload(
+        num_objects=600, request_size_bounds=(8, 16), mean_object_size_mb=None
+    )
+    spec = _spec(
+        num_drives=2, num_tapes=40, disk_bandwidth_mb_s=20.0,
+        tape_capacity_mb=2_000.0,
+    )
+    return SimulationSession(workload, spec, scheme=ObjectProbabilityPlacement())
+
+
 class TestResourceInvariants:
     @pytest.fixture(scope="class")
     def starved(self):
-        """A drive-starved system: small tapes spread even the popular
-        objects across many cartridges while only two drives serve each
-        library, so every request forces tape switches and the robot arm
-        and the displacement logic are genuinely contended."""
-        workload = _workload(
-            num_objects=600, request_size_bounds=(8, 16), mean_object_size_mb=None
-        )
-        spec = _spec(
-            num_drives=2, num_tapes=40, disk_bandwidth_mb_s=20.0,
-            tape_capacity_mb=2_000.0,
-        )
-        return SimulationSession(workload, spec, scheme=ObjectProbabilityPlacement())
+        return _starved_session()
 
     @pytest.fixture(scope="class")
     def starved_result(self, starved):
@@ -427,3 +436,115 @@ class TestTapeJobCompletion:
         assert rest.tape_id == job.tape_id
         assert rest.completed == 0
         assert rest.extents == job.extents[2:]
+
+
+# ---------------------------------------------------------------------------
+# Kernel fast-path parity: seed-for-seed goldens over the full result surface
+# ---------------------------------------------------------------------------
+
+
+def _digest(values):
+    return hashlib.sha256(repr(tuple(values)).encode()).hexdigest()[:16]
+
+
+@pytest.mark.skipif(
+    not trace_enabled_by_env(), reason="parity goldens include span digests"
+)
+class TestKernelFastPathParity:
+    """Bit-identical goldens guarding the DES kernel/engine fast path.
+
+    The slotted events, timeout fast lane, inlined run loop, lazy span
+    storage and dispatcher hoists are all pure optimizations: seed for
+    seed, every sojourn, span tuple, metric and fault counter must stay
+    exactly what the generic paths produced.  The digests below were
+    captured on the drive-starved configuration before the fast path
+    landed; any change to hot-path event ordering, span bookkeeping or
+    float arithmetic moves at least one of them.
+    """
+
+    GOLDEN = {
+        "serial-fcfs": dict(
+            mean_sojourn_s=253.4565958084526,
+            horizon_s=909.8063320680933,
+            sojourn_digest="62eb2befb0a3529b",
+            span_count=1060,
+            span_digest="151f24ef73f12657",
+            metrics_digest="6180bd68e78b1863",
+            switches=8,
+            events_processed=1452,
+            robot0=dict(grants=4, busy_s=56.0, queue_wait_s=22.729739828302286),
+        ),
+        "concurrent": dict(
+            mean_sojourn_s=168.2069386104041,
+            horizon_s=715.3968139415947,
+            sojourn_digest="bff1b1d040d4183f",
+            span_count=1236,
+            span_digest="762acaa5735ac7df",
+            metrics_digest="94aa3ccecc7eb4a8",
+            switches=4,
+            events_processed=1292,
+            robot0=dict(grants=2, busy_s=28.0, queue_wait_s=0.0),
+        ),
+    }
+
+    @pytest.mark.parametrize("policy", sorted(GOLDEN))
+    def test_policy_parity(self, policy):
+        golden = self.GOLDEN[policy]
+        session = _starved_session()
+        opensys = session.open(policy=policy)
+        result = opensys.run(240.0, num_arrivals=30, seed=11)
+
+        assert result.mean_sojourn_s == golden["mean_sojourn_s"]
+        assert result.horizon_s == golden["horizon_s"]
+        assert _digest(r.sojourn_s for r in result.records) == golden["sojourn_digest"]
+
+        spans = result.spans()
+        assert len(spans) == golden["span_count"]
+        assert (
+            _digest(
+                (s.name, s.start, s.end, s.span_id, s.parent_id, s.request_id)
+                for s in spans
+            )
+            == golden["span_digest"]
+        )
+        assert (
+            _digest(
+                (m.response_s, m.seek_s, m.transfer_s, m.num_switches)
+                for m in result.metrics
+            )
+            == golden["metrics_digest"]
+        )
+        assert sum(m.num_switches for m in result.metrics) == golden["switches"]
+        assert opensys.env.events_processed == golden["events_processed"]
+
+        robot0 = result.resources[sorted(n for n in result.resources if "robot" in n)[0]]
+        for key, value in golden["robot0"].items():
+            assert robot0[key] == value
+
+    def test_faulted_parity(self):
+        """An armed FaultSpec run: availability and fault counters included."""
+        session = _starved_session()
+        opensys = session.open(
+            policy="concurrent",
+            faults=(
+                DriveFaultProcess(mtbf_s=1200.0, mttr_s=300.0),
+                TransientFaults(probability=0.05),
+            ),
+            fault_seed=5,
+        )
+        result = opensys.run(240.0, num_arrivals=30, seed=11)
+
+        assert result.mean_sojourn_s == 176.86092777024982
+        assert result.horizon_s == 2044.5652057413329
+        assert _digest(r.sojourn_s for r in result.records) == "a00856937e4ecac8"
+        assert len(result.spans()) == 1247
+        assert result.availability == 0.9602682894847447
+        assert result.aborted_requests == 0
+        assert opensys.env.events_processed == 1322
+        faults = result.faults
+        assert faults["drive_failures"] == 1.0
+        assert faults["drive_repairs"] == 1.0
+        assert faults["transient_errors"] == 5.0
+        assert faults["retries"] == 5.0
+        assert faults["escalations"] == 0.0
+        assert faults["degraded_time_s"] == 324.9362915363114
