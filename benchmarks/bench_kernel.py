@@ -222,3 +222,129 @@ def test_kernel_throughput_gate(settings, timed_open_run, quick, monkeypatch):
             f"{ENABLED_OVERHEAD_CEILING_PCT}% ceiling)",
             stacklevel=1,
         )
+
+
+#: Per-plan planning-price ceilings (microseconds) for the seek-planner
+#: gate, by extent count.  Greedy guards the default hot path (``_serve_job``
+#: plans once per tape visit, so its price rides every visit); exact's
+#: ceiling only keeps the O(n^2) DP from quietly growing a cubic term.
+#: Measured on the dev runner: greedy ~5/16/71 us, exact ~24/139/1471 us —
+#: ceilings sit 4-10x above to absorb shared-runner noise.
+GREEDY_PLAN_CEILING_US = {8: 60.0, 32: 160.0, 128: 700.0}
+EXACT_PLAN_CEILING_US = {8: 600.0, 32: 3_000.0, 128: 15_000.0}
+
+
+def _plan_prices(n_extents: int) -> dict:
+    """Per-call planning price (seconds) of every registered planner on one
+    random ``n_extents``-extent batch over an affine-startup tape spec."""
+    import dataclasses
+    import random
+
+    from repro.hardware import SystemSpec
+    from repro.sim import available_seek_planners, make_seek_planner
+    from repro.sim.seekplan import ObjectExtent
+
+    tape = dataclasses.replace(
+        SystemSpec.table1().library.tape, locate_startup_s=4.0
+    )
+    rng = random.Random(20060814 + n_extents)
+    extents = [
+        ObjectExtent(object_id=i, start_mb=start / 100.0, size_mb=50.0)
+        for i, start in enumerate(rng.sample(range(0, 190_000), n_extents))
+    ]
+    number = max(20, 2_000 // n_extents)
+    prices = {}
+    for name in available_seek_planners():
+        planner = make_seek_planner(name)
+        prices[name] = (
+            min(
+                timeit(lambda: planner.plan(extents, 500.0, tape), number=number)
+                for _ in range(3)
+            )
+            / number
+        )
+    return prices
+
+
+def test_seek_planner_gate(settings, timed_open_run, quick):
+    """The planner registry stays off the default hot path.
+
+    Three checks: (1) resolving no planner yields the shared greedy-sweep
+    singleton, so the engine's per-visit planning cost is unchanged by the
+    registry indirection; (2) per-plan micro prices — greedy under the
+    hot-path ceiling, exact under its own (an O(n^2) sanity bound); (3) one
+    end-to-end run per registered planner on the identical arrival stream,
+    recorded to ``BENCH_kernel.json`` (read-modify-write: the throughput
+    gate above overwrites the file, so this test must merge, not write).
+    """
+    from repro.sim import available_seek_planners, resolve_seek_planner
+
+    default = resolve_seek_planner(None)
+    assert default.name == "greedy-sweep"
+    assert resolve_seek_planner(None) is default, (
+        "resolve_seek_planner(None) must return a shared singleton — a "
+        "fresh allocation per request would ride the admission path"
+    )
+
+    sizes = (8, 32) if quick else (8, 32, 128)
+    prices = {n: _plan_prices(n) for n in sizes}
+
+    rate, arrivals = 8.0, (24 if quick else 60)
+    baseline = timed_open_run("serial-fcfs", rate, arrivals)
+    runs = {}
+    raw_sojourn = {}
+    for name in sorted(available_seek_planners()):
+        r = timed_open_run("serial-fcfs", rate, arrivals, seek_planner=name)
+        raw_sojourn[name] = r.result.mean_sojourn_s
+        runs[name] = {
+            "events_processed": r.events,
+            "wall_s": round(r.wall_s, 4),
+            "events_per_s": round(r.events / r.wall_s),
+            "mean_sojourn_s": round(r.result.mean_sojourn_s, 3),
+        }
+    # The default (planner=None) path is literally the greedy planner.
+    assert runs["greedy-sweep"]["events_processed"] == baseline.events
+    assert raw_sojourn["greedy-sweep"] == baseline.result.mean_sojourn_s
+
+    payload = {
+        "scale": settings.scale,
+        "rate_per_hour": rate,
+        "num_arrivals": arrivals,
+        "plan_price_us": {
+            str(n): {name: round(p * 1e6, 2) for name, p in prices[n].items()}
+            for n in sizes
+        },
+        "plan_price_ceiling_us": {
+            "greedy-sweep": {str(n): GREEDY_PLAN_CEILING_US[n] for n in sizes},
+            "exact": {str(n): EXACT_PLAN_CEILING_US[n] for n in sizes},
+        },
+        "open_runs": runs,
+    }
+    data = {}
+    if BENCH_KERNEL_PATH.exists():
+        data = json.loads(BENCH_KERNEL_PATH.read_text())
+    data["seek_planners"] = payload
+    BENCH_KERNEL_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\n{json.dumps(payload, indent=2)}\nmerged into {BENCH_KERNEL_PATH}")
+
+    for n in sizes:
+        greedy_us = prices[n]["greedy-sweep"] * 1e6
+        exact_us = prices[n]["exact"] * 1e6
+        msg_g = (
+            f"greedy-sweep plans {n} extents in {greedy_us:.1f} us "
+            f"(ceiling {GREEDY_PLAN_CEILING_US[n]} us) — the default hot "
+            "path got slower"
+        )
+        msg_e = (
+            f"exact plans {n} extents in {exact_us:.1f} us "
+            f"(ceiling {EXACT_PLAN_CEILING_US[n]} us) — the DP grew "
+            "superquadratic?"
+        )
+        if quick:
+            if greedy_us > GREEDY_PLAN_CEILING_US[n]:
+                warnings.warn(msg_g, stacklevel=1)
+            if exact_us > EXACT_PLAN_CEILING_US[n]:
+                warnings.warn(msg_e, stacklevel=1)
+        else:
+            assert greedy_us <= GREEDY_PLAN_CEILING_US[n], msg_g
+            assert exact_us <= EXACT_PLAN_CEILING_US[n], msg_e

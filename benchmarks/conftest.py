@@ -100,7 +100,12 @@ def timed_open_run(settings):
     Returns a :class:`TimedRun`.
     """
 
-    def run(policy: str, rate_per_hour: float = 8.0, num_arrivals: int = 60):
+    def run(
+        policy: str,
+        rate_per_hour: float = 8.0,
+        num_arrivals: int = 60,
+        seek_planner=None,
+    ):
         from time import perf_counter, process_time
 
         from repro.experiments import paper_workload
@@ -112,7 +117,7 @@ def timed_open_run(settings):
         session = SimulationSession(
             workload, spec, scheme=ParallelBatchPlacement(m=settings.m)
         )
-        opensys = session.open(policy=policy)
+        opensys = session.open(policy=policy, seek_planner=seek_planner)
         start = perf_counter()
         cpu_start = process_time()
         result = opensys.run(rate_per_hour, num_arrivals=num_arrivals, seed=settings.eval_seed)

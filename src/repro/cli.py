@@ -41,7 +41,11 @@ from .experiments import (
     default_settings,
 )
 from .placement import available_schemes, make_scheme
-from .sim import SimulationSession, available_scheduling_policies
+from .sim import (
+    SimulationSession,
+    available_scheduling_policies,
+    available_seek_planners,
+)
 from .workload import dump_workload, generate_workload
 
 __all__ = ["main", "build_parser"]
@@ -113,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="also draw the series as a terminal chart"
     )
     sw.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    _add_seek_planner_arg(sw)
     _add_settings_args(sw)
 
     run = sub.add_parser("run", help="evaluate one scheme on one configuration")
@@ -154,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail a drive permanently at an absolute time in seconds, e.g. "
         "--fail L0.D0=1800 (repeatable; requires --policy concurrent)",
     )
+    _add_seek_planner_arg(op)
     _add_settings_args(op)
 
     ch = sub.add_parser(
@@ -309,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export trace.json + metrics.jsonl telemetry from the "
         "profiled run (requires tracing enabled)",
     )
+    _add_seek_planner_arg(pf)
     _add_settings_args(pf)
 
     cmp_p = sub.add_parser(
@@ -347,6 +354,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_seek_planner_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seek-planner",
+        default=None,
+        choices=sorted(available_seek_planners()),
+        help="within-tape retrieval-order planner (default: greedy-sweep; "
+        "see docs/seek_planning.md)",
+    )
+
+
 def _add_settings_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -368,6 +385,8 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         overrides["scale"] = args.scale
     if getattr(args, "num_samples", None):
         overrides["num_samples"] = args.num_samples
+    if getattr(args, "seek_planner", None):
+        overrides["seek_planner"] = args.seek_planner
     return default_settings(**overrides)
 
 
@@ -473,10 +492,14 @@ def _cmd_open(args: argparse.Namespace) -> int:
     kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
     session = SimulationSession(workload, spec, scheme=make_scheme(args.scheme, **kwargs))
     failures = _parse_fail_args(getattr(args, "fail", None))
-    result = session.open(policy=args.policy, failures=failures or None).run(
-        args.rate, num_arrivals=args.arrivals, seed=args.seed
+    opensys = session.open(
+        policy=args.policy,
+        failures=failures or None,
+        seek_planner=args.seek_planner,
     )
+    result = opensys.run(args.rate, num_arrivals=args.arrivals, seed=args.seed)
     print(f"policy:            {result.policy}")
+    print(f"seek planner:      {opensys.seek_planner.name}")
     print(f"scheme:            {result.scheme}")
     print(f"arrival rate:      {result.arrival_rate_per_hour:10.1f} /h")
     print(f"arrivals served:   {len(result):10d}")
@@ -588,7 +611,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     spec = settings.spec()
     kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
     session = SimulationSession(workload, spec, scheme=make_scheme(args.scheme, **kwargs))
-    opensys = session.open(policy=args.policy)
+    opensys = session.open(policy=args.policy, seek_planner=args.seek_planner)
 
     profiler = cProfile.Profile()
     start = perf_counter()
@@ -600,6 +623,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     events = opensys.env.events_processed
     print(f"policy:            {result.policy}")
     print(f"scheme:            {result.scheme}")
+    print(f"seek planner:      {opensys.seek_planner.name}")
     print(f"arrivals served:   {len(result):10d}")
     print(f"horizon:           {result.horizon_s:10.1f} s")
     print(f"wall time:         {wall:10.3f} s")

@@ -39,6 +39,7 @@ from .extensions import (
     queueing,
     robots,
     seek_model,
+    seek_planning,
     striping,
 )
 from .plotting import ascii_chart, chart_table
@@ -94,5 +95,6 @@ __all__ = [
     "seek_model",
     "open_system",
     "availability",
+    "seek_planning",
     "run_open_comparison",
 ]

@@ -83,6 +83,7 @@ def _comparison_points(
                     size_scale=cell.get("size_scale"),
                     num_samples=settings.samples,
                     seed_group=cell.get("seed_group"),
+                    seek_planner=settings.seek_planner,
                 )
             )
     return SweepSpec(name=sweep, points=tuple(points), root_seed=settings.eval_seed)
@@ -154,6 +155,7 @@ def figure5_spec(
                     alpha=a,
                     num_samples=settings.samples,
                     label=f"alpha={a}",
+                    seek_planner=settings.seek_planner,
                 )
             )
     return SweepSpec(name="fig5", points=tuple(points), root_seed=settings.eval_seed)
@@ -589,6 +591,7 @@ def ablation_spec(settings: ExperimentSettings) -> SweepSpec:
                 num_samples=settings.samples,
                 # All variants draw the same request stream (paired ablation).
                 seed_group=("ablation",),
+                seek_planner=settings.seek_planner,
             )
         )
     return SweepSpec(name="ablation", points=tuple(points), root_seed=settings.eval_seed)
@@ -630,6 +633,7 @@ def _extension_experiments():
         queueing,
         robots,
         seek_model,
+        seek_planning,
         striping,
     )
 
@@ -643,6 +647,7 @@ def _extension_experiments():
         "seek_model": seek_model,
         "open_system": open_system,
         "availability": availability,
+        "seekplan": seek_planning,
     }
 
 

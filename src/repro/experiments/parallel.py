@@ -114,6 +114,10 @@ class PointSpec:
     label: Optional[str] = None
     #: Override for the seed-sharing cell; ``None`` = (axis, value, replicate).
     seed_group: Optional[Tuple[Any, ...]] = None
+    #: Within-tape seek-planner registry name (``None`` = default
+    #: ``greedy-sweep``).  A dataclass field, so it participates in
+    #: :meth:`cache_key` — points never alias across planners.
+    seek_planner: Optional[str] = None
 
     def group(self) -> Tuple[Any, ...]:
         return (
@@ -208,7 +212,9 @@ def evaluate_point(point: PointSpec, seed: int):
         session = _incremental_session(point, workload, run_kwargs)
     else:
         scheme = make_scheme(point.scheme, **dict(point.scheme_kwargs))
-        session = SimulationSession(workload, point.spec, scheme=scheme)
+        session = SimulationSession(
+            workload, point.spec, scheme=scheme, seek_planner=point.seek_planner
+        )
 
     if point.failed_drives:
         session.fail_drives(list(point.failed_drives))
@@ -271,7 +277,9 @@ def _incremental_session(point: PointSpec, workload, run_kwargs: Dict[str, Any])
     placement = IncrementalParallelBatch(
         m=run_kwargs["m"], affinity=(strategy == "affinity")
     ).place_incrementally(workload, epochs, point.spec)
-    return SimulationSession(workload, point.spec, placement=placement)
+    return SimulationSession(
+        workload, point.spec, placement=placement, seek_planner=point.seek_planner
+    )
 
 
 def _run_job(job: Tuple[PointSpec, int]):

@@ -54,6 +54,9 @@ class ExperimentSettings:
     eval_seed: int = 0
     workload_seed: int = 20060814
     m: int = DEFAULT_M
+    #: Within-tape seek-planner registry name threaded into every sweep
+    #: point (``None`` = the default ``greedy-sweep``).
+    seek_planner: Optional[str] = None
 
     @property
     def workload_params(self) -> WorkloadParams:

@@ -31,7 +31,19 @@ from .opensystem import (
 )
 from .replacement import REPLACEMENT_POLICIES, available_policies, replacement_key
 from .scheduling import LibraryPlan, TapeJob, build_library_plan, estimate_job_time
-from .seekplan import plan_retrieval, sweep_cost
+from .seekplan import locate_cost, plan_retrieval, sweep_cost
+from .seekplanner import (
+    DEFAULT_SEEK_PLANNER,
+    ApproxPlanner,
+    ExactPlanner,
+    GreedySweepPlanner,
+    KLookaheadPlanner,
+    SeekPlanner,
+    available_seek_planners,
+    make_seek_planner,
+    register_seek_planner,
+    resolve_seek_planner,
+)
 from .session import SimulationSession, evaluate_scheme
 
 __all__ = [
@@ -68,6 +80,17 @@ __all__ = [
     "estimate_job_time",
     "plan_retrieval",
     "sweep_cost",
+    "locate_cost",
+    "SeekPlanner",
+    "GreedySweepPlanner",
+    "ExactPlanner",
+    "ApproxPlanner",
+    "KLookaheadPlanner",
+    "DEFAULT_SEEK_PLANNER",
+    "register_seek_planner",
+    "make_seek_planner",
+    "available_seek_planners",
+    "resolve_seek_planner",
     "mounted_response",
     "REPLACEMENT_POLICIES",
     "available_policies",

@@ -4,32 +4,38 @@ These duplicate the engine's arithmetic *without* the event loop and serve
 as independent oracles in tests:
 
 * :func:`mounted_response` — a request whose tapes are all mounted needs no
-  robot and no switching, so each drive's completion is simply its optimal
-  sweep seek plus transfer time, all starting at t=0; the DES must agree to
-  float precision.
+  robot and no switching, so each drive's completion is simply its
+  planner's seek plus transfer time, all starting at t=0; the DES must
+  agree to float precision.
 * :func:`uncontended_switch_time` — the drive-side cost of one switch with
   a free robot; a lower bound for any simulated switch.
 """
 
 from __future__ import annotations
 
+from typing import Union
 
 from ..catalog import LocationIndex, Request
 from ..hardware import SystemSpec, TapeSystem
 from .metrics import DriveServiceRecord, RequestMetrics
-from .seekplan import plan_retrieval
+from .seekplanner import SeekPlanner, resolve_seek_planner
 
 __all__ = ["mounted_response", "uncontended_switch_time"]
 
 
 def mounted_response(
-    system: TapeSystem, index: LocationIndex, request: Request
+    system: TapeSystem,
+    index: LocationIndex,
+    request: Request,
+    seek_planner: Union[None, str, SeekPlanner] = None,
 ) -> RequestMetrics:
     """Analytic response for a request served entirely from mounted tapes.
 
     Raises ``ValueError`` if any requested tape is offline.  Does not mutate
-    head positions (pure computation).
+    head positions (pure computation).  ``seek_planner`` must match the
+    engine's configured planner for the oracle to agree with the DES.
     """
+    planner = resolve_seek_planner(seek_planner)
     jobs = index.group_by_tape(request.object_ids)
     mounted = system.mounted_tape_ids()
     records = []
@@ -39,7 +45,7 @@ def mounted_response(
         if drive is None:
             raise ValueError(f"tape {tape_id} is not mounted; analytic model does not apply")
         tape = system.tape(tape_id)
-        _, seek = plan_retrieval(extents, tape.head_mb, drive.tape_spec)
+        _, seek = planner.plan(extents, tape.head_mb, drive.tape_spec)
         transfer = drive.transfer_time(sum(e.size_mb for e in extents))
         total_mb += sum(e.size_mb for e in extents)
         records.append(

@@ -8,7 +8,9 @@ One call to :func:`simulate_request` serves one request to completion:
   offline tapes queue LPT-first and free switch drives pull greedily;
 * every mount/unmount competes for the library's single robot arm
   (capacity-1 resource) — robots of different libraries are independent;
-* within a tape, extents are read in the cheaper single sweep.
+* within a tape, extents are read in the order chosen by the configured
+  seek planner (default: the paper's cheaper single sweep; see
+  :mod:`repro.sim.seekplanner`).
 
 Hardware state (mounted tapes, head positions) is mutated and *persists*
 across calls, exactly like the paper's simulator where requests arrive one
@@ -27,14 +29,14 @@ on a session's long-lived shared environment
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Mapping, Optional
+from typing import Deque, Dict, Mapping, Optional, Union
 
 from ..catalog import LocationIndex, Request
 from ..des import Environment, Interrupt, Resource, Trace
 from ..hardware import TapeDrive, TapeLibrary, TapeId, TapeSystem
 from .metrics import DriveServiceRecord, RequestMetrics
 from .scheduling import TapeJob, build_library_plan
-from .seekplan import plan_retrieval
+from .seekplanner import SeekPlanner, resolve_seek_planner
 
 __all__ = ["simulate_request", "RequestExecution"]
 
@@ -71,11 +73,16 @@ class RequestExecution:
         disk: Optional[Resource] = None,
         parent: Optional[int] = None,
         trace_request: Optional[int] = None,
+        seek_planner: Union[None, str, SeekPlanner] = None,
     ) -> None:
         self.env = env
         self.system = system
         self.request = request
         self.started_at = env.now
+        # Resolve once at admission; every per-tape plan and LPT estimate in
+        # this execution uses the same planner instance.
+        planner = resolve_seek_planner(seek_planner)
+        self.seek_planner = planner
         trace = trace if trace is not None else _NULL_TRACE
         self.trace = trace
         # The span-tree grouping key.  Open-system callers pass a unique
@@ -101,7 +108,9 @@ class RequestExecution:
         failures = dict(failures or {})
 
         for library in system.libraries:
-            plan = build_library_plan(library, jobs, tape_priority, replacement_policy)
+            plan = build_library_plan(
+                library, jobs, tape_priority, replacement_policy, planner=planner
+            )
             if plan.is_empty:
                 continue
             if plan.offline and not plan.switch_order:
@@ -115,7 +124,7 @@ class RequestExecution:
             self.queues[library.id] = queue
             runtime = _LibraryRuntime(
                 env, library, queue, self.records, trace, disk, failures,
-                request_id=self._trace_request, parent_id=parent,
+                request_id=self._trace_request, parent_id=parent, planner=planner,
             )
             self.runtimes.append(runtime)
             serving_indices = {idx for idx, _ in plan.serving}
@@ -187,6 +196,7 @@ def simulate_request(
     trace: Optional[Trace] = None,
     replacement_policy: str = "least_popular",
     failures: Optional[Mapping[str, float]] = None,
+    seek_planner: Union[None, str, SeekPlanner] = None,
 ) -> RequestMetrics:
     """Serve ``request`` on ``system``; returns its metrics.
 
@@ -198,7 +208,10 @@ def simulate_request(
     ``tape_priority`` and ``replacement_policy`` control which mounted tapes
     are displaced first (default: the paper's least-popular policy);
     ``trace`` (if enabled) receives one span per
-    rewind/unload/robot/load/seek/transfer.
+    rewind/unload/robot/load/seek/transfer.  ``seek_planner`` picks the
+    within-tape retrieval-order strategy — a registered name, a
+    :class:`~repro.sim.seekplanner.SeekPlanner` instance, or ``None`` for
+    the default ``greedy-sweep``.
 
     ``failures`` injects permanent drive failures for this request: a map
     from drive name (e.g. ``"L0.D3"``) to the simulated time at which the
@@ -223,6 +236,7 @@ def simulate_request(
         replacement_policy,
         failures,
         disk,
+        seek_planner=seek_planner,
     )
     env.run()
     return execution.finalize()
@@ -247,6 +261,7 @@ class _LibraryRuntime:
         failures: Mapping[str, float],
         request_id: Optional[int] = None,
         parent_id: Optional[int] = None,
+        planner: Optional[SeekPlanner] = None,
     ) -> None:
         self.env = env
         self.library = library
@@ -257,6 +272,7 @@ class _LibraryRuntime:
         self.failures = failures
         self.request_id = request_id
         self.parent_id = parent_id
+        self.planner = resolve_seek_planner(planner)
         self.active: set = set()
         #: Every drive process spawned for this request (watchdogs excluded),
         #: so a shared-environment caller can wait for their completion.
@@ -305,6 +321,7 @@ class _LibraryRuntime:
         env, library, queue = self.env, self.library, self.queue
         records, trace, disk = self.records, self.trace, self.disk
         request_id, parent_id = self.request_id, self.parent_id
+        planner = self.planner
         record = None
         current: Optional[TapeJob] = first_job
         try:
@@ -316,7 +333,7 @@ class _LibraryRuntime:
                 ) as job_ctx:
                     yield from _serve_job(
                         env, drive, first_job, record, trace, disk,
-                        parent=job_ctx.id, request=request_id,
+                        parent=job_ctx.id, request=request_id, planner=planner,
                     )
                 record.completion_s = env.now
             current = None
@@ -337,7 +354,7 @@ class _LibraryRuntime:
                     )
                     yield from _serve_job(
                         env, drive, job, record, trace, disk,
-                        parent=job_ctx.id, request=request_id,
+                        parent=job_ctx.id, request=request_id, planner=planner,
                     )
                 current = None
                 record.completion_s = env.now
@@ -368,8 +385,9 @@ def _serve_job(
     disk: Optional[Resource] = None,
     parent: Optional[int] = None,
     request: Optional[int] = None,
+    planner: Optional[SeekPlanner] = None,
 ):
-    """Read all of a job's extents in the cheaper sweep order.
+    """Read all of a job's extents in the planner's chosen order.
 
     The job's completion index advances as extents finish, so an
     interrupting failure knows exactly what is left to re-queue without
@@ -382,7 +400,9 @@ def _serve_job(
     """
     tape = drive.mounted
     assert tape is not None and tape.id == job.tape_id, "job routed to wrong drive"
-    ordered, _ = plan_retrieval(job.remaining_extents, tape.head_mb, drive.tape_spec)
+    if planner is None:
+        planner = resolve_seek_planner(None)
+    ordered, _ = planner.plan(job.remaining_extents, tape.head_mb, drive.tape_spec)
     job.begin(ordered)
     drive_name = str(drive.id)
     # The per-extent loop is the engine's hot path: with tracing off, even a

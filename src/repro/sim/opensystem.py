@@ -32,7 +32,7 @@ from __future__ import annotations
 import gc
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from .metrics import DriveServiceRecord, RequestMetrics, WindowStat, sliding_win
 from .queueing import QueuedRequestRecord, QueueingResult
 from .replacement import replacement_key
 from .scheduling import TapeJob, estimate_job_time
+from .seekplanner import SeekPlanner, resolve_seek_planner
 
 __all__ = [
     "OpenSystem",
@@ -205,6 +206,7 @@ class SerialFCFSPolicy:
                 os.disk,
                 parent=parent,
                 trace_request=trace_key,
+                seek_planner=os.seek_planner,
             )
             yield from execution.wait()
             metrics = execution.finalize()
@@ -299,7 +301,10 @@ class ConcurrentPolicy:
             tape_jobs = by_library[library_id]
             # Longest-processing-time first, as in the closed-loop planner.
             tape_jobs.sort(
-                key=lambda job: (-estimate_job_time(job, library), job.tape_id)
+                key=lambda job: (
+                    -estimate_job_time(job, library, planner=os.seek_planner),
+                    job.tape_id,
+                )
             )
             for job in tape_jobs:
                 djob = _DispatchedJob(
@@ -383,6 +388,7 @@ class _LibraryDispatcher:
         self.disk = opensys.disk
         self.replacement_policy = opensys.replacement_policy
         self.tape_priority = opensys.tape_priority
+        self.seek_planner = opensys.seek_planner
         self.pending_gauge = opensys.registry.gauge(
             f"dispatch.L{library.id}.pending", unit="jobs"
         )
@@ -716,6 +722,7 @@ class _LibraryDispatcher:
                 yield from _serve_job(
                     env, drive, job, record, trace, self.disk,
                     parent=djob.span_id, request=djob.request_id,
+                    planner=self.seek_planner,
                 )
                 record.completion_s = env.now
                 self.committed.pop(job.tape_id, None)
@@ -821,6 +828,11 @@ class OpenSystem:
     fault_seed:
         Root seed for the fault processes' random substreams (independent
         of the arrival-stream seed passed to :meth:`run`).
+    seek_planner:
+        Within-tape retrieval-order strategy — a registered name, a
+        :class:`~repro.sim.seekplanner.SeekPlanner` instance, or ``None``
+        to inherit the session's planner (itself defaulting to
+        ``greedy-sweep``).
     """
 
     def __init__(
@@ -830,9 +842,13 @@ class OpenSystem:
         failures: Optional[Dict[str, float]] = None,
         faults: Optional[Tuple[FaultSpec, ...]] = None,
         fault_seed: int = 0,
+        seek_planner: Union[None, str, SeekPlanner] = None,
     ) -> None:
         self.session = session
         self.system = session.system
+        if seek_planner is None:
+            seek_planner = getattr(session, "seek_planner", None)
+        self.seek_planner = resolve_seek_planner(seek_planner)
         # Share the session's trace when it enabled one (closed-loop spans
         # and open-system spans then interleave with distinct ids); otherwise
         # trace this system by default — REPRO_TRACE=0 still disables it.
@@ -1040,11 +1056,12 @@ def simulate_open_system(
     faults: Optional[Tuple[FaultSpec, ...]] = None,
     fault_seed: int = 0,
     sample_period_s: Optional[float] = None,
+    seek_planner: Union[None, str, SeekPlanner] = None,
 ) -> OpenSystemResult:
     """One-shot convenience: build an :class:`OpenSystem`, run one stream."""
     return OpenSystem(
         session, policy=policy, failures=failures, faults=faults,
-        fault_seed=fault_seed,
+        fault_seed=fault_seed, seek_planner=seek_planner,
     ).run(
         arrival_rate_per_hour,
         num_arrivals=num_arrivals,

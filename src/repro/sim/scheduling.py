@@ -18,11 +18,11 @@ without running the event loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Mapping, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from ..hardware import ObjectExtent, TapeLibrary, TapeId
 from .replacement import replacement_key
-from .seekplan import plan_retrieval
+from .seekplanner import SeekPlanner, resolve_seek_planner
 
 __all__ = ["TapeJob", "LibraryPlan", "estimate_job_time", "build_library_plan"]
 
@@ -88,9 +88,23 @@ class LibraryPlan:
         return not self.serving and not self.offline
 
 
-def estimate_job_time(job: TapeJob, library: TapeLibrary, head_mb: float = 0.0) -> float:
-    """Service-time estimate used only for LPT ordering (seek + transfer)."""
-    _, seek = plan_retrieval(job.extents, head_mb, library.spec.tape)
+def estimate_job_time(
+    job: TapeJob,
+    library: TapeLibrary,
+    head_mb: float = 0.0,
+    planner: Optional[SeekPlanner] = None,
+) -> float:
+    """Service-time estimate used only for LPT ordering (seek + transfer).
+
+    The seek part is priced by the same planner the engine will execute
+    with, against the ``TapeSpec`` of the drive actually holding the job's
+    tape when it is mounted (drives in a heterogeneous library may position
+    at different rates); offline tapes fall back to the library's default
+    spec since their drive assignment is not yet known.
+    """
+    drive = library.drive_holding(job.tape_id)
+    tape_spec = drive.tape_spec if drive is not None else library.spec.tape
+    _, seek = resolve_seek_planner(planner).plan(job.extents, head_mb, tape_spec)
     return seek + library.spec.drive.transfer_time(job.bytes_mb)
 
 
@@ -99,6 +113,7 @@ def build_library_plan(
     jobs_by_tape: Mapping[TapeId, Sequence[ObjectExtent]],
     tape_priority: Mapping[TapeId, float],
     replacement_policy: str = "least_popular",
+    planner: Optional[SeekPlanner] = None,
 ) -> LibraryPlan:
     """Split one library's jobs into in-place serves and a switch queue."""
     plan = LibraryPlan(library_id=library.id)
@@ -118,7 +133,7 @@ def build_library_plan(
 
     offline = [job for tid, job in local_jobs.items() if tid not in mounted]
     offline.sort(
-        key=lambda job: (-estimate_job_time(job, library), job.tape_id)
+        key=lambda job: (-estimate_job_time(job, library, planner=planner), job.tape_id)
     )
     plan.offline = offline
 

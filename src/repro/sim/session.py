@@ -24,6 +24,7 @@ from ..placement.base import PlacementResult, PlacementScheme
 from ..workload import Workload
 from .engine import simulate_request
 from .metrics import EvaluationResult, RequestMetrics
+from .seekplanner import resolve_seek_planner
 
 __all__ = ["SimulationSession", "evaluate_scheme"]
 
@@ -50,6 +51,11 @@ class SimulationSession:
     replacement_policy:
         Which mounted tape gets displaced first; see
         :mod:`repro.sim.replacement`.  Default: the paper's least-popular.
+    seek_planner:
+        Within-tape retrieval-order strategy (a registered name or a
+        :class:`~repro.sim.seekplanner.SeekPlanner` instance); ``None``
+        resolves to the default ``greedy-sweep``, the paper's two-sweep
+        heuristic.  See :mod:`repro.sim.seekplanner`.
     """
 
     def __init__(
@@ -60,6 +66,7 @@ class SimulationSession:
         placement: Optional[PlacementResult] = None,
         trace: bool = False,
         replacement_policy: str = "least_popular",
+        seek_planner=None,
     ) -> None:
         if (scheme is None) == (placement is None):
             raise ValueError("provide exactly one of `scheme` or `placement`")
@@ -71,6 +78,7 @@ class SimulationSession:
         self.index = self.placement.apply_to(self.system)
         self.trace = Trace(enabled=trace)
         self.replacement_policy = replacement_policy
+        self.seek_planner = resolve_seek_planner(seek_planner)
 
     @property
     def scheme_name(self) -> str:
@@ -82,6 +90,7 @@ class SimulationSession:
         failures: Optional[dict] = None,
         faults: Optional[tuple] = None,
         fault_seed: int = 0,
+        seek_planner=None,
     ):
         """Open-system serving: concurrent in-flight requests on one clock.
 
@@ -96,12 +105,14 @@ class SimulationSession:
         (stochastic drive fail/repair, robot outages, transient errors);
         ``failures`` is the legacy one-shot map (drive name -> failure
         time).  Both validate here, before any simulation starts.
+        ``seek_planner`` overrides the session's planner for this open
+        system only.
         """
         from .opensystem import OpenSystem
 
         return OpenSystem(
             self, policy=policy, failures=failures, faults=faults,
-            fault_seed=fault_seed,
+            fault_seed=fault_seed, seek_planner=seek_planner,
         )
 
     def serve(self, request: Request, failures: Optional[dict] = None) -> RequestMetrics:
@@ -124,6 +135,7 @@ class SimulationSession:
             self.trace,
             self.replacement_policy,
             failures=failures,
+            seek_planner=self.seek_planner,
         )
 
     def fail_drives(self, drive_names: "list[str]") -> None:

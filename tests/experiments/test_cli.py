@@ -199,3 +199,63 @@ class TestFaultCommands:
         )
         assert rc == 0
         assert "weibull" in capsys.readouterr().out
+
+
+class TestSeekPlannerFlag:
+    """Registry lint: every registered planner round-trips through the CLI."""
+
+    COMMANDS = (["open"], ["profile"], ["sweep", "seekplan"])
+
+    def test_every_registered_name_parses_on_every_command(self):
+        from repro.sim import available_seek_planners
+
+        parser = build_parser()
+        for base in self.COMMANDS:
+            for name in available_seek_planners():
+                args = parser.parse_args(base + ["--seek-planner", name])
+                assert args.seek_planner == name
+
+    def test_flag_choices_match_the_registry_exactly(self):
+        import argparse
+
+        from repro.sim import available_seek_planners
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+        )
+        for base in self.COMMANDS:
+            command = sub.choices[base[0]]
+            action = next(
+                a for a in command._actions if a.dest == "seek_planner"
+            )
+            assert set(action.choices) == set(available_seek_planners())
+
+    def test_unknown_planner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["open", "--seek-planner", "zigzag"])
+
+    def test_sweep_settings_carry_the_planner(self):
+        from repro.cli import _settings
+
+        args = build_parser().parse_args(
+            ["sweep", "seekplan", "--scale", "small", "--seek-planner", "exact"]
+        )
+        assert _settings(args).seek_planner == "exact"
+
+    def test_open_reports_the_planner(self, capsys):
+        assert (
+            main(
+                [
+                    "open",
+                    "--scale",
+                    "small",
+                    "--arrivals",
+                    "3",
+                    "--seek-planner",
+                    "exact",
+                ]
+            )
+            == 0
+        )
+        assert "seek planner:      exact" in capsys.readouterr().out

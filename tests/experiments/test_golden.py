@@ -18,7 +18,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import ExperimentSettings, figure5, figure6, figure8
+from repro.experiments import (
+    ExperimentSettings,
+    figure5,
+    figure6,
+    figure8,
+    seek_planning,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -70,3 +76,17 @@ def test_figure8_small_scale_golden(update_golden):
         "series": t.data["series"],
     }
     check_golden("fig8_small", payload, update_golden)
+
+
+def test_seek_planning_small_scale_golden(update_golden):
+    t = seek_planning(SETTINGS, num_arrivals=20)
+    payload = {
+        "batch_scales": t.data["batch_scales"],
+        "series": t.data["series"],
+        "seek_series": t.data["seek_series"],
+        "exact_gain_pct": t.data["exact_gain_pct"],
+    }
+    check_golden("seekplan_small", payload, update_golden)
+    # The acceptance property behind E4: on at least one multi-object
+    # batch cell the exact LTSP plan's mean sojourn is <= greedy-sweep's.
+    assert any(gain >= 0.0 for gain in t.data["exact_gain_pct"][1:])

@@ -521,6 +521,30 @@ class TestKernelFastPathParity:
         for key, value in golden["robot0"].items():
             assert robot0[key] == value
 
+    @pytest.mark.parametrize("policy", sorted(GOLDEN))
+    def test_explicit_greedy_planner_matches_goldens(self, policy):
+        """Requesting ``greedy-sweep`` by name is the identical code path to
+        the default: the planner refactor must reproduce the pre-refactor
+        digests bit for bit, seed for seed."""
+        golden = self.GOLDEN[policy]
+        session = _starved_session()
+        opensys = session.open(policy=policy, seek_planner="greedy-sweep")
+        result = opensys.run(240.0, num_arrivals=30, seed=11)
+
+        assert result.mean_sojourn_s == golden["mean_sojourn_s"]
+        assert result.horizon_s == golden["horizon_s"]
+        assert _digest(r.sojourn_s for r in result.records) == golden["sojourn_digest"]
+        spans = result.spans()
+        assert len(spans) == golden["span_count"]
+        assert (
+            _digest(
+                (s.name, s.start, s.end, s.span_id, s.parent_id, s.request_id)
+                for s in spans
+            )
+            == golden["span_digest"]
+        )
+        assert opensys.env.events_processed == golden["events_processed"]
+
     def test_faulted_parity(self):
         """An armed FaultSpec run: availability and fault counters included."""
         session = _starved_session()

@@ -99,3 +99,50 @@ class TestBuildLibraryPlan:
         seek = lib.spec.tape.locate_time(0, 200_000.0)
         transfer = lib.spec.drive.transfer_time(8000.0)
         assert est == pytest.approx(seek + transfer)
+
+
+class TestEstimateJobTime:
+    def test_mounted_job_uses_drive_specific_tape_spec(self, system):
+        """A drive holding the job's tape prices seeks with *its own*
+        ``TapeSpec`` — not the library-wide default re-derived from the
+        spec (the pre-refactor behavior)."""
+        import dataclasses
+
+        lib = system.library(0)
+        job = TapeJob(TapeId(0, 0), extents((1, 200_000.0, 100.0)))
+        baseline = estimate_job_time(job, lib)
+
+        lib.drives[0].mount(lib.tape(TapeId(0, 0)))
+        assert estimate_job_time(job, lib) == pytest.approx(baseline)
+
+        slow = dataclasses.replace(
+            lib.spec.tape, max_rewind_s=lib.spec.tape.max_rewind_s * 2
+        )
+        lib.drives[0].tape_spec = slow
+        slowed = estimate_job_time(job, lib)
+        transfer = lib.spec.drive.transfer_time(100.0)
+        assert slowed - transfer == pytest.approx(2 * (baseline - transfer))
+
+    def test_unmounted_job_falls_back_to_library_tape_spec(self, system):
+        lib = system.library(0)
+        job = TapeJob(TapeId(0, 1), extents((1, 200_000.0, 100.0)))
+        seek = lib.spec.tape.locate_time(0, 200_000.0)
+        transfer = lib.spec.drive.transfer_time(100.0)
+        assert estimate_job_time(job, lib) == pytest.approx(seek + transfer)
+
+    def test_planner_kwarg_changes_the_seek_estimate(self, system):
+        import dataclasses
+
+        lib = system.library(0)
+        # Two clusters + a positive locate startup: the exact planner's
+        # estimate must be <= the default greedy sweep's.
+        startup = dataclasses.replace(lib.spec.tape, locate_startup_s=5.0)
+        lib.drives[0].mount(lib.tape(TapeId(0, 0)))
+        lib.drives[0].tape_spec = startup
+        job = TapeJob(
+            TapeId(0, 0),
+            extents((1, 10.0, 5.0), (2, 20.0, 5.0), (3, 500.0, 5.0)),
+        )
+        greedy = estimate_job_time(job, lib)
+        exact = estimate_job_time(job, lib, planner="exact")
+        assert exact <= greedy
