@@ -1,0 +1,134 @@
+"""Fleet telemetry overhead: digests and snapshot merging must stay cheap.
+
+The fleet pipeline adds two costs to every sweep point:
+
+* **recording** — the four always-on latency digests in the open system
+  (`latency.sojourn_s`/`seek_s`/`switch_s`/`transfer_s`) take one
+  ``QuantileDigest.record`` call each per completed request;
+* **aggregation** — at point end the worker exports its registry
+  (``snapshot_of_result``) and the parent folds the snapshot into the
+  :class:`~repro.obs.FleetRegistry`.
+
+Both are priced micro-style (``timeit`` per-call cost × how often the real
+run hits the path) against the CPU time of the same open-system run, the
+same technique ``bench_trace_overhead.py`` uses — differencing two noisy
+end-to-end timings would drown a ~1 % effect in scheduler noise.  The
+acceptance bar is **< 5 %** for each component; results land in
+``BENCH_fleet.json`` (uploaded as a CI artifact next to the dashboard).
+"""
+
+import json
+from pathlib import Path
+from timeit import timeit
+
+from repro.obs import FleetRegistry, QuantileDigest, export_registry, snapshot_of_result
+
+#: Repo-root JSON recording the fleet-telemetry overhead trajectory.
+FLEET_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+#: Digests the open system records into on every request completion.
+_PER_REQUEST_DIGESTS = 4
+
+#: Acceptance bar for each overhead component, as a fraction of run time.
+_THRESHOLD = 0.05
+
+
+def _write(section: str, payload: dict) -> Path:
+    data = {}
+    if FLEET_BENCH_PATH.exists():
+        data = json.loads(FLEET_BENCH_PATH.read_text())
+    data[section] = payload
+    FLEET_BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return FLEET_BENCH_PATH
+
+
+def test_fleet_telemetry_overhead(settings, timed_open_run, quick):
+    run = timed_open_run("concurrent")
+    completed = len(run.result.metrics)
+    assert completed > 0
+
+    n = 20_000 if quick else 100_000
+
+    # --- per-record cost, on a digest pre-warmed to a realistic bin count.
+    digest = QuantileDigest("bench.latency_s", unit="s")
+    for sample in run.result.metrics:
+        digest.record(max(0.0, sample.response_s))
+    values = [max(0.0, s.response_s) for s in run.result.metrics] or [1.0]
+    per_record_s = (
+        timeit(lambda: [digest.record(v) for v in values], number=max(1, n // len(values)))
+        / (max(1, n // len(values)) * len(values))
+    )
+    record_cost_s = per_record_s * _PER_REQUEST_DIGESTS * completed
+    record_overhead = record_cost_s / run.cpu_s
+
+    # --- per-point snapshot + fold cost, on the registry the run produced.
+    snap_n = 50 if quick else 200
+    per_snapshot_s = timeit(lambda: snapshot_of_result(run.result), number=snap_n) / snap_n
+    snapshot = snapshot_of_result(run.result)
+    fleet = FleetRegistry()
+    per_fold_s = timeit(lambda: fleet.fold(snapshot), number=snap_n) / snap_n
+    merge_overhead = (per_snapshot_s + per_fold_s) / run.cpu_s
+
+    # Sanity: the fold loop above actually exercised the merge path.
+    assert fleet.counter("requests.completed") >= completed
+
+    payload = {
+        "scale": settings.scale,
+        "run_cpu_s": round(run.cpu_s, 4),
+        "requests_completed": completed,
+        "digest_bins": len(digest.bins),
+        "per_record_us": round(per_record_s * 1e6, 4),
+        "record_overhead_pct": round(record_overhead * 100, 4),
+        "per_snapshot_ms": round(per_snapshot_s * 1e3, 4),
+        "per_fold_ms": round(per_fold_s * 1e3, 4),
+        "merge_overhead_pct": round(merge_overhead * 100, 4),
+        "threshold_pct": _THRESHOLD * 100,
+        "quick": quick,
+    }
+    path = _write("fleet_overhead", payload)
+    print(
+        f"\ndigest record ≈ {record_overhead:.3%} of the run, snapshot+fold "
+        f"≈ {merge_overhead:.3%} per point (written to {path})"
+    )
+
+    assert record_overhead < _THRESHOLD, (
+        f"digest recording costs {record_overhead:.2%} of the open-system run "
+        f"(bar: {_THRESHOLD:.0%}): {completed} requests × {_PER_REQUEST_DIGESTS} "
+        f"digests × {per_record_s * 1e6:.2f}µs over {run.cpu_s:.3f}s CPU"
+    )
+    assert merge_overhead < _THRESHOLD, (
+        f"snapshot+fold costs {merge_overhead:.2%} of a sweep point "
+        f"(bar: {_THRESHOLD:.0%}): {per_snapshot_s * 1e3:.2f}ms export + "
+        f"{per_fold_s * 1e3:.2f}ms fold over {run.cpu_s:.3f}s CPU"
+    )
+
+
+def test_fold_order_insensitive_at_scale(quick):
+    """The merge the whole pipeline rests on stays exact under volume."""
+    import random
+
+    rng = random.Random(13)
+    snapshots = []
+    n_points = 8 if quick else 32
+    for i in range(n_points):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("requests.completed").inc(rng.randrange(1, 500))
+        d = reg.digest("latency.sojourn_s", unit="s")
+        for _ in range(rng.randrange(1, 400)):
+            d.record(rng.lognormvariate(4.0, 1.5))
+        snapshots.append(export_registry(reg))
+
+    forward, backward = FleetRegistry(), FleetRegistry()
+    for snap in snapshots:
+        forward.fold(snap)
+    for snap in reversed(snapshots):
+        backward.fold(snap)
+
+    fa, ba = forward.aggregates(), backward.aggregates()
+    for name in fa["digests"]:
+        da, db = dict(fa["digests"][name]), dict(ba["digests"][name])
+        da.pop("sum"), db.pop("sum")
+        assert da == db
+    assert fa["counters"] == ba["counters"]

@@ -10,24 +10,36 @@ Subcommands
 ``chaos``            open-system run under stochastic drive fail/repair faults
 ``profile``          run an open-system workload under cProfile; print hot spots
 ``trace``            run a workload and export telemetry (Perfetto trace + metrics)
+``report``           render the self-contained HTML fleet dashboard from JSONL
+``metrics``          print (or ``--follow``) fleet telemetry JSONL records
 ``schemes``          list registered placement schemes
 ``workload``         generate and dump/inspect a workload trace
+
+Status and diagnostic output goes through :mod:`logging` (stderr) so it is
+separable from result tables and dashboards on stdout; ``--verbose`` /
+``--quiet`` on the top-level parser adjust the level.
 
 Examples::
 
     repro-tape experiment fig6 --scale small
     repro-tape sweep fig5 --workers 4 --scale small
+    repro-tape sweep fig6 --workers 2 --metrics-out fleet.jsonl \
+        --report sweep.html --slo "p99_sojourn <= 600"
     repro-tape run --scheme parallel_batch --m 4 --alpha 0.3 --samples 200
     repro-tape open --policy concurrent --rate 8 --arrivals 60 --scale small
     repro-tape open --fail L0.D0=1800 --fail L0.D1=3600 --scale small
     repro-tape chaos --mtbf 4 --mttr 0.5 --seed 7 --scale small
+    repro-tape chaos --mtbf 2 --slo "availability >= 0.95" --report chaos.html
     repro-tape trace --requests 50 --policy concurrent --out-dir telemetry
+    repro-tape report fleet.jsonl --out report.html --slo "aborted_requests == 0"
+    repro-tape metrics feed.jsonl --follow
     repro-tape workload --out trace.json --alpha 0.6
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -50,6 +62,27 @@ from .workload import dump_workload, generate_workload
 
 __all__ = ["main", "build_parser"]
 
+logger = logging.getLogger("repro.cli")
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Route status/diagnostic output through :mod:`logging` on stderr.
+
+    Result tables, dashboards, and machine-readable artifacts stay on
+    stdout; everything narrational (sweep stats, artifact paths, progress)
+    is INFO, silenced by ``--quiet``, and joined by DEBUG detail under
+    ``--verbose``.
+    """
+    if getattr(args, "quiet", False):
+        level = logging.WARNING
+    elif getattr(args, "verbose", False):
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    logging.basicConfig(
+        level=level, stream=sys.stderr, format="%(message)s", force=True
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -58,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Object Placement in Parallel Tape Storage "
             "Systems' (ICPP 2006)"
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="debug-level status output on stderr",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress status output (warnings and errors only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -117,6 +162,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="also draw the series as a terminal chart"
     )
     sw.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    sw.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the merged fleet telemetry as JSONL "
+        "(render later with `repro-tape report`)",
+    )
+    sw.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="render the sweep's fleet dashboard to this HTML file",
+    )
+    sw.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="service-level objective to evaluate against the merged fleet, "
+        "e.g. 'p99_sojourn <= 600' (repeatable; non-zero exit on failure)",
+    )
+    sw.add_argument(
+        "--feed",
+        default=None,
+        metavar="PATH",
+        help="stream live point/progress records to this JSONL file while "
+        "the sweep runs (tail with `repro-tape metrics PATH --follow`)",
+    )
     _add_seek_planner_arg(sw)
     _add_settings_args(sw)
 
@@ -228,6 +301,29 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--out-dir", default=None, metavar="DIR",
         help="also export trace.json + metrics.jsonl telemetry artifacts",
+    )
+    ch.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="service-level objective to evaluate against the run, e.g. "
+        "'availability >= 0.99' (repeatable; 'default' expands to the "
+        "chaos defaults; non-zero exit on failure)",
+    )
+    ch.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="render the run's fleet dashboard to this HTML file",
+    )
+    ch.add_argument(
+        "--sample-period",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="periodic registry snapshot period feeding the dashboard's "
+        "drives-down timeline (default: 300 when --report is set)",
     )
     _add_settings_args(ch)
 
@@ -343,6 +439,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_settings_args(rep)
 
+    rpt = sub.add_parser(
+        "report",
+        help="render the self-contained HTML fleet dashboard from saved JSONL",
+        description=(
+            "Rebuilds a FleetRegistry from saved telemetry — either fleet "
+            "JSONL (`sweep --metrics-out`) or metrics JSONL (`chaos/trace "
+            "--out-dir`, whose trailing registry_export record carries the "
+            "full mergeable state) — evaluates any --slo objectives against "
+            "it, and writes one dependency-free HTML page: KPI tiles, sweep "
+            "progress, per-stage latency percentiles, the drives-down "
+            "timeline, and the SLO verdict table.  See docs/observability.md."
+        ),
+    )
+    rpt.add_argument(
+        "input",
+        metavar="JSONL",
+        help="fleet JSONL (sweep --metrics-out) or metrics JSONL (chaos/trace)",
+    )
+    rpt.add_argument(
+        "--out", default="report.html", metavar="PATH",
+        help="dashboard HTML path (default: report.html)",
+    )
+    rpt.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="objective to evaluate and render, e.g. 'p95_sojourn <= 300' "
+        "(repeatable; 'default' expands to the chaos defaults; non-zero "
+        "exit on failure)",
+    )
+    rpt.add_argument("--title", default=None, help="dashboard title override")
+
+    mt = sub.add_parser(
+        "metrics",
+        help="print (or --follow) fleet telemetry JSONL records",
+        description=(
+            "Pretty-prints fleet/feed/metrics JSONL records one per line; "
+            "--follow keeps the file open and tails records as a running "
+            "sweep appends them (pair with `sweep --feed PATH`)."
+        ),
+    )
+    mt.add_argument("input", metavar="JSONL", help="fleet / feed / metrics JSONL file")
+    mt.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing for records appended by a live sweep",
+    )
+    mt.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval while following (default: 0.5)",
+    )
+
     sub.add_parser("schemes", help="list registered placement schemes")
 
     wl = sub.add_parser("workload", help="generate a workload; print stats or dump JSON")
@@ -402,8 +554,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from pathlib import Path
 
         Path(args.csv).write_text(table.to_csv())
-        print(f"CSV written to {args.csv}")
+        logger.info("CSV written to %s", args.csv)
     return 0
+
+
+def _parse_slo_args(specs: Optional[List[str]]):
+    """Expand repeated ``--slo`` values (and the ``default`` shorthand)."""
+    from .obs import DEFAULT_CHAOS_SLOS, parse_slos
+
+    texts: List[str] = []
+    for spec in specs or []:
+        if spec.strip().lower() == "default":
+            texts.extend(DEFAULT_CHAOS_SLOS)
+        else:
+            texts.append(spec)
+    return parse_slos(";".join(texts)) if texts else ()
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -412,10 +577,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir = None
     else:
         cache_dir = args.cache_dir or str(default_cache_dir())
+
+    feed = None
+    feed_fh = None
+    on_feed = None
+    if args.feed:
+        import json
+
+        from .obs import FleetFeed
+
+        feed = FleetFeed()
+        feed_fh = open(args.feed, "w")
+
+        def on_feed(record, _fh=feed_fh):
+            _fh.write(json.dumps(record) + "\n")
+            _fh.flush()
+
     engine = EngineOptions(
-        workers=args.workers, cache_dir=cache_dir, refresh=args.refresh
+        workers=args.workers,
+        cache_dir=cache_dir,
+        refresh=args.refresh,
+        feed=feed,
+        on_feed=on_feed,
     )
-    table = SWEEP_EXPERIMENTS[args.id](settings, engine=engine)
+    try:
+        table = SWEEP_EXPERIMENTS[args.id](settings, engine=engine)
+    finally:
+        if feed is not None:
+            feed.close()
+        if feed_fh is not None:
+            feed_fh.close()
+            logger.info("feed:              %s", args.feed)
     print(table.format())
     stats = table.data.get("sweep", {})
     if stats:
@@ -425,10 +617,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if stats.get("cache_dir")
             else "cache disabled"
         )
-        print(
-            f"  sweep: {stats['points']} points in {stats['wall_s']:.2f} s "
-            f"({stats['points_per_s']:.1f} points/s, workers={stats['workers']}); "
-            + cache_note
+        logger.info(
+            "  sweep: %d points in %.2f s (%.1f points/s, workers=%d); %s",
+            stats["points"],
+            stats["wall_s"],
+            stats["points_per_s"],
+            stats["workers"],
+            cache_note,
         )
     if getattr(args, "chart", False):
         chart = chart_table(table)
@@ -438,8 +633,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from pathlib import Path
 
         Path(args.csv).write_text(table.to_csv())
-        print(f"CSV written to {args.csv}")
-    return 0
+        logger.info("CSV written to %s", args.csv)
+
+    fleet = table.data.get("fleet")
+    status = 0
+    if fleet is not None:
+        from .obs import write_fleet_jsonl
+
+        if args.metrics_out:
+            lines = write_fleet_jsonl(fleet, args.metrics_out)
+            logger.info("fleet metrics:     %s  (%d lines)", args.metrics_out, lines)
+        slos = _parse_slo_args(args.slo)
+        verdicts = ()
+        if slos:
+            from .obs import evaluate_slos
+
+            verdicts = evaluate_slos(slos, fleet)
+        if args.report:
+            from .obs import write_dashboard
+
+            write_dashboard(
+                fleet,
+                args.report,
+                verdicts=verdicts,
+                title=f"repro-tape sweep: {args.id}",
+                subtitle=f"{stats.get('points', len(fleet.points))} points, "
+                f"workers={stats.get('workers', '?')}",
+            )
+            logger.info("dashboard:         %s", args.report)
+        if verdicts:
+            from .obs import format_verdicts
+
+            print()
+            print(format_verdicts(verdicts))
+            status = 0 if all(v.passed for v in verdicts) else 1
+    elif args.metrics_out or args.slo or args.report:
+        logger.warning(
+            "no fleet telemetry available for this experiment; "
+            "--metrics-out/--slo/--report skipped"
+        )
+    return status
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -559,12 +792,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             )
         )
     fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+    sample_period = args.sample_period
+    if sample_period is None and args.report:
+        sample_period = 300.0
     result = session.open(
         policy="concurrent",
         failures=_parse_fail_args(getattr(args, "fail", None)) or None,
         faults=tuple(faults),
         fault_seed=fault_seed,
-    ).run(args.rate, num_arrivals=args.arrivals, seed=args.seed)
+    ).run(
+        args.rate,
+        num_arrivals=args.arrivals,
+        seed=args.seed,
+        sample_period_s=sample_period,
+    )
 
     faults_summary = result.faults
     print(f"scheme:            {result.scheme}")
@@ -594,9 +835,48 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         metrics_path = out / "metrics.jsonl"
         result.write_trace(trace_path)
         lines = result.write_metrics(metrics_path)
-        print(f"trace:             {trace_path}  (open at https://ui.perfetto.dev)")
-        print(f"metrics:           {metrics_path}  ({lines} lines)")
-    return 0
+        logger.info("trace:             %s  (open at https://ui.perfetto.dev)",
+                    trace_path)
+        logger.info("metrics:           %s  (%d lines)", metrics_path, lines)
+
+    status = 0
+    if args.slo or args.report:
+        from .obs import FleetRegistry
+        from .obs.fleet import snapshot_of_result
+
+        fleet = FleetRegistry()
+        fleet.fold(snapshot_of_result(result, point_meta={
+            "sweep": "chaos",
+            "scheme": result.scheme,
+            "kind": "chaos",
+        }))
+        slos = _parse_slo_args(args.slo)
+        verdicts = ()
+        if slos:
+            from .obs import evaluate_slos
+
+            verdicts = evaluate_slos(slos, fleet)
+        if args.report:
+            from .obs import write_dashboard
+
+            snapshots = result.registry.snapshots if result.registry else None
+            write_dashboard(
+                fleet,
+                args.report,
+                verdicts=verdicts,
+                snapshots=snapshots,
+                title="repro-tape chaos run",
+                subtitle=f"MTBF {args.mtbf:g} h / MTTR {args.mttr:g} h "
+                f"({args.distribution}), {len(result)} arrivals",
+            )
+            logger.info("dashboard:         %s", args.report)
+        if verdicts:
+            from .obs import format_verdicts
+
+            print()
+            print(format_verdicts(verdicts))
+            status = 0 if all(v.passed for v in verdicts) else 1
+    return status
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -724,6 +1004,149 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import (
+        evaluate_slos,
+        format_verdicts,
+        read_fleet_jsonl,
+        read_metrics_jsonl,
+        write_dashboard,
+    )
+
+    path = Path(args.input)
+    if not path.exists():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    try:
+        fleet = read_fleet_jsonl(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not fleet.counters and not fleet.digests:
+        print(
+            f"error: {path} holds no mergeable fleet telemetry "
+            "(expected fleet JSONL from `sweep --metrics-out` or metrics "
+            "JSONL from `chaos`/`trace` with a registry_export record)",
+            file=sys.stderr,
+        )
+        return 2
+
+    # A metrics JSONL also carries the periodic registry snapshots that
+    # drive the drives-down timeline; on fleet JSONL this yields nothing.
+    snapshots = None
+    try:
+        _, snaps = read_metrics_jsonl(path)
+        if snaps:
+            snapshots = snaps
+    except (ValueError, KeyError):
+        pass
+
+    slos = _parse_slo_args(args.slo)
+    verdicts = evaluate_slos(slos, fleet) if slos else ()
+    write_dashboard(
+        fleet,
+        args.out,
+        verdicts=verdicts,
+        snapshots=snapshots,
+        title=args.title or "repro-tape fleet report",
+        subtitle=str(path),
+    )
+    logger.info("dashboard:         %s", args.out)
+    if verdicts:
+        print(format_verdicts(verdicts))
+        return 0 if all(v.passed for v in verdicts) else 1
+    return 0
+
+
+def _format_feed_record(record: dict) -> str:
+    """One human line per fleet/feed/metrics JSONL record."""
+    kind = record.get("type", "?")
+    if kind == "progress":
+        return (
+            f"[progress]    {record.get('point', '?')}  "
+            f"completed={record.get('completed', '?')}  "
+            f"t={record.get('t_s', 0.0):.0f}s"
+        )
+    if kind in ("point_start", "point_done"):
+        tag = "start" if kind == "point_start" else "done "
+        note = ""
+        if kind == "point_done" and record.get("cached"):
+            note = "  (cached)"
+        return f"[point {tag}] {record.get('point', '?')}{note}"
+    if kind == "point_snapshot":
+        point = record.get("point", {})
+        label = (
+            f"{point.get('sweep', '?')}/{point.get('axis', '?')}="
+            f"{point.get('value', '?')}"
+            if point
+            else "?"
+        )
+        counters = record.get("counters", {})
+        return (
+            f"[snapshot]    {label}  "
+            f"completed={counters.get('requests.completed', 0):g}"
+        )
+    if kind == "fleet_meta":
+        return f"[fleet]       snapshots={record.get('snapshots', '?')}"
+    if kind == "meta":
+        return f"[meta]        units={len(record.get('units', {}))} metrics"
+    if kind == "snapshot":
+        return (
+            f"[t={record.get('t_s', 0.0):>8.0f}s] "
+            f"counters={record.get('counters', {})}"
+        )
+    if kind == "registry_export":
+        return (
+            f"[export]      counters={len(record.get('counters', {}))} "
+            f"digests={len(record.get('digests', {}))}"
+        )
+    import json
+
+    return json.dumps(record)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    path = Path(args.input)
+    if not path.exists():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    try:
+        with path.open() as fh:
+            buffered = ""
+            while True:
+                chunk = fh.readline()
+                if chunk:
+                    buffered += chunk
+                    if not buffered.endswith("\n"):
+                        continue  # partial line from a mid-write reader
+                    line, buffered = buffered.strip(), ""
+                    if line:
+                        try:
+                            print(_format_feed_record(json.loads(line)))
+                        except json.JSONDecodeError:
+                            logger.debug("skipping unparseable line: %r", line)
+                    continue
+                if not args.follow:
+                    break
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    except BrokenPipeError:
+        # Piped into `head` and the reader hung up: that's a normal way to
+        # consume a stream, not an error.  Point stdout at devnull so the
+        # interpreter's shutdown flush doesn't raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def _cmd_schemes(_args: argparse.Namespace) -> int:
     for name in available_schemes():
         print(name)
@@ -780,7 +1203,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         "",
     ]
     for exp_id in ids:
-        print(f"[{exp_id}] running ...", flush=True)
+        logger.info("[%s] running ...", exp_id)
         table = ALL_EXPERIMENTS[exp_id](settings)
         (out / f"{exp_id}.txt").write_text(table.format() + "\n")
         (out / f"{exp_id}.csv").write_text(table.to_csv())
@@ -791,7 +1214,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(table.format())
         print()
     (out / "INDEX.md").write_text("\n".join(index_lines) + "\n")
-    print(f"results written to {out}/")
+    logger.info("results written to %s/", out)
     return 0
 
 
@@ -804,6 +1227,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "profile": _cmd_profile,
     "trace": _cmd_trace,
+    "report": _cmd_report,
+    "metrics": _cmd_metrics,
     "compare": _cmd_compare,
     "schemes": _cmd_schemes,
     "workload": _cmd_workload,
@@ -812,6 +1237,7 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     return _COMMANDS[args.command](args)
 
 

@@ -113,6 +113,7 @@ def incremental(
         )
     table.data["bandwidths"] = bws
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper (conclusion): optimal placement under periodic arrival with "
         "local knowledge 'remains to be solved' — this quantifies the gap"
@@ -172,6 +173,7 @@ def queueing(
     table.data["mean_service_s"] = service
     table.data["rates"] = list(arrival_rates_per_hour)
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append("beyond-paper extension: the paper's model has zero queueing time")
     return table
 
@@ -222,6 +224,7 @@ def disk_stage(
     table.data["series"] = series
     table.data["caps"] = list(disk_caps_mb_s)
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append("assumption 6 of the paper holds once the disk admits all drives")
     return table
 
@@ -285,6 +288,7 @@ def striping(
     table.data["rows"] = rows
     table.data["stripe_widths"] = list(stripe_widths)
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper (Sec. 2): striping trades transfer time for synchronization/"
         "switch cost and 'may perform worse than non-striping'"
@@ -342,6 +346,7 @@ def robots(
     table.data["series"] = series
     table.data["robot_counts"] = list(robot_counts)
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "beyond-paper what-if: the paper's assumption 5 fixes one arm per library"
     )
@@ -407,6 +412,7 @@ def degraded(
     table.data["series"] = series
     table.data["failed_per_library"] = list(failed_per_library)
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "beyond-paper: graceful degradation — all requested bytes are still "
         "served through the surviving drives"
@@ -475,6 +481,7 @@ def seek_model(
     table.data["winners"] = winners
     table.data["startups_s"] = list(startups_s)
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "robustness check: the paper's linear positioning model is startup-free; "
         "adding an affine start cost must not change the scheme ranking"
@@ -548,6 +555,7 @@ def open_system(
     table.data["rates"] = list(arrival_rates_per_hour)
     table.data["peak_in_flight"] = peaks
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "beyond-paper extension: one persistent environment serves overlapping "
         "requests; serial-fcfs reproduces the A3 closed-loop model seed-for-seed"
@@ -636,6 +644,7 @@ def availability(
     table.data["mtbf_hours"] = list(mtbf_hours)
     table.data["aborted"] = aborted
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "beyond-paper extension: stochastic fault injection "
         "(repro.sim.faults); availability = 1 - drive downtime / "
@@ -750,6 +759,7 @@ def seek_planning(
     table.data["batch_scales"] = list(batch_scales)
     table.data["exact_gain_pct"] = gains
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "beyond-paper extension: pluggable LTSP seek planners "
         "(repro.sim.seekplanner); planners at one cell share arrival "

@@ -185,6 +185,7 @@ def figure5(
     table.data["m_values"] = list(m_values)
     table.data["series"] = {a: series[a] for a in alphas}
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper: jump from m=1 to m=2, maximum for moderate m (position depends "
         "on alpha), decline once the always-mounted batch gets too small"
@@ -227,6 +228,7 @@ def figure6(
     table.data["alphas"] = list(alphas)
     table.data["series"] = series
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper: parallel batch on top throughout; parallel batch and object "
         "probability rise with alpha; cluster probability does not benefit"
@@ -272,6 +274,7 @@ def figure7(
     table.data["request_sizes_gb"] = sizes_gb
     table.data["series"] = series
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper: bandwidth increases mildly with request size (transfer time "
         "grows, switch/seek roughly constant); parallel batch stays on top"
@@ -333,6 +336,7 @@ def figure8(
     table.data["library_counts"] = list(library_counts)
     table.data["series"] = series
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper: parallel batch and object probability scale with libraries; "
         "cluster probability gains only up to ~3 libraries (robot relief), "
@@ -397,6 +401,7 @@ def figure9(
         )
     table.data["components"] = components
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper: object probability pays the largest switch time (it ignores "
         "relationships) but the best transfer time; seek time is secondary; "
@@ -458,6 +463,7 @@ def extreme_case(
         )
     table.data["stats"] = stats
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper: object probability lowest response (lowest seek); transfer is "
         "~62% of response for cluster probability vs ~19% for parallel batch"
@@ -503,6 +509,7 @@ def tech_trends(
     table.data["configs"] = configs
     table.data["series"] = series
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper (prose): with increased transfer speed and tape capacity, the "
         "proposed scheme improves more than the other two"
@@ -554,6 +561,7 @@ def sensitivity(
         table.add_row(label, *[bws[s] for s in schemes], SCHEME_LABELS[winner])
     table.data["winners"] = winners
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append(
         "paper (prose): varying the number of objects, pre-defined requests "
         "and simulated requests does not change the relative performance"
@@ -618,6 +626,7 @@ def ablation(
         )
     table.data["bandwidths"] = bandwidths
     table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
     table.notes.append("every row below 'full scheme' disables exactly one ingredient")
     return table
 

@@ -19,12 +19,23 @@ into explicit :class:`PointSpec` jobs and executes them
   content-addressed cache (:mod:`repro.experiments.cache`): the key hashes
   the complete point description plus its derived seed and a code-version
   salt, so editing one scheme's configuration invalidates only that
-  scheme's points.
+  scheme's points.  Cache lookups run *in the workers* (so a 10-worker
+  sweep reads/writes the cache with 10-way parallelism) and every worker's
+  hit/miss activity travels back in its telemetry snapshot — parent-side
+  totals count the whole fleet, not just the parent process;
+* **observably** — every job returns a compact mergeable telemetry
+  snapshot (:func:`repro.obs.fleet.snapshot_of_result`) alongside its
+  result; the parent folds them into :attr:`SweepResult.fleet`, a
+  :class:`~repro.obs.FleetRegistry` whose counters and latency
+  percentiles are identical for any worker count and execution order.  An
+  optional :class:`~repro.obs.FleetFeed` streams point lifecycle and
+  mid-point progress records live while the sweep runs.
 
-Cache-hit statistics are published through a
+Cache-hit statistics are also published through a parent-side
 :class:`repro.obs.MetricsRegistry` (counters ``sweep.points``,
 ``sweep.cache_hits``, ``sweep.cache_misses``) and surfaced in
-:attr:`SweepResult.stats`.  See ``docs/experiments.md``.
+:attr:`SweepResult.stats`.  See ``docs/experiments.md`` and
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -41,7 +52,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 import numpy as np
 
 from ..hardware import SystemSpec
-from ..obs import MetricsRegistry
+from ..obs import FleetFeed, FleetRegistry, MetricsRegistry
+from ..obs.fleet import snapshot_of_result
 from ..workload import WorkloadParams, generate_workload
 from .cache import (
     MISS,
@@ -59,6 +71,7 @@ __all__ = [
     "SweepResult",
     "spawn_seed",
     "evaluate_point",
+    "point_label",
     "run_sweep",
     "resolve_workers",
 ]
@@ -228,7 +241,9 @@ def evaluate_point(point: PointSpec, seed: int):
             reset=not point.failed_drives,
         )
     if point.kind == "open":
-        return session.open(policy=run_kwargs["policy"]).run(
+        opensys = session.open(policy=run_kwargs["policy"])
+        _wire_progress(opensys, point)
+        return opensys.run(
             run_kwargs["rate_per_hour"],
             num_arrivals=run_kwargs["num_arrivals"],
             seed=seed,
@@ -248,9 +263,11 @@ def evaluate_point(point: PointSpec, seed: int):
                 shape=run_kwargs.get("shape", 1.0),
             ),
         )
-        return session.open(
+        opensys = session.open(
             policy=run_kwargs["policy"], faults=faults, fault_seed=fault_seed
-        ).run(
+        )
+        _wire_progress(opensys, point)
+        return opensys.run(
             run_kwargs["rate_per_hour"],
             num_arrivals=run_kwargs["num_arrivals"],
             seed=seed,
@@ -282,8 +299,132 @@ def _incremental_session(point: PointSpec, workload, run_kwargs: Dict[str, Any])
     )
 
 
-def _run_job(job: Tuple[PointSpec, int]):
-    return evaluate_point(*job)
+def point_label(point: PointSpec) -> str:
+    """Human-readable point id for feeds, logs, and dashboards."""
+    series = point.label if point.label is not None else point.scheme
+    return f"{point.sweep}/{point.axis}={point.value}/{series}#r{point.replicate}"
+
+
+#: Live-feed queue of this process (a Manager-queue proxy), installed by the
+#: pool initializer (or directly for serial runs).  ``None`` = streaming off,
+#: and every producer site pays one global read + None check.
+_FEED_QUEUE = None
+
+#: Emit one mid-point progress record per this many completed requests.
+_FEED_EVERY = 20
+
+
+def _install_feed(queue) -> None:
+    global _FEED_QUEUE
+    _FEED_QUEUE = queue
+
+
+def _feed_emit(record: Dict[str, Any]) -> None:
+    queue = _FEED_QUEUE
+    if queue is None:
+        return
+    try:
+        queue.put_nowait(record)
+    except Exception:  # noqa: BLE001 - a dead feed must not kill the point
+        pass
+
+
+def _wire_progress(opensys, point: PointSpec) -> None:
+    """Attach a throttled feed emitter to an open system's completion hook.
+
+    Only when a feed is armed: the no-feed path leaves ``on_complete`` as
+    ``None``, keeping the simulation hot loop allocation-free.
+    """
+    if _FEED_QUEUE is None:
+        return
+    label = point_label(point)
+    completed = 0
+
+    def hook(os_, outcome) -> None:
+        nonlocal completed
+        completed += 1
+        if completed % _FEED_EVERY == 0:
+            _feed_emit(
+                {
+                    "type": "progress",
+                    "point": label,
+                    "completed": completed,
+                    "t_s": os_.env.now,
+                }
+            )
+
+    opensys.on_complete = hook
+
+
+#: One job as shipped to a worker: the point, its derived seed, its cache
+#: key (``None`` when caching is off), the cache root, and the refresh flag.
+_Task = Tuple[PointSpec, int, Optional[str], Optional[str], bool]
+
+#: Per-process cache handles, keyed by root path (workers serve many jobs).
+_WORKER_CACHES: Dict[str, ResultCache] = {}
+
+
+def _run_job(task: _Task) -> Tuple[Any, Dict[str, Any], bool]:
+    """Evaluate (or replay from cache) one job in the current process.
+
+    Returns ``(result, snapshot, cached)``.  The snapshot is the point's
+    mergeable telemetry (:func:`repro.obs.fleet.snapshot_of_result`) with
+    this job's ``sweep.points`` / ``sweep.cache_hits`` /
+    ``sweep.cache_misses`` contributions folded in — cache I/O happens
+    *here*, in the worker, so fleet-level cache counters reflect every
+    process's activity, and a big sweep reads the cache in parallel.
+
+    The snapshot is a pure function of ``(point, result, cached)``: a
+    cached replay produces byte-identical telemetry to the evaluation that
+    populated it, which is what keeps fleet aggregates independent of
+    worker count and cache state.
+    """
+    point, seed, key, cache_root, refresh = task
+    label = point_label(point)
+    _feed_emit({"type": "point_start", "point": label, "kind": point.kind})
+
+    cache: Optional[ResultCache] = None
+    if key is not None and cache_root is not None:
+        cache = _WORKER_CACHES.get(cache_root)
+        if cache is None:
+            cache = _WORKER_CACHES.setdefault(cache_root, ResultCache(cache_root))
+
+    result: Any = MISS
+    if cache is not None and not refresh:
+        result = cache.get(key)
+    cached = result is not MISS
+    if not cached:
+        result = evaluate_point(point, seed)
+        if cache is not None:
+            cache.put(key, result)
+
+    snapshot = snapshot_of_result(
+        result,
+        point_meta={
+            "sweep": point.sweep,
+            "axis": point.axis,
+            "value": point.value,
+            "scheme": point.scheme,
+            "label": point_label(point),
+            "kind": point.kind,
+            "replicate": point.replicate,
+            "cached": cached,
+        },
+    )
+    counters = snapshot["counters"]
+    counters["sweep.points"] = counters.get("sweep.points", 0.0) + 1.0
+    cache_counter = "sweep.cache_hits" if cached else "sweep.cache_misses"
+    counters[cache_counter] = counters.get(cache_counter, 0.0) + 1.0
+
+    _feed_emit(
+        {
+            "type": "point_done",
+            "point": label,
+            "cached": cached,
+            "completed": counters.get("requests.completed", 0.0),
+        }
+    )
+    return result, snapshot, cached
 
 
 # ---------------------------------------------------------------------------
@@ -307,12 +448,19 @@ class EngineOptions:
     ``workers=None`` defers to ``$REPRO_WORKERS`` (default 1);
     ``cache_dir=None`` disables the on-disk cache unless
     ``$REPRO_CACHE_DIR`` is set; ``refresh=True`` ignores existing entries
-    but still stores fresh results.
+    but still stores fresh results.  ``feed``/``on_feed`` arm the live
+    telemetry stream for callers (like the CLI) that reach
+    :func:`run_sweep` through an experiment wrapper and cannot pass the
+    feed positionally.
     """
 
     workers: Optional[int] = None
     cache_dir: Optional[str] = None
     refresh: bool = False
+    feed: Optional["FleetFeed"] = field(default=None, compare=False, repr=False)
+    on_feed: Optional[Callable[[Dict[str, Any]], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @classmethod
     def from_env(cls) -> "EngineOptions":
@@ -343,6 +491,9 @@ class SweepResult:
     results: List[PointResult]
     stats: Dict[str, Any] = field(default_factory=dict)
     registry: Optional[MetricsRegistry] = None
+    #: Merged fleet telemetry: every worker's counters, gauges, histograms
+    #: and latency digests folded order-insensitively into one registry.
+    fleet: Optional[FleetRegistry] = None
 
     def __iter__(self) -> Iterator[PointResult]:
         return iter(self.results)
@@ -370,20 +521,34 @@ def run_sweep(
     options: Optional[EngineOptions] = None,
     registry: Optional[MetricsRegistry] = None,
     on_result: Optional[Callable[[PointResult], None]] = None,
+    feed: Optional[FleetFeed] = None,
+    on_feed: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> SweepResult:
     """Execute every point of ``spec``; return results in point order.
 
     ``on_result`` (e.g. a progress callback or debug hook) always runs in
     the parent process, so it may be any callable — picklability of hooks
     never forces a serial run.  Worker processes execute only
-    :func:`evaluate_point` on pure-data jobs; if those jobs (or the pool
-    itself) cannot be shipped, the engine degrades to in-process serial
-    execution and records ``fallback: "serial"`` in the stats.
+    :func:`_run_job` on pure-data jobs (cache lookup + evaluation +
+    telemetry snapshot); if those jobs (or the pool itself) cannot be
+    shipped, the engine degrades to in-process serial execution and records
+    ``fallback: "serial"`` in the stats.
+
+    ``feed`` arms live streaming: workers emit point lifecycle and
+    mid-point progress records into the feed's queue, and the parent drains
+    them to ``on_feed`` while futures are still pending.  Without a feed,
+    nothing is allocated and workers pay one global-read + None check per
+    emit site.
     """
     options = options or EngineOptions.from_env()
+    if feed is None:
+        feed = options.feed
+    if on_feed is None:
+        on_feed = options.on_feed
     workers = resolve_workers(options.workers)
     registry = registry if registry is not None else MetricsRegistry()
     cache = ResultCache(options.cache_dir) if options.cache_dir else None
+    cache_root = str(cache.root) if cache is not None else None
 
     points_counter = registry.counter("sweep.points")
     hits_counter = registry.counter("sweep.cache_hits")
@@ -391,36 +556,26 @@ def run_sweep(
 
     start = perf_counter()
     jobs = spec.jobs()
-    keys: List[Optional[str]] = [
-        job[0].cache_key(job[1]) if cache is not None else None for job in jobs
+    tasks: List[_Task] = [
+        (
+            point,
+            seed,
+            point.cache_key(seed) if cache is not None else None,
+            cache_root,
+            options.refresh,
+        )
+        for point, seed in jobs
     ]
 
-    slots: List[Optional[PointResult]] = [None] * len(jobs)
-    pending: List[int] = []
-    for i, (point, seed) in enumerate(jobs):
-        cached = MISS
-        if cache is not None and not options.refresh and keys[i] in cache:
-            cached = cache.get(keys[i])
-        if cached is not MISS:
-            slots[i] = PointResult(point, seed, cached, cached=True)
-        else:
-            pending.append(i)
+    outputs, fallback = _execute(tasks, workers, feed=feed, on_feed=on_feed)
 
-    fallback = None
-    if pending:
-        evaluated, fallback = _execute(
-            [jobs[i] for i in pending], workers
-        )
-        for i, result in zip(pending, evaluated):
-            slots[i] = PointResult(jobs[i][0], jobs[i][1], result, cached=False)
-            if cache is not None:
-                cache.put(keys[i], result)
-
+    fleet = FleetRegistry()
     results: List[PointResult] = []
-    for slot in slots:
-        assert slot is not None
+    for (point, seed), (result, snapshot, cached) in zip(jobs, outputs):
+        fleet.fold(snapshot)
+        slot = PointResult(point, seed, result, cached=cached)
         points_counter.inc()
-        (hits_counter if slot.cached else misses_counter).inc()
+        (hits_counter if cached else misses_counter).inc()
         if on_result is not None:
             on_result(slot)
         results.append(slot)
@@ -434,31 +589,87 @@ def run_sweep(
         "workers": workers,
         "wall_s": wall_s,
         "points_per_s": len(jobs) / wall_s if wall_s > 0 else float("inf"),
-        "cache_dir": str(cache.root) if cache is not None else None,
+        "cache_dir": cache_root,
         "refresh": options.refresh,
     }
     if fallback:
         stats["fallback"] = fallback
-    return SweepResult(spec=spec, results=results, stats=stats, registry=registry)
+    if feed is not None:
+        stats["feed"] = True
+    return SweepResult(
+        spec=spec, results=results, stats=stats, registry=registry, fleet=fleet
+    )
+
+
+def _run_serial(
+    tasks: List[_Task],
+    feed: Optional[FleetFeed],
+    on_feed: Optional[Callable[[Dict[str, Any]], None]],
+) -> List[Tuple[Any, Dict[str, Any], bool]]:
+    """In-process execution path (workers=1 and the pool-failure fallback)."""
+    previous = _FEED_QUEUE
+    if feed is not None:
+        _install_feed(feed.queue)
+    try:
+        outputs = []
+        for task in tasks:
+            outputs.append(_run_job(task))
+            _drain_feed(feed, on_feed)
+        return outputs
+    finally:
+        _install_feed(previous)
+
+
+def _drain_feed(
+    feed: Optional[FleetFeed],
+    on_feed: Optional[Callable[[Dict[str, Any]], None]],
+) -> None:
+    if feed is None:
+        return
+    records = feed.drain()
+    if on_feed is not None:
+        for record in records:
+            on_feed(record)
 
 
 def _execute(
-    jobs: List[Tuple[PointSpec, int]], workers: int
-) -> Tuple[List[Any], Optional[str]]:
-    """Evaluate ``jobs``, fanning out over processes when ``workers > 1``.
+    tasks: List[_Task],
+    workers: int,
+    feed: Optional[FleetFeed] = None,
+    on_feed: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Tuple[List[Tuple[Any, Dict[str, Any], bool]], Optional[str]]:
+    """Evaluate ``tasks``, fanning out over processes when ``workers > 1``.
 
-    Returns ``(results_in_job_order, fallback_reason)``.  Pool-level
-    failures (unpicklable payloads, a broken pool) degrade to serial
-    in-process execution; genuine evaluation errors propagate unchanged.
+    Returns ``(outputs_in_task_order, fallback_reason)`` where each output
+    is ``(result, snapshot, cached)``.  Pool-level failures (unpicklable
+    payloads, a broken pool) degrade to serial in-process execution;
+    genuine evaluation errors propagate unchanged.
     """
-    if workers <= 1 or len(jobs) <= 1:
-        return [_run_job(job) for job in jobs], None
+    if workers <= 1 or len(tasks) <= 1:
+        return _run_serial(tasks, feed, on_feed), None
 
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-            futures = [pool.submit(_run_job, job) for job in jobs]
-            return [f.result() for f in futures], None
+        initializer = _install_feed if feed is not None else None
+        initargs = (feed.queue,) if feed is not None else ()
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            futures = [pool.submit(_run_job, task) for task in tasks]
+            if feed is not None:
+                # Drain the live feed while points are still running, so
+                # progress streams mid-point instead of arriving at the end.
+                from concurrent.futures import wait as futures_wait
+
+                not_done = set(futures)
+                while not_done:
+                    _, not_done = futures_wait(not_done, timeout=0.2)
+                    _drain_feed(feed, on_feed)
+            outputs = [f.result() for f in futures]
+            _drain_feed(feed, on_feed)
+            return outputs, None
     except (pickle.PicklingError, TypeError, AttributeError, BrokenProcessPool, OSError):
         # Non-picklable job payloads / a dead pool: degrade gracefully and
         # keep the results bit-identical (seeds are already fixed per job).
-        return [_run_job(job) for job in jobs], "serial"
+        return _run_serial(tasks, feed, on_feed), "serial"

@@ -1,19 +1,32 @@
 """End-to-end simulation telemetry (``repro.obs``).
 
-Three layers over the DES core's causal span trees
+Layers over the DES core's causal span trees
 (:class:`~repro.des.Trace` / :class:`~repro.des.Span`):
 
-* :mod:`repro.obs.registry` — counters, gauges and time-weighted
-  histograms with periodic snapshot sampling on the simulation clock;
+* :mod:`repro.obs.registry` — counters, gauges, time-weighted histograms
+  and mergeable quantile digests with periodic snapshot sampling on the
+  simulation clock;
+* :mod:`repro.obs.digest` — the bounded-memory, exactly-mergeable
+  DDSketch-style quantile digest behind fleet percentiles;
+* :mod:`repro.obs.fleet` — cross-process snapshot export/merge, the
+  order-insensitive :class:`FleetRegistry`, fleet JSONL persistence, and
+  the live :class:`FleetFeed` sweep stream;
+* :mod:`repro.obs.slo` — declarative service-level objectives
+  (``p99_sojourn <= 120``) evaluated against fleet telemetry;
 * :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
   metrics JSONL exporters plus a schema validator and lossless importer;
 * :mod:`repro.obs.report` — critical-path stage attribution and text
   flame rendering, agreeing with the paper's
-  ``T_switch + T_seek + T_transfer`` decomposition.
+  ``T_switch + T_seek + T_transfer`` decomposition;
+* :mod:`repro.obs.dashboard` — the self-contained HTML sweep dashboard
+  behind ``repro-tape report``.
 
-See ``docs/observability.md`` for the span taxonomy and metric names.
+See ``docs/observability.md`` for the span taxonomy, metric names, merge
+semantics, and the SLO grammar.
 """
 
+from .dashboard import render_dashboard, write_dashboard
+from .digest import QuantileDigest
 from .export import (
     read_metrics_jsonl,
     spans_from_chrome_trace,
@@ -21,6 +34,14 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
     write_metrics_jsonl,
+)
+from .fleet import (
+    FleetFeed,
+    FleetRegistry,
+    export_registry,
+    read_fleet_jsonl,
+    snapshot_of_result,
+    write_fleet_jsonl,
 )
 from .registry import Counter, Gauge, MetricsRegistry, TimeWeightedHistogram
 from .report import (
@@ -30,12 +51,39 @@ from .report import (
     attribute_requests,
     render_request_flame,
 )
+from .slo import (
+    DEFAULT_CHAOS_SLOS,
+    SLO,
+    SLOVerdict,
+    evaluate_slos,
+    format_verdicts,
+    parse_slo,
+    parse_slos,
+    slos_pass,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "TimeWeightedHistogram",
+    "QuantileDigest",
     "MetricsRegistry",
+    "FleetRegistry",
+    "FleetFeed",
+    "export_registry",
+    "snapshot_of_result",
+    "write_fleet_jsonl",
+    "read_fleet_jsonl",
+    "SLO",
+    "SLOVerdict",
+    "parse_slo",
+    "parse_slos",
+    "evaluate_slos",
+    "format_verdicts",
+    "slos_pass",
+    "DEFAULT_CHAOS_SLOS",
+    "render_dashboard",
+    "write_dashboard",
     "to_chrome_trace",
     "write_chrome_trace",
     "spans_from_chrome_trace",

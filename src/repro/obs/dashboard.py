@@ -1,0 +1,452 @@
+"""Self-contained HTML dashboard for fleet telemetry (``repro-tape report``).
+
+One HTML file, zero external assets: inline CSS (light + dark via CSS custom
+properties), one inline script for the timeline crosshair.  The layout is a
+KPI row of stat tiles, a cached/computed progress meter, a per-stage latency
+percentile table fed by the fleet's merged digests, an SLO verdict table
+(icon + label, never color alone), a drives-down step timeline rendered from
+registry snapshots when the input carries a time series, and a capped
+per-point table.  Every chart has a table fallback, series identity never
+rides on color alone, and the palette below is the validated reference set
+(single blue series; ordinal two-step blue for the meter; reserved status
+colors for verdicts).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .fleet import LATENCY_DIGESTS, FleetRegistry
+from .slo import SLOVerdict
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+#: Display order and labels for the per-stage latency table.
+_STAGE_LABELS = [
+    ("latency.sojourn_s", "Sojourn (arrival → last byte)"),
+    ("latency.seek_s", "Seek"),
+    ("latency.switch_s", "Switch + queue"),
+    ("latency.transfer_s", "Transfer"),
+]
+
+_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+#: Cap for the per-point table; the fleet JSONL holds the full set.
+_MAX_POINT_ROWS = 40
+
+_CSS = """
+:root { color-scheme: light; }
+body {
+  margin: 0; padding: 24px;
+  background: #f9f9f7; color: #0b0b0b;
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-1-light: #86b6ef;
+  --status-good: #0ca30c; --status-critical: #d03b3b;
+  --good-text: #006300;
+}
+@media (prefers-color-scheme: dark) {
+  :root { color-scheme: dark; }
+  body {
+    background: #0d0d0d; color: #ffffff;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-1-light: #6da7ec;
+    --status-good: #0ca30c; --status-critical: #d03b3b;
+    --good-text: #0ca30c;
+  }
+}
+main { max-width: 960px; margin: 0 auto; }
+h1 { font-size: 20px; font-weight: 600; margin: 0 0 4px; }
+.subtitle { color: var(--ink-2); margin: 0 0 20px; }
+section {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 20px; margin-bottom: 16px;
+}
+section h2 { font-size: 13px; font-weight: 600; color: var(--ink-2);
+  text-transform: none; margin: 0 0 12px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 0; background: none;
+  border: none; padding: 0; }
+.tile { flex: 1 1 140px; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px;
+  padding: 12px 16px; margin: 0 8px 8px 0; }
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+.tile .note { color: var(--ink-3); font-size: 12px; margin-top: 2px; }
+table { border-collapse: collapse; width: 100%; }
+th { text-align: left; color: var(--ink-3); font-weight: 500;
+  font-size: 12px; padding: 4px 10px 4px 0; border-bottom: 1px solid var(--grid); }
+td { padding: 5px 10px 5px 0; border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums; }
+td.name { color: var(--ink-1); font-variant-numeric: normal; }
+tr:last-child td { border-bottom: none; }
+tr:hover td { background: color-mix(in srgb, var(--series-1) 6%, transparent); }
+.num { text-align: right; }
+th.num { text-align: right; }
+.meter { display: flex; height: 16px; border-radius: 4px; overflow: hidden;
+  background: var(--grid); }
+.meter .computed { background: var(--series-1); }
+.meter .gap { width: 2px; background: var(--surface-1); }
+.meter .cached { background: var(--series-1-light); }
+.legend { display: flex; gap: 16px; margin-top: 8px; color: var(--ink-2);
+  font-size: 12px; }
+.legend .key { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+.status { font-weight: 600; white-space: nowrap; }
+.status.pass { color: var(--status-good); }
+.status.fail { color: var(--status-critical); }
+.muted { color: var(--ink-3); }
+svg text { fill: var(--ink-3); font: 11px system-ui, sans-serif; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--baseline); stroke-width: 1; }
+svg .series { stroke: var(--series-1); stroke-width: 2; fill: none;
+  stroke-linejoin: round; stroke-linecap: round; }
+svg .wash { fill: var(--series-1); opacity: 0.10; stroke: none; }
+svg .crosshair { stroke: var(--baseline); stroke-width: 1; visibility: hidden; }
+svg .hoverdot { fill: var(--series-1); stroke: var(--surface-1);
+  stroke-width: 2; visibility: hidden; }
+#tl-tip { position: absolute; pointer-events: none; visibility: hidden;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 4px 8px; font-size: 12px;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.12); white-space: nowrap; }
+details summary { color: var(--ink-2); cursor: pointer; font-size: 12px;
+  margin-top: 8px; }
+"""
+
+_TIMELINE_JS = """
+(function () {
+  var svg = document.getElementById('tl-svg');
+  if (!svg) return;
+  var data = JSON.parse(document.getElementById('tl-data').textContent);
+  var tip = document.getElementById('tl-tip');
+  var dot = document.getElementById('tl-dot');
+  var line = document.getElementById('tl-line');
+  var geo = JSON.parse(svg.dataset.geo);
+  function sx(t) {
+    return geo.x0 + (geo.tmax > geo.tmin
+      ? (t - geo.tmin) / (geo.tmax - geo.tmin) * (geo.x1 - geo.x0) : 0);
+  }
+  function sy(v) {
+    return geo.y1 - (geo.vmax > 0 ? v / geo.vmax * (geo.y1 - geo.y0) : 0);
+  }
+  svg.addEventListener('mousemove', function (ev) {
+    var rect = svg.getBoundingClientRect();
+    var mx = (ev.clientX - rect.left) * (geo.w / rect.width);
+    var best = 0, bd = Infinity;
+    for (var i = 0; i < data.length; i++) {
+      var d = Math.abs(sx(data[i][0]) - mx);
+      if (d < bd) { bd = d; best = i; }
+    }
+    var t = data[best][0], v = data[best][1];
+    line.setAttribute('x1', sx(t)); line.setAttribute('x2', sx(t));
+    line.style.visibility = 'visible';
+    dot.setAttribute('cx', sx(t)); dot.setAttribute('cy', sy(v));
+    dot.style.visibility = 'visible';
+    tip.textContent = 't = ' + (t / 3600).toFixed(2) + ' h \\u00b7 ' +
+      v + ' drive' + (v === 1 ? '' : 's') + ' down';
+    tip.style.left = (ev.pageX + 14) + 'px';
+    tip.style.top = (ev.pageY - 10) + 'px';
+    tip.style.visibility = 'visible';
+  });
+  svg.addEventListener('mouseleave', function () {
+    tip.style.visibility = 'hidden';
+    dot.style.visibility = 'hidden';
+    line.style.visibility = 'hidden';
+  });
+})();
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    """Compact numeric formatting for tiles and table cells."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "–"
+    if abs(value) >= 10_000:
+        return f"{value:,.0f}"
+    if float(value).is_integer() and abs(value) < 10_000:
+        return f"{int(value):,}"
+    return f"{value:,.{digits}f}"
+
+
+def _tile(label: str, value: str, note: str = "") -> str:
+    note_html = f'<div class="note">{_esc(note)}</div>' if note else ""
+    return (
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div>{note_html}</div>'
+    )
+
+
+def _kpi_row(fleet: FleetRegistry) -> str:
+    completed = fleet.counter("requests.completed")
+    aborted = fleet.aborted_requests
+    hit_rate = fleet.cache_hit_rate
+    availability = fleet.availability
+    has_horizon = fleet.counter("fleet.horizon_s") > 0
+    tiles = [
+        _tile("Points merged", _fmt(float(len(fleet.raw_snapshots)))),
+        _tile("Requests completed", _fmt(completed)),
+        _tile(
+            "Availability",
+            f"{availability * 100:.3f}%" if has_horizon else "–",
+            "" if has_horizon else "no fault bookkeeping in input",
+        ),
+        _tile(
+            "Cache hit rate",
+            "–" if math.isnan(hit_rate) else f"{hit_rate * 100:.0f}%",
+        ),
+        _tile("Aborted requests", _fmt(aborted)),
+        _tile("Tape switches", _fmt(fleet.counter("tape.switches"))),
+    ]
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+def _progress_section(fleet: FleetRegistry) -> str:
+    hits = fleet.counter("sweep.cache_hits")
+    misses = fleet.counter("sweep.cache_misses")
+    total = hits + misses
+    if total <= 0:
+        return ""
+    computed_pct = misses / total * 100.0
+    cached_pct = hits / total * 100.0
+    gap = '<div class="gap"></div>' if hits and misses else ""
+    return f"""<section>
+<h2>Sweep progress — {_fmt(total)} points ({_fmt(misses)} computed, {_fmt(hits)} from cache)</h2>
+<div class="meter">
+<div class="computed" style="width:{computed_pct:.2f}%"></div>{gap}
+<div class="cached" style="width:{cached_pct:.2f}%"></div>
+</div>
+<div class="legend">
+<span><span class="key" style="background:var(--series-1)"></span>Computed</span>
+<span><span class="key" style="background:var(--series-1-light)"></span>Cache hit</span>
+</div>
+</section>"""
+
+
+def _latency_section(fleet: FleetRegistry) -> str:
+    rows = []
+    for name, label in _STAGE_LABELS:
+        digest = fleet.digests.get(name)
+        if digest is None or not digest.count:
+            continue
+        cells = [
+            f'<td class="name">{_esc(label)}</td>',
+            f'<td class="num">{_fmt(float(digest.count))}</td>',
+            f'<td class="num">{_fmt(digest.mean, 2)}</td>',
+        ]
+        for q in _PERCENTILES:
+            cells.append(f'<td class="num">{_fmt(digest.quantile(q), 2)}</td>')
+        cells.append(f'<td class="num">{_fmt(digest.max, 2)}</td>')
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+    if not rows:
+        return ""
+    header = (
+        '<tr><th>Stage</th><th class="num">Count</th><th class="num">Mean (s)</th>'
+        + "".join(f'<th class="num">p{q:g}</th>' for q in _PERCENTILES)
+        + '<th class="num">Max (s)</th></tr>'
+    )
+    return (
+        "<section><h2>Per-stage latency percentiles (seconds, merged digests, "
+        "±1% relative error)</h2><table>"
+        + header
+        + "".join(rows)
+        + "</table></section>"
+    )
+
+
+def _slo_section(verdicts: Sequence[SLOVerdict]) -> str:
+    if not verdicts:
+        return ""
+    rows = []
+    for v in sorted(verdicts, key=lambda v: v.passed):
+        observed = "–" if math.isnan(v.observed) else _fmt(v.observed, 4)
+        icon, css = ("✓ PASS", "pass") if v.passed else ("✗ FAIL", "fail")
+        detail = f' <span class="muted">({_esc(v.detail)})</span>' if v.detail else ""
+        rows.append(
+            f'<tr><td class="name">{_esc(v.slo.text)}</td>'
+            f'<td class="num">{observed}</td>'
+            f'<td class="num">{_fmt(v.slo.threshold, 4)}</td>'
+            f'<td><span class="status {css}">{icon}</span>{detail}</td></tr>'
+        )
+    met = sum(1 for v in verdicts if v.passed)
+    return (
+        f"<section><h2>Service-level objectives — {met}/{len(verdicts)} met</h2>"
+        '<table><tr><th>Objective</th><th class="num">Observed</th>'
+        '<th class="num">Threshold</th><th>Verdict</th></tr>'
+        + "".join(rows)
+        + "</table></section>"
+    )
+
+
+def _drives_down_series(
+    snapshots: Sequence[Dict[str, Any]],
+) -> List[List[float]]:
+    series = []
+    for snap in snapshots:
+        gauges = snap.get("gauges", {})
+        if "faults.drives_down" in gauges:
+            series.append([float(snap.get("t_s", 0.0)), float(gauges["faults.drives_down"])])
+    return series
+
+
+def _timeline_section(snapshots: Optional[Sequence[Dict[str, Any]]]) -> str:
+    series = _drives_down_series(snapshots or [])
+    if len(series) < 2:
+        return ""
+    w, h = 920, 200
+    x0, x1, y0, y1 = 46, w - 12, 12, h - 26
+    tmin, tmax = series[0][0], series[-1][0]
+    vmax = max(1.0, max(v for _, v in series))
+
+    def sx(t: float) -> float:
+        return x0 + (t - tmin) / (tmax - tmin) * (x1 - x0) if tmax > tmin else x0
+
+    def sy(v: float) -> float:
+        return y1 - v / vmax * (y1 - y0)
+
+    # Step path: a gauge holds its value until the next snapshot.
+    path = [f"M {sx(series[0][0]):.1f} {sy(series[0][1]):.1f}"]
+    for (t_prev, v_prev), (t, v) in zip(series, series[1:]):
+        path.append(f"L {sx(t):.1f} {sy(v_prev):.1f}")
+        path.append(f"L {sx(t):.1f} {sy(v):.1f}")
+    line_path = " ".join(path)
+    wash_path = (
+        line_path
+        + f" L {sx(series[-1][0]):.1f} {y1:.1f} L {sx(series[0][0]):.1f} {y1:.1f} Z"
+    )
+
+    grid = []
+    ticks = range(0, int(vmax) + 1) if vmax <= 6 else range(0, int(vmax) + 1, 2)
+    for v in ticks:
+        y = sy(float(v))
+        grid.append(f'<line class="grid" x1="{x0}" y1="{y:.1f}" x2="{x1}" y2="{y:.1f}"/>')
+        grid.append(f'<text x="{x0 - 8}" y="{y + 4:.1f}" text-anchor="end">{v}</text>')
+    x_labels = []
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = tmin + frac * (tmax - tmin)
+        x_labels.append(
+            f'<text x="{sx(t):.1f}" y="{h - 8}" text-anchor="middle">'
+            f"{t / 3600:.1f} h</text>"
+        )
+
+    geo = json.dumps(
+        {"w": w, "x0": x0, "x1": x1, "y0": y0, "y1": y1,
+         "tmin": tmin, "tmax": tmax, "vmax": vmax}
+    )
+    table_rows = "".join(
+        f'<tr><td class="num">{t / 3600:.2f}</td><td class="num">{int(v)}</td></tr>'
+        for t, v in series
+    )
+    return f"""<section>
+<h2>Drives down over simulated time</h2>
+<svg id="tl-svg" viewBox="0 0 {w} {h}" width="100%" data-geo='{_esc(geo)}' role="img"
+ aria-label="Step chart of simultaneously failed drives over simulated time">
+{''.join(grid)}
+<line class="axis" x1="{x0}" y1="{y1}" x2="{x1}" y2="{y1}"/>
+<path class="wash" d="{wash_path}"/>
+<path class="series" d="{line_path}"/>
+<line id="tl-line" class="crosshair" x1="0" y1="{y0}" x2="0" y2="{y1}"/>
+<circle id="tl-dot" class="hoverdot" r="4"/>
+{''.join(x_labels)}
+</svg>
+<div id="tl-tip"></div>
+<script id="tl-data" type="application/json">{json.dumps(series)}</script>
+<details><summary>Table view</summary>
+<table><tr><th class="num">t (h)</th><th class="num">Drives down</th></tr>
+{table_rows}</table></details>
+</section>"""
+
+
+def _points_section(fleet: FleetRegistry) -> str:
+    if not fleet.points:
+        return ""
+    rows = []
+    for meta in fleet.points[:_MAX_POINT_ROWS]:
+        rows.append(
+            f'<tr><td class="name">{_esc(meta.get("label", "?"))}</td>'
+            f'<td>{_esc(meta.get("kind", ""))}</td>'
+            f'<td>{"cache" if meta.get("cached") else "computed"}</td></tr>'
+        )
+    truncated = (
+        f'<p class="muted">… and {len(fleet.points) - _MAX_POINT_ROWS} more points '
+        "(full set in the fleet JSONL).</p>"
+        if len(fleet.points) > _MAX_POINT_ROWS
+        else ""
+    )
+    return (
+        f"<section><h2>Points ({len(fleet.points)})</h2>"
+        "<table><tr><th>Point</th><th>Kind</th><th>Source</th></tr>"
+        + "".join(rows)
+        + "</table>"
+        + truncated
+        + "</section>"
+    )
+
+
+def render_dashboard(
+    fleet: FleetRegistry,
+    verdicts: Sequence[SLOVerdict] = (),
+    snapshots: Optional[Sequence[Dict[str, Any]]] = None,
+    title: str = "repro-tape fleet report",
+    subtitle: str = "",
+) -> str:
+    """Render the fleet (plus optional SLO verdicts and a registry snapshot
+    time series for the drives-down timeline) as one self-contained HTML
+    page."""
+    sections = [
+        _kpi_row(fleet),
+        _progress_section(fleet),
+        _latency_section(fleet),
+        _slo_section(verdicts),
+        _timeline_section(snapshots),
+        _points_section(fleet),
+    ]
+    subtitle_html = f'<p class="subtitle">{_esc(subtitle)}</p>' if subtitle else ""
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<main>
+<h1>{_esc(title)}</h1>
+{subtitle_html}
+{''.join(s for s in sections if s)}
+</main>
+<script>{_TIMELINE_JS}</script>
+</body>
+</html>
+"""
+
+
+def write_dashboard(
+    fleet: FleetRegistry,
+    path,
+    verdicts: Sequence[SLOVerdict] = (),
+    snapshots: Optional[Sequence[Dict[str, Any]]] = None,
+    title: str = "repro-tape fleet report",
+    subtitle: str = "",
+) -> str:
+    """Write the dashboard HTML to ``path``; returns the document."""
+    doc = render_dashboard(
+        fleet, verdicts=verdicts, snapshots=snapshots, title=title, subtitle=subtitle
+    )
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(doc)
+    return doc

@@ -1,0 +1,246 @@
+"""Bounded-memory, exactly-mergeable quantile digests for latency metrics.
+
+Averaging per-worker p99s is wrong — percentiles don't compose.  What does
+compose is the underlying *distribution sketch*: this module implements a
+DDSketch-style digest (Masson, Rim & Lee, VLDB 2019) whose buckets are
+geometrically spaced so every quantile estimate carries a bounded
+**relative** error, and whose merge is a bucket-wise integer addition —
+associative, commutative, and lossless.  Merging the digests of ten sweep
+workers therefore yields *exactly* the digest a single process would have
+built from the concatenated samples, so fleet-level p50/p95/p99 are correct
+by construction.
+
+Design points:
+
+* ``record(v)`` costs one ``log`` and one dict increment — cheap enough to
+  run per completed request on the simulation hot path;
+* values map to bucket ``ceil(log_gamma(v))`` with ``gamma = (1 + eps) /
+  (1 - eps)``, giving ``|estimate - v| <= eps * v`` for every recorded
+  value; zeros (and values below :attr:`QuantileDigest.min_trackable`)
+  live in a dedicated zero bucket;
+* memory is bounded by ``max_bins``: overflowing collapses the *lowest*
+  buckets together (the error bound then holds for everything above the
+  collapsed floor — the tail quantiles one actually alerts on);
+* exact ``count`` / ``sum`` / ``min`` / ``max`` ride along, so means stay
+  exact even though quantiles are approximate.
+
+Serialization (:meth:`QuantileDigest.to_dict` / :meth:`from_dict`) is plain
+JSON-able data; digests round-trip bit-exactly through the metrics JSONL
+written by :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable
+
+__all__ = ["QuantileDigest", "DEFAULT_REL_ERR", "DEFAULT_MAX_BINS"]
+
+#: 1 % relative error: p99 of a 1000 s sojourn is right to within 10 s.
+DEFAULT_REL_ERR = 0.01
+
+#: Bucket cap.  At 1 % error one bucket spans a factor gamma ~= 1.0202, so
+#: 2048 bins cover > 17 orders of magnitude before any collapse happens.
+DEFAULT_MAX_BINS = 2048
+
+
+class QuantileDigest:
+    """A mergeable sketch of a non-negative value distribution.
+
+    Parameters
+    ----------
+    name:
+        Instrument name (``"sojourn_s"``); carried through snapshots.
+    rel_err:
+        Relative accuracy guarantee for quantiles, in (0, 1).
+    unit:
+        Display unit (``"s"``).
+    max_bins:
+        Memory bound; the lowest buckets collapse together beyond it.
+    """
+
+    __slots__ = (
+        "name",
+        "unit",
+        "rel_err",
+        "max_bins",
+        "gamma",
+        "_log_gamma",
+        "bins",
+        "zero_count",
+        "count",
+        "sum",
+        "min",
+        "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        rel_err: float = DEFAULT_REL_ERR,
+        unit: str = "",
+        max_bins: int = DEFAULT_MAX_BINS,
+    ) -> None:
+        if not 0.0 < rel_err < 1.0:
+            raise ValueError(f"rel_err must be in (0, 1), got {rel_err}")
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.name = name
+        self.unit = unit
+        self.rel_err = rel_err
+        self.max_bins = max_bins
+        self.gamma = (1.0 + rel_err) / (1.0 - rel_err)
+        self._log_gamma = math.log(self.gamma)
+        #: Bucket index -> sample count.  Bucket ``i`` covers
+        #: ``(gamma^(i-1), gamma^i]``.
+        self.bins: Dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @property
+    def min_trackable(self) -> float:
+        """Values at or below this land in the zero bucket (~1e-9 s)."""
+        return 1e-9
+
+    # -- recording ---------------------------------------------------------
+    def record(self, value: float, count: int = 1) -> None:
+        """Fold ``count`` observations of ``value`` into the sketch."""
+        if value < 0.0:
+            raise ValueError(f"digest {self.name!r} is non-negative, got {value}")
+        if count <= 0:
+            return
+        self.count += count
+        self.sum += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self.min_trackable:
+            self.zero_count += count
+            return
+        index = math.ceil(math.log(value) / self._log_gamma)
+        self.bins[index] = self.bins.get(index, 0) + count
+        if len(self.bins) > self.max_bins:
+            self._collapse_lowest()
+
+    def _collapse_lowest(self) -> None:
+        """Merge the two lowest buckets (keeps tail quantiles accurate)."""
+        low = sorted(self.bins)
+        first, second = low[0], low[1]
+        self.bins[second] += self.bins.pop(first)
+
+    # -- queries -----------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (q in [0, 100]); NaN when empty.
+
+        Accurate to ``rel_err`` relative error for any value recorded above
+        :attr:`min_trackable` (and exact at the extremes, which return the
+        tracked ``min``/``max``).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return float("nan")
+        # Nearest-rank on the merged bucket counts.
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        if rank <= self.zero_count:
+            return max(0.0, self.min)
+        seen = self.zero_count
+        for index in sorted(self.bins):
+            seen += self.bins[index]
+            if seen >= rank:
+                # Bucket midpoint in log space: 2*gamma^i/(gamma+1) has
+                # bounded relative error against anything in the bucket.
+                estimate = 2.0 * self.gamma**index / (self.gamma + 1.0)
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always lands
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def summary(self, quantiles: Iterable[float] = (50, 90, 95, 99)) -> Dict[str, float]:
+        """Compact stats dict for snapshots and dashboards."""
+        out: Dict[str, float] = {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+        }
+        for q in quantiles:
+            out[f"p{q:g}"] = self.quantile(q)
+        return out
+
+    # -- merge -------------------------------------------------------------
+    def merge(self, other: "QuantileDigest") -> "QuantileDigest":
+        """Fold ``other`` into this digest in place (bucket-wise, lossless).
+
+        Requires identical ``rel_err`` (same bucket geometry) — merging
+        sketches with different error bounds would silently degrade both.
+        """
+        if other.rel_err != self.rel_err:
+            raise ValueError(
+                f"cannot merge digests with different rel_err "
+                f"({self.rel_err} vs {other.rel_err})"
+            )
+        for index, count in other.bins.items():
+            self.bins[index] = self.bins.get(index, 0) + count
+        while len(self.bins) > self.max_bins:
+            self._collapse_lowest()
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        return self
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able full state (bins keyed by string for JSON round-trip)."""
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "rel_err": self.rel_err,
+            "max_bins": self.max_bins,
+            "zero_count": self.zero_count,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "bins": {str(i): c for i, c in sorted(self.bins.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QuantileDigest":
+        digest = cls(
+            data["name"],
+            rel_err=data["rel_err"],
+            unit=data.get("unit", ""),
+            max_bins=data.get("max_bins", DEFAULT_MAX_BINS),
+        )
+        digest.zero_count = int(data.get("zero_count", 0))
+        digest.count = int(data.get("count", 0))
+        digest.sum = float(data.get("sum", 0.0))
+        digest.min = math.inf if data.get("min") is None else float(data["min"])
+        digest.max = -math.inf if data.get("max") is None else float(data["max"])
+        digest.bins = {int(i): int(c) for i, c in data.get("bins", {}).items()}
+        return digest
+
+    def copy(self) -> "QuantileDigest":
+        return QuantileDigest.from_dict(self.to_dict())
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return f"<QuantileDigest {self.name} empty>"
+        return (
+            f"<QuantileDigest {self.name} n={self.count} "
+            f"p50={self.quantile(50):g} p99={self.quantile(99):g}"
+            f"{self.unit and ' ' + self.unit}>"
+        )

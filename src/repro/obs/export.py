@@ -218,10 +218,18 @@ def write_metrics_jsonl(registry, path) -> int:
 
     The first line is a ``meta`` record carrying instrument units; each
     following line is one snapshot (``{"type": "snapshot", "t_s": …}``).
+    The final line is a ``registry_export`` record — the registry's full
+    mergeable state (gauge integrals, histogram buckets, complete digest
+    bins), so re-importing the file into a
+    :class:`~repro.obs.fleet.FleetRegistry` reproduces the run's fleet
+    aggregates exactly, not just its sampled time series.
     """
+    from .fleet import export_registry
+
     lines = [json.dumps({"type": "meta", "units": registry.units()})]
     for snap in registry.snapshots:
         lines.append(json.dumps({"type": "snapshot", **snap}))
+    lines.append(json.dumps({"type": "registry_export", **export_registry(registry)}))
     with open(path, "w") as fh:
         fh.write("\n".join(lines) + "\n")
     return len(lines)

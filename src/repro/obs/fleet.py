@@ -1,0 +1,410 @@
+"""Fleet telemetry: cross-process registry snapshots, merge, and streaming.
+
+A multi-worker sweep (:mod:`repro.experiments.parallel`) evaluates points
+in child processes, and every counter, gauge, histogram, and latency digest
+recorded there dies with the child — unless it travels.  This module is the
+transport and the algebra:
+
+* :func:`export_registry` freezes a :class:`~repro.obs.MetricsRegistry`
+  into a compact, JSON-able, *mergeable* snapshot (full digest state, gauge
+  time-integrals, histogram bucket seconds — not just last values);
+* :func:`snapshot_of_result` derives such a snapshot deterministically from
+  any point result object (open-system results carry a live registry;
+  closed-loop results synthesize latency digests from their samples), so
+  fleet aggregates are identical whether a point was computed serially, in
+  a worker, or replayed from the on-disk cache;
+* :class:`FleetRegistry` folds snapshots in any order into fleet-level
+  counters (summed), gauges (time-integral-weighted), histograms
+  (bucket-wise sums), and digests (lossless sketch merge) — percentiles
+  compose correctly instead of averaging averages;
+* :func:`write_fleet_jsonl` / :func:`read_fleet_jsonl` round-trip the
+  per-point snapshot stream so a finished sweep's telemetry can be merged,
+  re-merged, and rendered (``repro-tape report``) long after the run;
+* :class:`FleetFeed` is a ``multiprocessing``-queue feed workers emit
+  progress records into mid-point, so a 10-minute point streams instead of
+  appearing all at once (``repro-tape metrics --follow``).
+
+Merge semantics (the invariant every consumer relies on): folding is
+associative and commutative up to float rounding, and **exactly**
+order-insensitive for integer-valued counters and digest bucket counts —
+proven by the property tests in ``tests/obs/test_fleet.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .digest import QuantileDigest
+from .registry import MetricsRegistry
+
+__all__ = [
+    "export_registry",
+    "snapshot_of_result",
+    "FleetRegistry",
+    "FleetFeed",
+    "write_fleet_jsonl",
+    "read_fleet_jsonl",
+    "LATENCY_DIGESTS",
+]
+
+#: Per-request latency digests recorded by the open system and synthesized
+#: for closed-loop results: name -> RequestMetrics attribute.
+LATENCY_DIGESTS = {
+    "latency.sojourn_s": "response_s",
+    "latency.seek_s": "seek_s",
+    "latency.switch_s": "switch_s",
+    "latency.transfer_s": "transfer_s",
+}
+
+
+def export_registry(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Freeze a registry into a compact, mergeable, JSON-able snapshot.
+
+    Gauges export their full time-integral state (not just the last value),
+    histograms their bucket seconds, digests their complete bucket maps —
+    everything a :class:`FleetRegistry` needs to merge losslessly.
+    """
+    gauges: Dict[str, Any] = {}
+    for name, g in sorted(registry.gauges.items()):
+        elapsed = 0.0
+        if g._t0 is not None and g._since is not None:
+            elapsed = g._since - g._t0
+        gauges[name] = {
+            "value": g.value,
+            "min": g.min,
+            "max": g.max,
+            "integral": g._integral,
+            "elapsed_s": elapsed,
+        }
+    return {
+        "counters": {n: c.value for n, c in sorted(registry.counters.items())},
+        "gauges": gauges,
+        "histograms": {
+            n: {"bounds": list(h.bounds), "bucket_s": list(h.bucket_s)}
+            for n, h in sorted(registry.histograms.items())
+        },
+        "digests": {n: d.to_dict() for n, d in sorted(registry.digests.items())},
+        "units": registry.units(),
+    }
+
+
+def snapshot_of_result(result: Any, point_meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """A mergeable snapshot derived deterministically from a point result.
+
+    Open-system results (:class:`~repro.sim.OpenSystemResult`) export their
+    embedded registry — live counters, gauges, and latency digests — plus
+    availability bookkeeping from the fault layer.  Closed-loop
+    (:class:`~repro.sim.EvaluationResult`) and FCFS results synthesize the
+    same latency digests from their per-request samples, so every point
+    kind contributes comparable sojourn/seek/switch sketches to the fleet.
+
+    The snapshot is a pure function of the result (never of process state),
+    which makes fleet aggregates independent of worker count, execution
+    order, and cache hits — the property ``tests/experiments/test_parallel``
+    pins.
+    """
+    registry = getattr(result, "registry", None)
+    if registry is not None:
+        snapshot = export_registry(registry)
+    else:
+        synthesized = MetricsRegistry()
+        samples = getattr(result, "samples", None)
+        if samples is not None:  # EvaluationResult (closed / incremental)
+            for name, attr in LATENCY_DIGESTS.items():
+                digest = synthesized.digest(name, unit="s")
+                for metrics in samples:
+                    # switch_s is derived (response - seek - transfer) and
+                    # can round a hair below zero; digests are non-negative.
+                    digest.record(max(0.0, getattr(metrics, attr)))
+            synthesized.counter("requests.completed", unit="requests").inc(
+                len(samples)
+            )
+        else:  # QueueingResult (fcfs): only sojourns are known
+            records = getattr(result, "records", [])
+            digest = synthesized.digest("latency.sojourn_s", unit="s")
+            for record in records:
+                digest.record(max(0.0, record.sojourn_s))
+            synthesized.counter("requests.completed", unit="requests").inc(
+                len(records)
+            )
+        snapshot = export_registry(synthesized)
+
+    # Fault/availability surface: store the *mergeable* form (availability
+    # weighted by horizon) so the fleet's availability is the time-weighted
+    # mean across points, not a mean of ratios over unequal horizons.
+    horizon = getattr(result, "horizon_s", None)
+    if horizon is not None:
+        counters = snapshot["counters"]
+        counters["fleet.horizon_s"] = float(horizon)
+        counters["fleet.availability_weighted_s"] = float(horizon) * float(
+            getattr(result, "availability", 1.0)
+        )
+    if point_meta:
+        snapshot["point"] = dict(point_meta)
+    return snapshot
+
+
+class FleetRegistry:
+    """Order-insensitively merged view over many registry snapshots.
+
+    ``fold`` accepts snapshots from :func:`export_registry` /
+    :func:`snapshot_of_result`; aggregates are available immediately after
+    each fold, so a sweep's ``on_result`` hook reads live fleet state while
+    later points are still running.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        #: name -> {value (sum of levels), min, max, integral, elapsed_s}.
+        self.gauges: Dict[str, Dict[str, float]] = {}
+        self.histograms: Dict[str, Dict[str, Any]] = {}
+        self.digests: Dict[str, QuantileDigest] = {}
+        self.units: Dict[str, str] = {}
+        #: Per-point metadata of folded snapshots, in fold order.
+        self.points: List[Dict[str, Any]] = []
+        #: Raw folded snapshots (kept for JSONL round-trips and re-merges).
+        self.raw_snapshots: List[Dict[str, Any]] = []
+
+    # -- merge ------------------------------------------------------------
+    def fold(self, snapshot: Dict[str, Any]) -> "FleetRegistry":
+        """Merge one snapshot into the fleet (commutative, associative)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + float(value)
+        for name, g in snapshot.get("gauges", {}).items():
+            fleet_g = self.gauges.get(name)
+            if fleet_g is None:
+                fleet_g = self.gauges[name] = {
+                    "value": 0.0,
+                    "min": None,
+                    "max": None,
+                    "integral": 0.0,
+                    "elapsed_s": 0.0,
+                }
+            fleet_g["value"] += float(g.get("value", 0.0))
+            for key, pick in (("min", min), ("max", max)):
+                incoming = g.get(key)
+                if incoming is not None:
+                    current = fleet_g[key]
+                    fleet_g[key] = (
+                        incoming if current is None else pick(current, incoming)
+                    )
+            fleet_g["integral"] += float(g.get("integral", 0.0))
+            fleet_g["elapsed_s"] += float(g.get("elapsed_s", 0.0))
+        for name, h in snapshot.get("histograms", {}).items():
+            fleet_h = self.histograms.get(name)
+            if fleet_h is None:
+                self.histograms[name] = {
+                    "bounds": list(h["bounds"]),
+                    "bucket_s": list(h["bucket_s"]),
+                }
+            else:
+                if fleet_h["bounds"] != list(h["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r} bounds mismatch: "
+                        f"{fleet_h['bounds']} vs {h['bounds']}"
+                    )
+                fleet_h["bucket_s"] = [
+                    a + b for a, b in zip(fleet_h["bucket_s"], h["bucket_s"])
+                ]
+        for name, d in snapshot.get("digests", {}).items():
+            incoming = QuantileDigest.from_dict(d)
+            existing = self.digests.get(name)
+            if existing is None:
+                self.digests[name] = incoming
+            else:
+                existing.merge(incoming)
+        self.units.update(snapshot.get("units", {}))
+        if "point" in snapshot:
+            self.points.append(dict(snapshot["point"]))
+        self.raw_snapshots.append(snapshot)
+        return self
+
+    def merge(self, other: "FleetRegistry") -> "FleetRegistry":
+        """Fold every snapshot of ``other`` into this fleet."""
+        for snapshot in other.raw_snapshots:
+            self.fold(snapshot)
+        return self
+
+    # -- views ------------------------------------------------------------
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def quantile(self, name: str, q: float) -> float:
+        """Fleet-level quantile of a digest (NaN when absent/empty)."""
+        digest = self.digests.get(name)
+        if digest is None:
+            return float("nan")
+        return digest.quantile(q)
+
+    def gauge_mean(self, name: str) -> float:
+        """Time-weighted mean of a merged gauge (NaN when absent)."""
+        g = self.gauges.get(name)
+        if g is None or g["elapsed_s"] <= 0:
+            return float("nan")
+        return g["integral"] / g["elapsed_s"]
+
+    @property
+    def availability(self) -> float:
+        """Horizon-weighted mean availability across folded points (1.0
+        when no point carried fault bookkeeping)."""
+        horizon = self.counters.get("fleet.horizon_s", 0.0)
+        if horizon <= 0:
+            return 1.0
+        return self.counters.get("fleet.availability_weighted_s", 0.0) / horizon
+
+    @property
+    def aborted_requests(self) -> float:
+        return self.counters.get("requests.aborted", 0.0)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fleet cache hits / lookups (NaN before any lookup)."""
+        hits = self.counters.get("sweep.cache_hits", 0.0)
+        misses = self.counters.get("sweep.cache_misses", 0.0)
+        total = hits + misses
+        return hits / total if total > 0 else float("nan")
+
+    def aggregates(self) -> Dict[str, Any]:
+        """Canonical fold-order-independent summary, for equality checks.
+
+        Per-point metadata (which *is* order-sensitive) is excluded;
+        everything else — counters, merged gauge books, histogram buckets,
+        digest states — is returned in sorted-name order.
+        """
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {n: dict(g) for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {"bounds": h["bounds"], "bucket_s": h["bucket_s"]}
+                for n, h in sorted(self.histograms.items())
+            },
+            "digests": {n: d.to_dict() for n, d in sorted(self.digests.items())},
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline numbers for dashboards and logs."""
+        out: Dict[str, Any] = {
+            "points": len(self.points) or len(self.raw_snapshots),
+            "requests_completed": self.counters.get("requests.completed", 0.0),
+            "requests_aborted": self.aborted_requests,
+            "availability": self.availability,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+        for name in sorted(self.digests):
+            out[name] = self.digests[name].summary()
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<FleetRegistry {len(self.raw_snapshots)} snapshots, "
+            f"{len(self.counters)} counters, {len(self.digests)} digests>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+
+
+def write_fleet_jsonl(fleet: FleetRegistry, path) -> int:
+    """Dump the fleet's per-point snapshot stream as JSONL; lines written.
+
+    The first line is a ``fleet_meta`` record (units, snapshot count); each
+    following line is one folded snapshot.  Reading the file back and
+    re-folding reproduces the fleet's aggregates exactly — merge is
+    lossless, so the file *is* the registry.
+    """
+    lines = [
+        json.dumps(
+            {
+                "type": "fleet_meta",
+                "units": fleet.units,
+                "snapshots": len(fleet.raw_snapshots),
+            }
+        )
+    ]
+    for snapshot in fleet.raw_snapshots:
+        lines.append(json.dumps({"type": "point_snapshot", **snapshot}))
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def read_fleet_jsonl(path) -> FleetRegistry:
+    """Rebuild a :class:`FleetRegistry` by re-folding a saved JSONL file.
+
+    Also accepts a single-run metrics JSONL written by
+    :func:`repro.obs.export.write_metrics_jsonl`: its final
+    ``registry_export`` record folds as one snapshot.
+    """
+    fleet = FleetRegistry()
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind in ("point_snapshot", "registry_export"):
+                record = {k: v for k, v in record.items() if k != "type"}
+                fleet.fold(record)
+    return fleet
+
+
+# ---------------------------------------------------------------------------
+# Live streaming
+
+
+class FleetFeed:
+    """A cross-process telemetry feed for long-running sweeps.
+
+    The parent creates the feed; worker processes (wired up by the sweep
+    engine's pool initializer) emit small JSON-able records — point
+    started/finished markers and mid-point progress from the open system's
+    completion hook — and the parent drains them while futures are still
+    pending.  Built on a ``multiprocessing.Manager`` queue because plain
+    ``multiprocessing.Queue`` objects cannot cross a
+    ``ProcessPoolExecutor``'s initializer-argument pickling boundary.
+
+    The manager process only exists while a feed is armed: sweeps without a
+    feed pay a single ``None`` check per point (the
+    allocation-free-when-disabled discipline of the tracing layer).
+    """
+
+    def __init__(self) -> None:
+        import multiprocessing
+
+        self._manager = multiprocessing.Manager()
+        self.queue = self._manager.Queue()
+        self.emitted = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Publish one record (worker side); never blocks the simulation."""
+        try:
+            self.queue.put_nowait(record)
+            self.emitted += 1
+        except Exception:  # noqa: BLE001 - a dead feed must not kill the run
+            pass
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Every record queued since the last drain (parent side)."""
+        import queue as queue_mod
+
+        records: List[Dict[str, Any]] = []
+        while True:
+            try:
+                records.append(self.queue.get_nowait())
+            except (queue_mod.Empty, OSError, EOFError):
+                break
+        return records
+
+    def close(self) -> None:
+        self._manager.shutdown()
+
+    def __enter__(self) -> "FleetFeed":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -19,7 +19,15 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["Counter", "Gauge", "TimeWeightedHistogram", "MetricsRegistry"]
+from .digest import DEFAULT_REL_ERR, QuantileDigest
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "TimeWeightedHistogram",
+    "QuantileDigest",
+    "MetricsRegistry",
+]
 
 
 class Counter:
@@ -160,12 +168,13 @@ class MetricsRegistry:
     simulation alive.
     """
 
-    __slots__ = ("counters", "gauges", "histograms", "snapshots")
+    __slots__ = ("counters", "gauges", "histograms", "digests", "snapshots")
 
     def __init__(self) -> None:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, TimeWeightedHistogram] = {}
+        self.digests: Dict[str, QuantileDigest] = {}
         self.snapshots: List[Dict] = []
 
     # -- instrument factories ------------------------------------------------
@@ -188,6 +197,28 @@ class MetricsRegistry:
         hist = TimeWeightedHistogram(name, bounds, unit)
         self.histograms[name] = hist
         return hist
+
+    def digest(
+        self, name: str, rel_err: float = DEFAULT_REL_ERR, unit: str = ""
+    ) -> QuantileDigest:
+        """Get-or-create a mergeable quantile digest (sample-weighted).
+
+        Unlike the time-weighted instruments above, a digest sketches a
+        *per-event* value distribution (sojourn, seek, switch latencies);
+        its merge across processes is lossless, so fleet percentiles
+        compose correctly (see :mod:`repro.obs.digest`).
+        """
+        existing = self.digests.get(name)
+        if existing is not None:
+            if existing.rel_err != rel_err:
+                raise ValueError(
+                    f"digest {name!r} already exists with rel_err "
+                    f"{existing.rel_err}, not {rel_err}"
+                )
+            return existing
+        digest = QuantileDigest(name, rel_err=rel_err, unit=unit)
+        self.digests[name] = digest
+        return digest
 
     @staticmethod
     def _get_or_create(table, factory, name: str, unit: str):
@@ -215,6 +246,10 @@ class MetricsRegistry:
                 for name, h in sorted(self.histograms.items())
             },
         }
+        if self.digests:
+            snap["digests"] = {
+                name: d.summary() for name, d in sorted(self.digests.items())
+            }
         self.snapshots.append(snap)
         return snap
 
@@ -240,7 +275,7 @@ class MetricsRegistry:
     def units(self) -> Dict[str, str]:
         """Instrument name -> unit, for exporters and docs."""
         out = {}
-        for table in (self.counters, self.gauges, self.histograms):
+        for table in (self.counters, self.gauges, self.histograms, self.digests):
             for name, instrument in table.items():
                 out[name] = instrument.unit
         return out
@@ -249,5 +284,5 @@ class MetricsRegistry:
         return (
             f"<MetricsRegistry {len(self.counters)} counters, "
             f"{len(self.gauges)} gauges, {len(self.histograms)} histograms, "
-            f"{len(self.snapshots)} snapshots>"
+            f"{len(self.digests)} digests, {len(self.snapshots)} snapshots>"
         )

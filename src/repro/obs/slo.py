@@ -1,0 +1,218 @@
+"""Declarative service-level objectives over fleet telemetry.
+
+An SLO is one line of text — ``"p99_sojourn <= 120"``, ``"availability >=
+0.999"``, ``"aborted_requests == 0"`` — parsed once and evaluated against a
+:class:`~repro.obs.fleet.FleetRegistry` (or any single exported snapshot
+folded into one).  Because fleet digests merge losslessly, a percentile
+objective evaluated on the merged fleet is the same verdict a single
+process would have reached over all samples: no averaging of averages.
+
+Grammar (case-insensitive metric spellings, whitespace optional)::
+
+    objective := metric op threshold
+    op        := <= | < | >= | > | == | !=
+    threshold := float literal
+
+    metric    := pNN_<latency>          quantile of a latency digest
+               | mean_<latency>         exact mean of a latency digest
+               | max_<latency>          exact max of a latency digest
+               | count_<latency>        sample count of a latency digest
+               | availability           horizon-weighted fleet availability
+               | aborted_requests       requests.aborted counter
+               | cache_hit_rate         fleet cache hits / lookups
+               | <counter name>         any fleet counter, verbatim
+                                        (e.g. tape.switches, faults.retries)
+
+    latency   := sojourn | seek | switch | transfer
+               | any digest name, verbatim (e.g. latency.sojourn_s)
+
+Missing metrics evaluate to NaN and **fail** the objective (with a detail
+saying so) — an SLO against telemetry that was never recorded is a
+misconfiguration, not a pass.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Union
+
+__all__ = [
+    "SLO",
+    "SLOVerdict",
+    "parse_slo",
+    "parse_slos",
+    "evaluate_slos",
+    "format_verdicts",
+    "slos_pass",
+    "DEFAULT_CHAOS_SLOS",
+]
+
+#: Objectives a chaos run is held to when the user gives none: the system
+#: must stay up and must not drop accepted work.
+DEFAULT_CHAOS_SLOS = ("availability >= 0.99", "aborted_requests == 0")
+
+#: Short latency spellings -> digest names used by the simulators.
+_LATENCY_ALIASES = {
+    "sojourn": "latency.sojourn_s",
+    "seek": "latency.seek_s",
+    "switch": "latency.switch_s",
+    "transfer": "latency.transfer_s",
+}
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    "<=": lambda a, b: a <= b,
+    "<": lambda a, b: a < b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_EXPR_RE = re.compile(
+    r"^\s*(?P<metric>[A-Za-z][\w.]*)\s*"
+    r"(?P<op><=|>=|==|!=|<|>)\s*"
+    r"(?P<threshold>[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?)\s*$"
+)
+
+_QUANTILE_RE = re.compile(r"^p(?P<q>\d{1,2}(?:\.\d+)?)_(?P<rest>.+)$", re.IGNORECASE)
+_AGG_RE = re.compile(r"^(?P<agg>mean|max|count)_(?P<rest>.+)$", re.IGNORECASE)
+
+
+def _digest_name(spelling: str) -> str:
+    return _LATENCY_ALIASES.get(spelling.lower(), spelling)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One parsed objective: ``observe(fleet) op threshold``."""
+
+    text: str
+    metric: str
+    op: str
+    threshold: float
+
+    def observe(self, fleet: Any) -> float:
+        """Read the objective's metric off a fleet registry (NaN if absent)."""
+        metric = self.metric
+        quantile_match = _QUANTILE_RE.match(metric)
+        if quantile_match:
+            q = float(quantile_match.group("q"))
+            return fleet.quantile(_digest_name(quantile_match.group("rest")), q)
+        agg_match = _AGG_RE.match(metric)
+        if agg_match:
+            digest = fleet.digests.get(_digest_name(agg_match.group("rest")))
+            if digest is None or not digest.count:
+                return float("nan")
+            agg = agg_match.group("agg").lower()
+            if agg == "mean":
+                return digest.mean
+            if agg == "max":
+                return digest.max
+            return float(digest.count)
+        lowered = metric.lower()
+        if lowered == "availability":
+            return fleet.availability
+        if lowered == "aborted_requests":
+            return fleet.counter("requests.aborted")
+        if lowered == "cache_hit_rate":
+            return fleet.cache_hit_rate
+        if metric in fleet.counters:
+            return fleet.counter(metric)
+        return float("nan")
+
+    def evaluate(self, fleet: Any) -> "SLOVerdict":
+        observed = self.observe(fleet)
+        if math.isnan(observed):
+            return SLOVerdict(
+                slo=self,
+                observed=observed,
+                passed=False,
+                detail=f"metric {self.metric!r} absent from fleet telemetry",
+            )
+        passed = _OPS[self.op](observed, self.threshold)
+        return SLOVerdict(slo=self, observed=observed, passed=passed, detail="")
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """The outcome of one objective against one fleet."""
+
+    slo: SLO
+    observed: float
+    passed: bool
+    detail: str = ""
+
+    @property
+    def status(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "objective": self.slo.text,
+            "metric": self.slo.metric,
+            "op": self.slo.op,
+            "threshold": self.slo.threshold,
+            "observed": None if math.isnan(self.observed) else self.observed,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+def parse_slo(text: str) -> SLO:
+    """Parse one objective line; raises ``ValueError`` with the grammar."""
+    match = _EXPR_RE.match(text)
+    if not match:
+        raise ValueError(
+            f"cannot parse SLO {text!r}: expected '<metric> <op> <number>', "
+            "e.g. 'p99_sojourn <= 120' or 'availability >= 0.999'"
+        )
+    metric = match.group("metric")
+    quantile_match = _QUANTILE_RE.match(metric)
+    if quantile_match and not 0.0 <= float(quantile_match.group("q")) <= 100.0:
+        raise ValueError(f"SLO {text!r}: quantile must be in [0, 100]")
+    return SLO(
+        text=text.strip(),
+        metric=metric,
+        op=match.group("op"),
+        threshold=float(match.group("threshold")),
+    )
+
+
+def parse_slos(specs: Union[str, Iterable[str]]) -> List[SLO]:
+    """Parse objectives from a list, or one string split on ``,``/``;``."""
+    if isinstance(specs, str):
+        specs = [part for part in re.split(r"[,;]", specs) if part.strip()]
+    return [parse_slo(spec) for spec in specs]
+
+
+def evaluate_slos(slos: Sequence[SLO], fleet: Any) -> List[SLOVerdict]:
+    """Every objective's verdict against one fleet registry."""
+    return [slo.evaluate(fleet) for slo in slos]
+
+
+def format_verdicts(verdicts: Sequence[SLOVerdict]) -> str:
+    """Fixed-width text report, one objective per line, worst first."""
+    if not verdicts:
+        return "(no objectives)"
+    ordered = sorted(verdicts, key=lambda v: v.passed)
+    width = max(len(v.slo.text) for v in ordered)
+    lines = []
+    for v in ordered:
+        observed = "n/a" if math.isnan(v.observed) else f"{v.observed:g}"
+        line = f"{v.status}  {v.slo.text:<{width}}  observed={observed}"
+        if v.detail:
+            line += f"  ({v.detail})"
+        lines.append(line)
+    failed = sum(1 for v in ordered if not v.passed)
+    lines.append(
+        f"{len(ordered) - failed}/{len(ordered)} objectives met"
+        + (f", {failed} FAILED" if failed else "")
+    )
+    return "\n".join(lines)
+
+
+def slos_pass(verdicts: Sequence[SLOVerdict]) -> bool:
+    """True when every objective passed."""
+    return all(v.passed for v in verdicts)

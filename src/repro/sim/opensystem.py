@@ -888,6 +888,19 @@ class OpenSystem:
         self._completed = self.registry.counter("requests.completed", unit="requests")
         self._aborted = self.registry.counter("requests.aborted", unit="requests")
         self._switches = self.registry.counter("tape.switches", unit="switches")
+        # Per-request latency digests: mergeable sketches whose fleet-level
+        # p50/p95/p99 compose exactly across sweep workers (see
+        # :mod:`repro.obs.digest`).  One log + one dict increment per stage
+        # per completed request.
+        self._d_sojourn = self.registry.digest("latency.sojourn_s", unit="s")
+        self._d_seek = self.registry.digest("latency.seek_s", unit="s")
+        self._d_switch = self.registry.digest("latency.switch_s", unit="s")
+        self._d_transfer = self.registry.digest("latency.transfer_s", unit="s")
+        #: Optional per-completion hook ``hook(opensys, (record, metrics))``,
+        #: fired after a request's instruments settle.  The sweep engine
+        #: wires a throttled fleet-feed emitter here so long points stream
+        #: progress mid-run; when unset the cost is one None check.
+        self.on_complete: Optional[Callable[["OpenSystem", _Outcome], None]] = None
 
         streams = self.system.spec.disk_streams
         self.disk = Resource(self.env, streams) if streams is not None else None
@@ -996,7 +1009,7 @@ class OpenSystem:
 
         num_drives = sum(len(library.drives) for library in self.system.libraries)
         outcomes.sort(key=lambda pair: pair[0].arrival_s)
-        return OpenSystemResult(
+        result = OpenSystemResult(
             scheme=self.session.scheme_name,
             arrival_rate_per_hour=arrival_rate_per_hour,
             records=[record for record, _ in outcomes],
@@ -1012,6 +1025,15 @@ class OpenSystem:
                 else {}
             ),
         )
+        # Publish availability in its horizon-weighted mergeable form so a
+        # registry export (metrics JSONL) alone can reconstruct fleet
+        # availability.  Set-to-current (not +=) keeps continued streams
+        # (reset=False) and snapshot_of_result's overwrite consistent.
+        horizon_c = self.registry.counter("fleet.horizon_s", unit="s")
+        horizon_c.inc(result.horizon_s - horizon_c.value)
+        avail_c = self.registry.counter("fleet.availability_weighted_s", unit="s")
+        avail_c.inc(result.horizon_s * result.availability - avail_c.value)
+        return result
 
     def _request_runner(self, request: Request, arrival_s: float, sink: List[_Outcome]):
         # Catalog requests can be sampled repeatedly, so the span tree is
@@ -1032,8 +1054,17 @@ class OpenSystem:
         self._completed.inc()
         if outcome[0].aborted:
             self._aborted.inc()
-        self._switches.inc(outcome[1].num_switches)
+        metrics = outcome[1]
+        self._switches.inc(metrics.num_switches)
+        # switch_s is derived (response - seek - transfer) and can round a
+        # hair below zero; digests are non-negative by contract.
+        self._d_sojourn.record(max(0.0, metrics.response_s))
+        self._d_seek.record(max(0.0, metrics.seek_s))
+        self._d_switch.record(max(0.0, metrics.switch_s))
+        self._d_transfer.record(max(0.0, metrics.transfer_s))
         sink.append(outcome)
+        if self.on_complete is not None:
+            self.on_complete(self, outcome)
         if self.injector is not None and len(sink) >= self._expected:
             # Last planned arrival landed: stop recurring fault processes so
             # the environment drains instead of ticking MTBF clocks forever.

@@ -259,3 +259,96 @@ class TestSeekPlannerFlag:
             == 0
         )
         assert "seek planner:      exact" in capsys.readouterr().out
+
+
+class TestTelemetryCommands:
+    """The fleet pipeline end to end through the CLI: sweep artifacts, the
+    report/metrics commands, SLO exit codes, and the logging flags."""
+
+    SWEEP = ["sweep", "fig6", "--scale", "small", "--num-samples", "5",
+             "--no-cache", "--workers", "1"]
+
+    def test_sweep_writes_fleet_artifacts(self, tmp_path, capsys):
+        fleet_path = tmp_path / "fleet.jsonl"
+        html_path = tmp_path / "sweep.html"
+        rc = main(self.SWEEP + [
+            "--metrics-out", str(fleet_path),
+            "--report", str(html_path),
+            "--slo", "aborted_requests == 0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "1/1 objectives met" in out
+        assert fleet_path.exists()
+        doc = html_path.read_text()
+        assert doc.lstrip().startswith("<!DOCTYPE html>")
+        assert "Service-level objectives" in doc
+
+        from repro.obs import read_fleet_jsonl
+
+        fleet = read_fleet_jsonl(fleet_path)
+        assert fleet.counter("requests.completed") > 0
+        assert "latency.sojourn_s" in fleet.digests
+
+    def test_sweep_slo_failure_sets_exit_code(self, capsys):
+        rc = main(self.SWEEP + ["--slo", "p99_sojourn <= 0.001"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_report_rebuilds_from_fleet_jsonl(self, tmp_path, capsys):
+        fleet_path = tmp_path / "fleet.jsonl"
+        assert main(self.SWEEP + ["--metrics-out", str(fleet_path)]) == 0
+        capsys.readouterr()
+        html_path = tmp_path / "report.html"
+        rc = main(["report", str(fleet_path), "--out", str(html_path),
+                   "--slo", "aborted_requests == 0"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+        assert "<!DOCTYPE html>" in html_path.read_text()
+
+    def test_report_from_chaos_metrics_jsonl(self, tmp_path, capsys):
+        out_dir = tmp_path / "telem"
+        assert main(
+            ["chaos", "--scale", "small", "--arrivals", "8",
+             "--mtbf", "0.5", "--mttr", "0.1", "--seed", "3",
+             "--out-dir", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        html_path = tmp_path / "chaos.html"
+        rc = main(["report", str(out_dir / "metrics.jsonl"),
+                   "--out", str(html_path), "--slo", "availability <= 1"])
+        assert rc == 0
+        assert html_path.exists()
+
+    def test_report_missing_file_is_an_error(self, capsys):
+        assert main(["report", "no/such/file.jsonl"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_chaos_slo_verdicts_and_exit_code(self, capsys):
+        argv = ["chaos", "--scale", "small", "--arrivals", "8",
+                "--mtbf", "0.5", "--mttr", "0.1", "--seed", "3"]
+        # An impossible objective fails the run...
+        assert main(argv + ["--slo", "p99_sojourn <= 0.001"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # ...a trivially true one passes it.
+        assert main(argv + ["--slo", "availability <= 1"]) == 0
+        assert "1/1 objectives met" in capsys.readouterr().out
+
+    def test_metrics_pretty_prints_fleet_jsonl(self, tmp_path, capsys):
+        fleet_path = tmp_path / "fleet.jsonl"
+        assert main(self.SWEEP + ["--metrics-out", str(fleet_path)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(fleet_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[fleet]" in out
+        assert "[snapshot]" in out
+
+    def test_quiet_and_default_logging(self, tmp_path, capsys):
+        csv = tmp_path / "t.csv"
+        assert main(["experiment", "fig9", "--scale", "small",
+                     "--num-samples", "8", "--csv", str(csv)]) == 0
+        err = capsys.readouterr().err
+        assert "CSV written" in err  # status goes to stderr, not stdout
+        assert main(["-q", "experiment", "fig9", "--scale", "small",
+                     "--num-samples", "8", "--csv", str(csv)]) == 0
+        assert "CSV written" not in capsys.readouterr().err

@@ -257,3 +257,100 @@ class TestEngineMechanics:
         assert stats["workers"] == 1
         assert stats["wall_s"] > 0
         assert stats["points_per_s"] > 0
+
+
+class TestFleetTelemetry:
+    """Cross-process fleet aggregation: merged counters and digests must be
+    independent of worker count, point order, and cache state."""
+
+    def _aggregates_equal(self, a, b):
+        # Integer state (digest buckets, counts) must match exactly; the
+        # float running sums only up to addition rounding.
+        assert a["counters"].keys() == b["counters"].keys()
+        for name in a["counters"]:
+            assert a["counters"][name] == pytest.approx(
+                b["counters"][name], rel=1e-12
+            ), name
+        for name in set(a["digests"]) | set(b["digests"]):
+            da, db = dict(a["digests"][name]), dict(b["digests"][name])
+            sa, sb = da.pop("sum"), db.pop("sum")
+            assert da == db, name
+            assert sa == pytest.approx(sb, rel=1e-9)
+        assert a["histograms"] == b["histograms"]
+        assert a["gauges"].keys() == b["gauges"].keys()
+
+    def test_fleet_identical_across_worker_counts(self):
+        serial = run_sweep(tiny_sweep(), EngineOptions(workers=1))
+        fanned = run_sweep(tiny_sweep(), EngineOptions(workers=2))
+        assert "fallback" not in fanned.stats
+        assert fingerprint(serial) == fingerprint(fanned)
+        self._aggregates_equal(serial.fleet.aggregates(), fanned.fleet.aggregates())
+
+    def test_fleet_identical_under_shuffled_point_order(self):
+        base = tiny_sweep()
+        shuffled_points = list(base.points)
+        random.Random(5).shuffle(shuffled_points)
+        shuffled = dataclasses.replace(base, points=tuple(shuffled_points))
+        a = run_sweep(base, EngineOptions(workers=1)).fleet
+        b = run_sweep(shuffled, EngineOptions(workers=1)).fleet
+        self._aggregates_equal(a.aggregates(), b.aggregates())
+
+    def test_fleet_identical_between_cached_and_fresh(self, tmp_path):
+        opts = EngineOptions(workers=1, cache_dir=str(tmp_path))
+        cold = run_sweep(tiny_sweep(), opts).fleet
+        warm = run_sweep(tiny_sweep(), opts).fleet
+        cold_agg, warm_agg = cold.aggregates(), warm.aggregates()
+        # Cache bookkeeping differs (hits vs misses) — everything derived
+        # from the point *results* must not.
+        for agg in (cold_agg, warm_agg):
+            agg["counters"].pop("sweep.cache_hits", None)
+            agg["counters"].pop("sweep.cache_misses", None)
+        self._aggregates_equal(cold_agg, warm_agg)
+
+    def test_fleet_latency_digests_cover_all_samples(self):
+        res = run_sweep(tiny_sweep(), EngineOptions(workers=1))
+        n_samples = sum(len(r.result) for r in res)
+        sojourn = res.fleet.digests["latency.sojourn_s"]
+        assert sojourn.count == n_samples
+        assert res.fleet.counter("requests.completed") == n_samples
+
+    def test_point_metadata_travels(self):
+        res = run_sweep(tiny_sweep(), EngineOptions(workers=2))
+        assert len(res.fleet.points) == len(res)
+        schemes = {p["scheme"] for p in res.fleet.points}
+        assert schemes == {s for s, _ in SCHEMES}
+
+
+class TestCrossProcessCacheCounters:
+    """Satellite regression: cache hit/miss counters must count *every*
+    process's lookups, not just the parent's (the old parent-side prefilter
+    undercounted under workers > 1)."""
+
+    def test_worker_cache_io_counted_in_fleet(self, tmp_path):
+        opts = EngineOptions(workers=2, cache_dir=str(tmp_path))
+        n = len(tiny_sweep())
+
+        cold = run_sweep(tiny_sweep(), opts)
+        assert "fallback" not in cold.stats
+        assert cold.fleet.counter("sweep.points") == n
+        assert cold.fleet.counter("sweep.cache_misses") == n
+        assert cold.fleet.counter("sweep.cache_hits") == 0
+
+        warm = run_sweep(tiny_sweep(), opts)
+        assert warm.fleet.counter("sweep.cache_hits") == n
+        assert warm.fleet.counter("sweep.cache_misses") == 0
+        assert warm.fleet.cache_hit_rate == 1.0
+
+    def test_fleet_and_parent_registry_totals_agree(self, tmp_path):
+        opts = EngineOptions(workers=2, cache_dir=str(tmp_path))
+        registry = MetricsRegistry()
+        run_sweep(tiny_sweep(), opts, registry=registry)
+        res = run_sweep(tiny_sweep(), opts, registry=registry)
+        n = len(tiny_sweep())
+        # Parent-side registry (summed over both runs)...
+        assert registry.counter("sweep.points").value == 2 * n
+        assert registry.counter("sweep.cache_hits").value == n
+        assert registry.counter("sweep.cache_misses").value == n
+        # ...and the per-run fleet view agree on totals.
+        assert res.fleet.counter("sweep.points") == n
+        assert res.fleet.counter("sweep.cache_hits") == n

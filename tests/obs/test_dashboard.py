@@ -1,0 +1,160 @@
+"""Tests for the self-contained HTML fleet dashboard.
+
+The dashboard's contract is structural, not pixel-level: one valid,
+dependency-free HTML document that carries the fleet's KPIs, the latency
+percentile table, the SLO verdict table (icon + label, never color alone),
+and — when a snapshot time series is supplied — the drives-down timeline
+with its table fallback.
+"""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.obs import (
+    FleetRegistry,
+    MetricsRegistry,
+    evaluate_slos,
+    export_registry,
+    parse_slos,
+    render_dashboard,
+    write_dashboard,
+)
+
+_VOID = {
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "source", "track", "wbr",
+}
+
+
+class _StructureChecker(HTMLParser):
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.problems = []
+        self.ids = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in _VOID:
+            self.stack.append(tag)
+        for name, value in attrs:
+            if name == "id":
+                self.ids.append(value)
+            if name in ("src", "href") and value and value.startswith(
+                ("http://", "https://", "//")
+            ):
+                self.problems.append(f"external reference: {value}")
+
+    def handle_endtag(self, tag):
+        if tag in _VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.problems.append(f"mismatched </{tag}> (stack: {self.stack[-5:]})")
+        else:
+            self.stack.pop()
+
+
+def _check_html(doc: str) -> _StructureChecker:
+    checker = _StructureChecker()
+    checker.feed(doc)
+    checker.close()
+    assert not checker.problems, checker.problems
+    assert not checker.stack, f"unclosed tags: {checker.stack}"
+    return checker
+
+
+@pytest.fixture()
+def fleet():
+    reg = MetricsRegistry()
+    reg.counter("requests.completed", unit="requests").inc(48)
+    reg.counter("requests.aborted", unit="requests").inc(1)
+    reg.counter("tape.switches", unit="switches").inc(17)
+    reg.counter("sweep.cache_hits").inc(5)
+    reg.counter("sweep.cache_misses").inc(3)
+    for name in ("latency.sojourn_s", "latency.seek_s"):
+        d = reg.digest(name, unit="s")
+        for v in range(1, 49):
+            d.record(float(v))
+    f = FleetRegistry()
+    snap = export_registry(reg)
+    snap["counters"]["fleet.horizon_s"] = 7200.0
+    snap["counters"]["fleet.availability_weighted_s"] = 6480.0
+    snap["point"] = {"sweep": "fig6", "axis": "alpha", "value": 0.3,
+                     "scheme": "parallel_batch", "kind": "open", "replicate": 0}
+    f.fold(snap)
+    return f
+
+
+def _snapshots():
+    """A registry snapshot series with a drives-down gauge."""
+    return [
+        {"t_s": float(t), "counters": {"requests.completed": t // 60},
+         "gauges": {"faults.drives_down": (t // 600) % 3}}
+        for t in range(0, 3600, 300)
+    ]
+
+
+class TestDocumentStructure:
+    def test_valid_self_contained_html(self, fleet):
+        doc = render_dashboard(fleet)
+        assert doc.lstrip().startswith("<!DOCTYPE html>")
+        _check_html(doc)
+
+    def test_no_nan_leaks_into_markup(self, fleet):
+        empty = FleetRegistry()  # everything NaN/absent
+        for doc in (render_dashboard(fleet), render_dashboard(empty)):
+            assert "NaN" not in doc and "nan" not in doc.split("<style>")[0]
+
+    def test_kpis_present(self, fleet):
+        doc = render_dashboard(fleet)
+        assert "Requests completed" in doc
+        assert "48" in doc
+        assert "90.000%" in doc  # availability tile (horizon present)
+
+    def test_latency_percentile_table(self, fleet):
+        doc = render_dashboard(fleet)
+        assert "Sojourn" in doc and "Seek" in doc
+        assert "p99" in doc and "p50" in doc
+
+    def test_dark_mode_palette_declared(self, fleet):
+        doc = render_dashboard(fleet)
+        assert "prefers-color-scheme: dark" in doc
+        assert "--surface-1" in doc
+
+
+class TestSloSection:
+    def test_verdicts_render_with_icon_and_label(self, fleet):
+        verdicts = evaluate_slos(
+            parse_slos(["availability >= 0.85", "aborted_requests == 0"]), fleet
+        )
+        doc = render_dashboard(fleet, verdicts=verdicts)
+        _check_html(doc)
+        # Status is icon + text label, never color alone.
+        assert "✗" in doc and "FAIL" in doc
+        assert "✓" in doc and "PASS" in doc
+        assert "availability &gt;= 0.85" in doc or "availability >= 0.85" in doc
+
+    def test_no_slo_section_without_verdicts(self, fleet):
+        assert "objectives met" not in render_dashboard(fleet)
+
+
+class TestTimeline:
+    def test_timeline_svg_and_table_fallback(self, fleet):
+        doc = render_dashboard(fleet, snapshots=_snapshots())
+        _check_html(doc)
+        assert "<svg" in doc
+        assert "Drives down" in doc
+        assert "<details" in doc  # table view fallback
+
+    def test_timeline_skipped_without_gauge_series(self, fleet):
+        snaps = [{"t_s": 0.0, "gauges": {}}, {"t_s": 60.0, "gauges": {}}]
+        doc = render_dashboard(fleet, snapshots=snaps)
+        assert "<svg" not in doc
+
+
+class TestWriteDashboard:
+    def test_write_round_trip(self, fleet, tmp_path):
+        path = tmp_path / "report.html"
+        doc = write_dashboard(fleet, path, title="unit test report")
+        assert path.read_text() == doc
+        assert "unit test report" in doc

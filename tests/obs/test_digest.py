@@ -1,0 +1,152 @@
+"""Tests for the mergeable bounded-memory quantile digest.
+
+The digest backs fleet percentiles, so its two contracts matter more than
+its internals: quantiles stay within the configured *relative* error of the
+exact sample quantile, and merging digests is exactly equivalent to having
+recorded every sample into one digest (the property cross-process
+aggregation rests on).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import QuantileDigest
+
+positive_samples = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestAccuracy:
+    def test_empty_digest_is_nan(self):
+        d = QuantileDigest("t")
+        assert math.isnan(d.quantile(50))
+        assert len(d) == 0
+
+    def test_single_value(self):
+        d = QuantileDigest("t")
+        d.record(42.0)
+        assert d.quantile(0) == pytest.approx(42.0, rel=0.02)
+        assert d.quantile(100) == pytest.approx(42.0, rel=0.02)
+        assert d.min == 42.0 and d.max == 42.0
+
+    def test_negative_values_rejected(self):
+        d = QuantileDigest("t")
+        with pytest.raises(ValueError):
+            d.record(-1.0)
+
+    @pytest.mark.parametrize("q", [10, 50, 90, 95, 99])
+    def test_relative_error_bound_lognormal(self, q):
+        # Latencies are roughly lognormal; the digest guarantees
+        # |estimate - exact| <= rel_err * exact for every quantile.
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=4.0, sigma=1.5, size=5000)
+        d = QuantileDigest("t", rel_err=0.01)
+        for v in samples:
+            d.record(float(v))
+        exact = float(np.quantile(samples, q / 100.0, method="lower"))
+        assert d.quantile(q) == pytest.approx(exact, rel=0.025)
+
+    def test_mean_and_count_are_exact(self):
+        values = [1.0, 10.0, 100.0, 1000.0]
+        d = QuantileDigest("t")
+        for v in values:
+            d.record(v)
+        assert d.count == len(values)
+        assert d.mean == pytest.approx(sum(values) / len(values))
+
+    def test_zero_values_tracked_exactly(self):
+        d = QuantileDigest("t")
+        for _ in range(10):
+            d.record(0.0)
+        d.record(5.0)
+        assert d.quantile(50) == 0.0
+        assert d.count == 11
+
+
+class TestMerge:
+    @settings(max_examples=50, deadline=None)
+    @given(a=positive_samples, b=positive_samples)
+    def test_merge_equals_concatenation(self, a, b):
+        """merge(A, B) must give the same digest state as recording A + B."""
+        left = QuantileDigest("t")
+        right = QuantileDigest("t")
+        both = QuantileDigest("t")
+        for v in a:
+            left.record(v)
+            both.record(v)
+        for v in b:
+            right.record(v)
+            both.record(v)
+        left.merge(right)
+        merged, direct = left.to_dict(), both.to_dict()
+        # Bucket counts, extremes, and sample counts are *exactly* order-
+        # insensitive; the float running sum only up to addition rounding.
+        merged_sum, direct_sum = merged.pop("sum"), direct.pop("sum")
+        assert merged == direct
+        assert merged_sum == pytest.approx(direct_sum, rel=1e-12, abs=1e-12)
+
+    def test_merge_requires_matching_rel_err(self):
+        with pytest.raises(ValueError):
+            QuantileDigest("t", rel_err=0.01).merge(QuantileDigest("t", rel_err=0.05))
+
+    def test_merge_is_commutative(self):
+        rng = np.random.default_rng(3)
+        xs, ys = rng.exponential(50.0, 100), rng.exponential(500.0, 100)
+        ab, ba = QuantileDigest("t"), QuantileDigest("t")
+        a1, b1 = QuantileDigest("t"), QuantileDigest("t")
+        for v in xs:
+            a1.record(float(v))
+        for v in ys:
+            b1.record(float(v))
+        ab.merge(a1).merge(b1)
+        ba.merge(b1).merge(a1)
+        assert ab.to_dict() == ba.to_dict()
+
+
+class TestSerialization:
+    @settings(max_examples=50, deadline=None)
+    @given(samples=positive_samples)
+    def test_dict_round_trip_is_lossless(self, samples):
+        d = QuantileDigest("t")
+        for v in samples:
+            d.record(v)
+        restored = QuantileDigest.from_dict(d.to_dict())
+        assert restored.to_dict() == d.to_dict()
+        for q in (1, 50, 99):
+            assert restored.quantile(q) == d.quantile(q)
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        d = QuantileDigest("t")
+        for v in (0.0, 1.0, 17.5, 9000.0):
+            d.record(v)
+        restored = QuantileDigest.from_dict(json.loads(json.dumps(d.to_dict())))
+        assert restored.to_dict() == d.to_dict()
+
+    def test_summary_shape(self):
+        d = QuantileDigest("t")
+        for v in range(1, 101):
+            d.record(float(v))
+        s = d.summary()
+        assert set(s) >= {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert s["count"] == 100
+        assert s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+
+class TestBoundedMemory:
+    def test_bucket_count_stays_bounded(self):
+        d = QuantileDigest("t", max_bins=128)
+        rng = np.random.default_rng(0)
+        for v in rng.lognormal(0.0, 4.0, size=20000):
+            d.record(float(v))
+        assert len(d.bins) <= 128
+        # Collapsing the lowest buckets must never lose samples.
+        assert d.count == 20000

@@ -137,7 +137,8 @@ class TestMetricsJsonl:
         path = tmp_path / "metrics.jsonl"
         lines = write_metrics_jsonl(reg, path)
         units, snapshots = read_metrics_jsonl(path)
-        assert lines == 1 + len(snapshots)
+        # meta + snapshots + trailing registry_export record
+        assert lines == 2 + len(snapshots)
         assert units == {"switches": "switches", "in_flight": "requests"}
         assert snapshots[0]["counters"]["switches"] == 4
         assert [s["t_s"] for s in snapshots] == [0.0, 2.0, 4.0, 6.0]

@@ -1,0 +1,271 @@
+"""Tests for cross-process fleet telemetry: export, merge, persistence, feed.
+
+The load-bearing property is **order-insensitive merging**: folding the
+same snapshots in any order yields identical fleet aggregates (exactly so
+for integer counts and digest buckets, up to float-addition rounding for
+running sums).  Everything else — JSONL persistence, the metrics-file
+round-trip under a fault workload, the live feed — layers on that.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import DriveSpec, LibrarySpec, SystemSpec, TapeSpec
+from repro.obs import (
+    FleetFeed,
+    FleetRegistry,
+    MetricsRegistry,
+    export_registry,
+    read_fleet_jsonl,
+    snapshot_of_result,
+    write_fleet_jsonl,
+    write_metrics_jsonl,
+)
+from repro.placement import ParallelBatchPlacement
+from repro.sim import DriveFaultProcess, SimulationSession
+from repro.workload import generate_workload
+
+
+def _registry_snapshot(seed: int):
+    """A synthetic exported snapshot with every metric kind populated."""
+    reg = MetricsRegistry()
+    reg.counter("requests.completed", unit="requests").inc(seed + 3)
+    reg.counter("tape.switches", unit="switches").inc(2 * seed + 1)
+    g = reg.gauge("requests.in_flight", unit="requests")
+    g.add(1, now=0.0)
+    g.add(-1, now=float(seed + 1))
+    d = reg.digest("latency.sojourn_s", unit="s")
+    for i in range(seed + 2):
+        d.record(10.0 * (i + 1) + seed)
+    return export_registry(reg)
+
+
+def _assert_aggregates_equal(a, b, exact=True):
+    """Fleet aggregate equality, exact on integer state, approx on floats."""
+    assert a["digests"].keys() == b["digests"].keys()
+    for name in a["digests"]:
+        da, db = dict(a["digests"][name]), dict(b["digests"][name])
+        sa, sb = da.pop("sum"), db.pop("sum")
+        assert da == db, name
+        assert sa == pytest.approx(sb, rel=1e-9)
+    assert a["counters"].keys() == b["counters"].keys()
+    for name in a["counters"]:
+        if exact:
+            assert a["counters"][name] == b["counters"][name], name
+        else:
+            assert a["counters"][name] == pytest.approx(b["counters"][name])
+    assert a["histograms"] == b["histograms"]
+    assert a["gauges"].keys() == b["gauges"].keys()
+    for name in a["gauges"]:
+        for key in ("value", "min", "max"):
+            assert a["gauges"][name][key] == b["gauges"][name][key]
+        for key in ("integral", "elapsed_s"):
+            assert a["gauges"][name][key] == pytest.approx(
+                b["gauges"][name][key], rel=1e-9
+            )
+
+
+class TestFoldOrderInsensitivity:
+    @settings(max_examples=30, deadline=None)
+    @given(order=st.permutations(list(range(6))))
+    def test_any_fold_order_gives_identical_aggregates(self, order):
+        snapshots = [_registry_snapshot(i) for i in range(6)]
+        reference = FleetRegistry()
+        for snap in snapshots:
+            reference.fold(snap)
+        permuted = FleetRegistry()
+        for index in order:
+            permuted.fold(snapshots[index])
+        _assert_aggregates_equal(permuted.aggregates(), reference.aggregates())
+
+    def test_merge_of_two_fleets_equals_single_fold(self):
+        snapshots = [_registry_snapshot(i) for i in range(4)]
+        whole = FleetRegistry()
+        for snap in snapshots:
+            whole.fold(snap)
+        left, right = FleetRegistry(), FleetRegistry()
+        for snap in snapshots[:2]:
+            left.fold(snap)
+        for snap in snapshots[2:]:
+            right.fold(snap)
+        left.merge(right)
+        _assert_aggregates_equal(left.aggregates(), whole.aggregates())
+
+    def test_histogram_bounds_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0, 2.0))
+        other = MetricsRegistry()
+        other.histogram("h", bounds=(1.0, 3.0))
+        fleet = FleetRegistry()
+        fleet.fold(export_registry(reg))
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            fleet.fold(export_registry(other))
+
+
+class TestFleetViews:
+    def test_availability_is_horizon_weighted(self):
+        fleet = FleetRegistry()
+        # 1000 s at 100% + 3000 s at 60% -> (1000 + 1800) / 4000 = 70%.
+        fleet.fold({"counters": {
+            "fleet.horizon_s": 1000.0, "fleet.availability_weighted_s": 1000.0,
+        }})
+        fleet.fold({"counters": {
+            "fleet.horizon_s": 3000.0, "fleet.availability_weighted_s": 1800.0,
+        }})
+        assert fleet.availability == pytest.approx(0.7)
+
+    def test_availability_defaults_to_one_without_fault_surface(self):
+        assert FleetRegistry().availability == 1.0
+
+    def test_cache_hit_rate(self):
+        fleet = FleetRegistry()
+        assert math.isnan(fleet.cache_hit_rate)
+        fleet.fold({"counters": {"sweep.cache_hits": 3, "sweep.cache_misses": 1}})
+        assert fleet.cache_hit_rate == pytest.approx(0.75)
+
+    def test_quantile_of_missing_digest_is_nan(self):
+        assert math.isnan(FleetRegistry().quantile("latency.sojourn_s", 99))
+
+    def test_summary_headlines(self):
+        fleet = FleetRegistry()
+        fleet.fold(_registry_snapshot(1))
+        summary = fleet.summary()
+        assert summary["requests_completed"] == 4.0
+        assert "latency.sojourn_s" in summary
+
+
+class TestFleetJsonl:
+    def test_round_trip_reproduces_aggregates_exactly(self, tmp_path):
+        fleet = FleetRegistry()
+        for i in range(5):
+            snap = _registry_snapshot(i)
+            snap["point"] = {"sweep": "t", "axis": "alpha", "value": i / 4}
+            fleet.fold(snap)
+        path = tmp_path / "fleet.jsonl"
+        lines = write_fleet_jsonl(fleet, path)
+        assert lines == 1 + 5  # fleet_meta + one line per snapshot
+        restored = read_fleet_jsonl(path)
+        assert restored.aggregates() == fleet.aggregates()
+        assert restored.points == fleet.points
+
+    def test_reading_twice_and_merging_doubles_counters(self, tmp_path):
+        fleet = FleetRegistry().fold(_registry_snapshot(2))
+        path = tmp_path / "fleet.jsonl"
+        write_fleet_jsonl(fleet, path)
+        doubled = read_fleet_jsonl(path).merge(read_fleet_jsonl(path))
+        assert doubled.counter("requests.completed") == 2 * fleet.counter(
+            "requests.completed"
+        )
+
+
+class TestMetricsJsonlFaultRoundTrip:
+    """Satellite: metrics JSONL from a fault-injected run re-imports into
+    the same fleet aggregates (A11-style chaos workload)."""
+
+    @pytest.fixture(scope="class")
+    def chaos_result(self):
+        workload = generate_workload(
+            num_objects=400,
+            num_requests=25,
+            request_size_bounds=(5, 12),
+            object_size_bounds_mb=(10.0, 500.0),
+            mean_object_size_mb=120.0,
+            seed=21,
+        )
+        spec = SystemSpec(
+            num_libraries=2,
+            library=LibrarySpec(
+                num_drives=3,
+                num_tapes=10,
+                drive=DriveSpec(),
+                tape=TapeSpec(capacity_mb=10_000.0),
+            ),
+        )
+        session = SimulationSession(
+            workload, spec, scheme=ParallelBatchPlacement(m=2)
+        )
+        opensys = session.open(
+            policy="concurrent",
+            faults=(DriveFaultProcess(mtbf_s=2000.0, mttr_s=600.0),),
+            fault_seed=11,
+        )
+        return opensys.run(
+            20.0, num_arrivals=30, seed=5, sample_period_s=300.0
+        )
+
+    def test_export_reimport_merge_is_identical(self, chaos_result, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(chaos_result.registry, path)
+
+        direct = FleetRegistry().fold(export_registry(chaos_result.registry))
+        reimported = read_fleet_jsonl(path)
+        assert reimported.aggregates() == direct.aggregates()
+
+    def test_availability_survives_the_round_trip(self, chaos_result, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(chaos_result.registry, path)
+        reimported = read_fleet_jsonl(path)
+        assert reimported.availability == pytest.approx(
+            chaos_result.availability
+        )
+        assert reimported.availability < 1.0  # faults actually bit
+
+    def test_snapshot_of_result_matches_registry_export(self, chaos_result):
+        """The worker-side snapshot is the registry export plus bookkeeping
+        the run itself already published — not a divergent view."""
+        snap = snapshot_of_result(chaos_result)
+        direct = export_registry(chaos_result.registry)
+        assert snap["counters"] == direct["counters"]
+        assert snap["digests"] == direct["digests"]
+
+
+class TestFleetFeed:
+    def test_emit_drain_round_trip(self):
+        with FleetFeed() as feed:
+            feed.emit({"type": "point_start", "point": "a"})
+            feed.emit({"type": "progress", "point": "a", "completed": 3})
+            records = feed.drain()
+        assert [r["type"] for r in records] == ["point_start", "progress"]
+        assert feed.emitted == 2
+
+    def test_drain_empty_is_empty(self):
+        with FleetFeed() as feed:
+            assert feed.drain() == []
+
+    def test_emit_after_close_is_swallowed(self):
+        feed = FleetFeed()
+        feed.close()
+        feed.emit({"type": "progress"})  # must not raise
+
+
+class TestSyntheticSnapshots:
+    def test_closed_loop_results_synthesize_digests(self):
+        class FakeMetrics:
+            def __init__(self, r, s, w, t):
+                self.response_s = r
+                self.seek_s = s
+                self.switch_s = w
+                self.transfer_s = t
+
+        class FakeResult:
+            samples = [FakeMetrics(10.0, 2.0, 3.0, 5.0),
+                       FakeMetrics(20.0, 4.0, -1e-12, 16.0)]
+
+        snap = snapshot_of_result(FakeResult(), point_meta={"kind": "closed"})
+        assert snap["counters"]["requests.completed"] == 2
+        assert snap["point"] == {"kind": "closed"}
+        sojourn = snap["digests"]["latency.sojourn_s"]
+        assert sojourn["count"] == 2
+        # The negative rounding artifact lands in the zero bucket.
+        assert snap["digests"]["latency.switch_s"]["zero_count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        snap = _registry_snapshot(3)
+        restored = json.loads(json.dumps(snap))
+        fleet_a = FleetRegistry().fold(snap)
+        fleet_b = FleetRegistry().fold(restored)
+        assert fleet_a.aggregates() == fleet_b.aggregates()

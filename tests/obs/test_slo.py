@@ -1,0 +1,138 @@
+"""Tests for the declarative SLO layer (parse, evaluate, format)."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_CHAOS_SLOS,
+    FleetRegistry,
+    MetricsRegistry,
+    evaluate_slos,
+    export_registry,
+    format_verdicts,
+    parse_slo,
+    parse_slos,
+    slos_pass,
+)
+
+
+@pytest.fixture()
+def fleet():
+    reg = MetricsRegistry()
+    reg.counter("requests.completed", unit="requests").inc(100)
+    reg.counter("requests.aborted", unit="requests").inc(2)
+    reg.counter("tape.switches", unit="switches").inc(40)
+    reg.counter("sweep.cache_hits").inc(3)
+    reg.counter("sweep.cache_misses").inc(1)
+    d = reg.digest("latency.sojourn_s", unit="s")
+    for v in range(1, 101):  # 1..100 s
+        d.record(float(v))
+    f = FleetRegistry()
+    snap = export_registry(reg)
+    snap["counters"]["fleet.horizon_s"] = 1000.0
+    snap["counters"]["fleet.availability_weighted_s"] = 950.0
+    f.fold(snap)
+    return f
+
+
+class TestParsing:
+    def test_quantile_metric(self):
+        slo = parse_slo("p99_sojourn <= 120")
+        assert (slo.metric, slo.op, slo.threshold) == ("p99_sojourn", "<=", 120.0)
+
+    def test_all_operators_parse(self):
+        for op in ("<=", "<", ">=", ">", "==", "!="):
+            assert parse_slo(f"availability {op} 0.5").op == op
+
+    def test_scientific_threshold(self):
+        assert parse_slo("mean_seek < 1.5e2").threshold == 150.0
+
+    def test_dotted_counter_name(self):
+        assert parse_slo("tape.switches <= 50").metric == "tape.switches"
+
+    def test_garbage_rejected(self):
+        for bad in ("p99_sojourn", "<= 120", "p99_sojourn <= twelve", ""):
+            with pytest.raises(ValueError):
+                parse_slo(bad)
+
+    def test_fractional_quantile_parses(self):
+        slo = parse_slo("p99.9_sojourn <= 1e9")
+        assert slo.metric == "p99.9_sojourn"
+
+    def test_string_split_on_commas_and_semicolons(self):
+        slos = parse_slos("availability >= 0.99; aborted_requests == 0,p50_seek < 60")
+        assert [s.metric for s in slos] == [
+            "availability", "aborted_requests", "p50_seek",
+        ]
+
+    def test_default_chaos_slos_parse(self):
+        assert len(parse_slos(list(DEFAULT_CHAOS_SLOS))) == 2
+
+
+class TestEvaluation:
+    def test_quantile_objective(self, fleet):
+        ok = parse_slo("p50_sojourn <= 60").evaluate(fleet)
+        assert ok.passed and 45 <= ok.observed <= 55
+        bad = parse_slo("p99_sojourn <= 60").evaluate(fleet)
+        assert not bad.passed
+
+    def test_aliases_and_verbatim_digest_names_agree(self, fleet):
+        alias = parse_slo("p95_sojourn <= 1e9").evaluate(fleet).observed
+        verbatim = parse_slo("p95_latency.sojourn_s <= 1e9").evaluate(fleet).observed
+        assert alias == verbatim
+
+    def test_mean_max_count(self, fleet):
+        assert parse_slo("mean_sojourn <= 51").evaluate(fleet).passed
+        assert parse_slo("max_sojourn == 100").evaluate(fleet).passed
+        assert parse_slo("count_sojourn == 100").evaluate(fleet).passed
+
+    def test_availability(self, fleet):
+        v = parse_slo("availability >= 0.94").evaluate(fleet)
+        assert v.passed and v.observed == pytest.approx(0.95)
+        assert not parse_slo("availability >= 0.96").evaluate(fleet).passed
+
+    def test_aborted_and_cache_and_counters(self, fleet):
+        assert not parse_slo("aborted_requests == 0").evaluate(fleet).passed
+        assert parse_slo("aborted_requests <= 2").evaluate(fleet).passed
+        assert parse_slo("cache_hit_rate >= 0.75").evaluate(fleet).passed
+        assert parse_slo("tape.switches <= 40").evaluate(fleet).passed
+
+    def test_missing_metric_fails_with_detail(self, fleet):
+        verdict = parse_slo("p99_no_such_digest <= 5").evaluate(fleet)
+        assert not verdict.passed
+        assert math.isnan(verdict.observed)
+        assert "absent" in verdict.detail
+
+    def test_missing_metric_fails_even_with_lenient_op(self, fleet):
+        # NaN comparisons are false for every operator — an SLO against
+        # unrecorded telemetry is a misconfiguration, never a pass.
+        assert not parse_slo("no.such.counter >= 0").evaluate(fleet).passed
+
+    def test_to_dict_is_jsonable(self, fleet):
+        import json
+
+        verdicts = evaluate_slos(parse_slos("availability >= 0.9"), fleet)
+        doc = json.dumps([v.to_dict() for v in verdicts])
+        assert "availability" in doc
+
+
+class TestFormatting:
+    def test_report_orders_failures_first(self, fleet):
+        verdicts = evaluate_slos(
+            parse_slos(["availability >= 0.9", "aborted_requests == 0"]), fleet
+        )
+        text = format_verdicts(verdicts)
+        lines = text.splitlines()
+        assert lines[0].startswith("FAIL")
+        assert lines[-1] == "1/2 objectives met, 1 FAILED"
+        assert not slos_pass(verdicts)
+
+    def test_all_passing_summary(self, fleet):
+        verdicts = evaluate_slos(parse_slos("availability >= 0.9"), fleet)
+        assert format_verdicts(verdicts).endswith("1/1 objectives met")
+        assert slos_pass(verdicts)
+
+    def test_empty(self):
+        assert format_verdicts([]) == "(no objectives)"
+        assert slos_pass([])
