@@ -1,7 +1,14 @@
 """Object catalog, request model, and the object-location index."""
 
-from .index import LocationIndex
+from .index import LocationIndex, RedundancyGroup
 from .objects import ObjectCatalog, StorageObject
 from .requests import Request, RequestSet
 
-__all__ = ["StorageObject", "ObjectCatalog", "Request", "RequestSet", "LocationIndex"]
+__all__ = [
+    "StorageObject",
+    "ObjectCatalog",
+    "Request",
+    "RequestSet",
+    "LocationIndex",
+    "RedundancyGroup",
+]

@@ -191,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the sweep runs (tail with `repro-tape metrics PATH --follow`)",
     )
     _add_seek_planner_arg(sw)
+    _add_redundancy_arg(sw)
     _add_settings_args(sw)
 
     run = sub.add_parser("run", help="evaluate one scheme on one configuration")
@@ -233,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail L0.D0=1800 (repeatable; requires --policy concurrent)",
     )
     _add_seek_planner_arg(op)
+    _add_redundancy_arg(op)
     _add_settings_args(op)
 
     ch = sub.add_parser(
@@ -325,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="periodic registry snapshot period feeding the dashboard's "
         "drives-down timeline (default: 300 when --report is set)",
     )
+    _add_redundancy_arg(ch)
     _add_settings_args(ch)
 
     tr = sub.add_parser(
@@ -516,6 +519,17 @@ def _add_seek_planner_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_redundancy_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--redundancy",
+        default=None,
+        metavar="SPEC",
+        help="wrap the scheme in a redundancy layer: 'r=<copies>' for "
+        "replication or 'k=<data>,n=<total>' for erasure coding "
+        "(see docs/redundancy.md)",
+    )
+
+
 def _add_settings_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -539,6 +553,8 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         overrides["num_samples"] = args.num_samples
     if getattr(args, "seek_planner", None):
         overrides["seek_planner"] = args.seek_planner
+    if getattr(args, "redundancy", None):
+        overrides["redundancy"] = args.redundancy
     return default_settings(**overrides)
 
 
@@ -723,7 +739,12 @@ def _cmd_open(args: argparse.Namespace) -> int:
     workload = paper_workload(settings)
     spec = settings.spec()
     kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
-    session = SimulationSession(workload, spec, scheme=make_scheme(args.scheme, **kwargs))
+    scheme = make_scheme(args.scheme, **kwargs)
+    if args.redundancy:
+        from .redundancy import wrap_scheme
+
+        scheme = wrap_scheme(scheme, args.redundancy)
+    session = SimulationSession(workload, spec, scheme=scheme)
     failures = _parse_fail_args(getattr(args, "fail", None))
     opensys = session.open(
         policy=args.policy,
@@ -774,7 +795,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     workload = paper_workload(settings)
     spec = settings.spec()
     kwargs = {"m": args.m} if args.scheme == "parallel_batch" else {}
-    session = SimulationSession(workload, spec, scheme=make_scheme(args.scheme, **kwargs))
+    scheme = make_scheme(args.scheme, **kwargs)
+    if args.redundancy:
+        from .redundancy import wrap_scheme
+
+        scheme = wrap_scheme(scheme, args.redundancy)
+    session = SimulationSession(workload, spec, scheme=scheme)
 
     faults: List = [
         DriveFaultProcess(
@@ -823,6 +849,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"transient errors:  {faults_summary['transient_errors']:10.0f}")
     print(f"  retries:         {faults_summary['retries']:10.0f}")
     print(f"  escalations:     {faults_summary['escalations']:10.0f}")
+    if args.redundancy and result.registry is not None:
+        counters = result.registry.counters
+        fallbacks = counters.get("redundancy.fallbacks")
+        unservable = counters.get("redundancy.unservable")
+        print(f"redundancy:        {args.redundancy:>10s}")
+        print(f"  replica fallbacks: {fallbacks.value if fallbacks else 0:8.0f}")
+        print(f"  unservable groups: {unservable.value if unservable else 0:8.0f}")
     print(f"mean sojourn:      {result.mean_sojourn_s:10.1f} s")
     print(f"p95 sojourn:       {result.sojourn_percentile(95):10.1f} s")
 

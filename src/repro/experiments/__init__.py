@@ -32,6 +32,7 @@ from .parallel import (
 )
 from .extensions import (
     availability,
+    redundancy,
     degraded,
     disk_stage,
     incremental,
@@ -95,6 +96,7 @@ __all__ = [
     "seek_model",
     "open_system",
     "availability",
+    "redundancy",
     "seek_planning",
     "run_open_comparison",
 ]

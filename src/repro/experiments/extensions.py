@@ -40,6 +40,7 @@ __all__ = [
     "open_system",
     "availability",
     "seek_planning",
+    "redundancy",
 ]
 
 
@@ -74,6 +75,8 @@ def incremental(
             num_samples=settings.samples,
             seed_group=("incremental",),
             seek_planner=settings.seek_planner,
+            # settings.redundancy deliberately not threaded: redundancy
+            # wraps static placements, and A2's points replay epochs.
         )
         if strategy == "omniscient":
             points.append(
@@ -142,6 +145,7 @@ def queueing(
             kind="fcfs",
             run_kwargs=(("num_arrivals", num_arrivals), ("rate_per_hour", rate)),
             seek_planner=settings.seek_planner,
+            redundancy=settings.redundancy,
         )
         for rate in arrival_rates_per_hour
         for name, kwargs in schemes
@@ -200,6 +204,7 @@ def disk_stage(
             spec=specs[cap],
             num_samples=settings.samples,
             seek_planner=settings.seek_planner,
+            redundancy=settings.redundancy,
         )
         for cap in disk_caps_mb_s
     )
@@ -261,6 +266,7 @@ def striping(
             num_samples=settings.samples,
             seed_group=("striping",),
             seek_planner=settings.seek_planner,
+            redundancy=settings.redundancy,
         )
         for label, scheme, kwargs in variants
     )
@@ -323,6 +329,7 @@ def robots(
             ),
             num_samples=settings.samples,
             seek_planner=settings.seek_planner,
+            redundancy=settings.redundancy,
         )
         for count in robot_counts
         for name, kwargs in schemes
@@ -390,6 +397,7 @@ def degraded(
                     num_samples=settings.samples,
                     failed_drives=names,
                     seek_planner=settings.seek_planner,
+                    redundancy=settings.redundancy,
                 )
             )
     res = run_sweep(
@@ -452,6 +460,7 @@ def seek_model(
                     spec=spec,
                     num_samples=settings.samples,
                     seek_planner=settings.seek_planner,
+                    redundancy=settings.redundancy,
                 )
             )
     res = run_sweep(
@@ -522,6 +531,7 @@ def open_system(
             label=policy,
             # Policies at one rate share the seed: identical arrival streams.
             seek_planner=settings.seek_planner,
+            redundancy=settings.redundancy,
         )
         for rate in arrival_rates_per_hour
         for policy in policies
@@ -605,6 +615,7 @@ def availability(
             # Schemes at one MTBF share the seed: identical arrival streams
             # and identical per-drive fault-timing substreams.
             seek_planner=settings.seek_planner,
+            redundancy=settings.redundancy,
         )
         for mtbf in mtbf_hours
         for scheme, scheme_kwargs in schemes
@@ -651,6 +662,183 @@ def availability(
         "(drives x horizon); schemes at one MTBF share arrival and "
         "fault-timing streams"
     )
+    return table
+
+
+def redundancy(
+    settings: Optional[ExperimentSettings] = None,
+    levels: Sequence[str] = ("r=1", "k=2,n=3", "r=2"),
+    mtbf_hours: float = 4.0,
+    mttr_hours: float = 0.5,
+    arrival_rate_per_hour: float = 8.0,
+    num_arrivals: int = 60,
+    engine: Optional[EngineOptions] = None,
+) -> ExperimentTable:
+    """A12 — availability/durability/sojourn vs redundancy level under churn.
+
+    Parallel-batch placement is wrapped at each redundancy level
+    (replication ``r=...`` or erasure ``k=...,n=...``) and serves the same
+    Poisson stream under the same per-drive fail/repair churn as A11's
+    fixed-MTBF cell: every level shares A11's ``("mtbf_h", mtbf, 0)``
+    seed group, so the ``r=1`` level *is* A11's parallel-batch point
+    seed-for-seed (pass-through wrapping is bit-identical) and differences
+    across levels isolate redundancy.  Reported per level:
+
+    * request availability — 1 − aborted/served (redundant dispatch falls
+      back across failed drives, so this is where extra members pay off);
+    * drive availability — A11's uptime metric, a placement-independent
+      control column (the same fault streams hit every level);
+    * analytic durability — P(≥ needed of n members available) with
+      member unavailability MTTR/(MTBF+MTTR), the Aktas-Soljanin
+      (arXiv:2312.10360) steady-state view of the same churn.
+
+    Levels whose storage overhead (r, or n/k) cannot fit the system's
+    capacity are skipped with a table note rather than failing the sweep
+    (at the paper scale, utilization 0.56 rules out full 2x replication).
+    """
+    import math
+
+    from ..redundancy import parse_redundancy
+    from ..workload import generate_workload
+
+    settings = settings or default_settings()
+    spec = settings.spec()
+    capacity_mb = (
+        spec.num_libraries * spec.library.num_tapes * spec.library.tape.capacity_mb
+    )
+    data_mb = float(sum(generate_workload(settings.workload_params).catalog.sizes_mb))
+
+    def overhead_of(level: str) -> float:
+        parsed = parse_redundancy(level)
+        if parsed["mode"] == "replicated":
+            return float(parsed["r"])
+        return parsed["n"] / parsed["k"]
+
+    skipped: List[str] = []
+    feasible: List[str] = []
+    for level in levels:
+        if data_mb * overhead_of(level) <= capacity_mb:
+            feasible.append(level)
+        else:
+            skipped.append(level)
+
+    points = tuple(
+        PointSpec(
+            sweep="redundancy",
+            axis="redundancy",
+            value=level,
+            scheme="parallel_batch",
+            scheme_kwargs=(("m", settings.m),),
+            workload=settings.workload_params,
+            spec=spec,
+            kind="chaos",
+            run_kwargs=(
+                ("mtbf_h", mtbf_hours),
+                ("mttr_h", mttr_hours),
+                ("num_arrivals", num_arrivals),
+                ("policy", "concurrent"),
+                ("rate_per_hour", arrival_rate_per_hour),
+            ),
+            label=level,
+            # A11's cell group at this MTBF: all levels share its arrival
+            # and fault-timing streams, and the r=1 level reproduces A11's
+            # parallel-batch numbers exactly.
+            seed_group=("mtbf_h", mtbf_hours, 0),
+            seek_planner=settings.seek_planner,
+            redundancy=level,
+        )
+        for level in feasible
+    )
+    res = run_sweep(
+        SweepSpec(name="redundancy", points=points, root_seed=settings.eval_seed),
+        engine,
+    )
+
+    member_avail = mtbf_hours / (mtbf_hours + mttr_hours)
+
+    def durability_of(level: str) -> float:
+        parsed = parse_redundancy(level)
+        if parsed["mode"] == "replicated":
+            k, n = 1, parsed["r"]
+        else:
+            k, n = parsed["k"], parsed["n"]
+        return float(
+            sum(
+                math.comb(n, i)
+                * member_avail**i
+                * (1.0 - member_avail) ** (n - i)
+                for i in range(k, n + 1)
+            )
+        )
+
+    table = ExperimentTable(
+        "A12",
+        "Availability, durability, and sojourn vs redundancy level "
+        f"(MTBF {mtbf_hours} h, MTTR {mttr_hours} h, "
+        f"{arrival_rate_per_hour}/h arrivals)",
+        [
+            "level",
+            "overhead",
+            "sojourn (s)",
+            "request avail",
+            "drive avail",
+            "durability",
+            "aborted",
+            "fallbacks",
+        ],
+    )
+    sojourns: List[float] = []
+    request_avail: List[float] = []
+    drive_avail: List[float] = []
+    durabilities: List[float] = []
+    aborted: List[int] = []
+    fallbacks: List[float] = []
+    for level in feasible:
+        result = res.one(value=level, label=level)
+        served = len(result.records)
+        req_avail = 1.0 - result.aborted_requests / served if served else 0.0
+        counter = result.registry.counters.get("redundancy.fallbacks")
+        level_fallbacks = float(counter.value) if counter is not None else 0.0
+        sojourns.append(result.mean_sojourn_s)
+        request_avail.append(req_avail)
+        drive_avail.append(result.availability)
+        durabilities.append(durability_of(level))
+        aborted.append(result.aborted_requests)
+        fallbacks.append(level_fallbacks)
+        table.add_row(
+            level,
+            round(overhead_of(level), 3),
+            result.mean_sojourn_s,
+            req_avail,
+            result.availability,
+            durabilities[-1],
+            result.aborted_requests,
+            level_fallbacks,
+        )
+    table.data["levels"] = feasible
+    table.data["overhead"] = [overhead_of(level) for level in feasible]
+    table.data["series"] = {"sojourn_s": sojourns}
+    table.data["request_availability"] = request_avail
+    table.data["drive_availability"] = drive_avail
+    table.data["durability"] = durabilities
+    table.data["aborted"] = aborted
+    table.data["fallbacks"] = fallbacks
+    table.data["mtbf_hours"] = mtbf_hours
+    table.data["mttr_hours"] = mttr_hours
+    table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
+    table.notes.append(
+        "beyond-paper extension: repro.redundancy over parallel_batch; "
+        "levels share A11's fixed-MTBF cell seed (r=1 matches A11's "
+        "parallel-batch point seed-for-seed); request availability = "
+        "1 - aborted/served; durability = P(>=k of n members up) at "
+        "member availability MTBF/(MTBF+MTTR)"
+    )
+    if skipped:
+        table.notes.append(
+            "skipped (storage overhead exceeds capacity at this scale): "
+            + ", ".join(skipped)
+        )
     return table
 
 

@@ -84,6 +84,7 @@ def _comparison_points(
                     num_samples=settings.samples,
                     seed_group=cell.get("seed_group"),
                     seek_planner=settings.seek_planner,
+                    redundancy=settings.redundancy,
                 )
             )
     return SweepSpec(name=sweep, points=tuple(points), root_seed=settings.eval_seed)
@@ -156,6 +157,7 @@ def figure5_spec(
                     num_samples=settings.samples,
                     label=f"alpha={a}",
                     seek_planner=settings.seek_planner,
+                    redundancy=settings.redundancy,
                 )
             )
     return SweepSpec(name="fig5", points=tuple(points), root_seed=settings.eval_seed)
@@ -600,6 +602,7 @@ def ablation_spec(settings: ExperimentSettings) -> SweepSpec:
                 # All variants draw the same request stream (paired ablation).
                 seed_group=("ablation",),
                 seek_planner=settings.seek_planner,
+                redundancy=settings.redundancy,
             )
         )
     return SweepSpec(name="ablation", points=tuple(points), root_seed=settings.eval_seed)
@@ -640,6 +643,7 @@ def _extension_experiments():
         incremental,
         open_system,
         queueing,
+        redundancy,
         robots,
         seek_model,
         seek_planning,
@@ -657,6 +661,7 @@ def _extension_experiments():
         "open_system": open_system,
         "availability": availability,
         "seekplan": seek_planning,
+        "redundancy": redundancy,
     }
 
 

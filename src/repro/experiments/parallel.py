@@ -131,6 +131,10 @@ class PointSpec:
     #: ``greedy-sweep``).  A dataclass field, so it participates in
     #: :meth:`cache_key` — points never alias across planners.
     seek_planner: Optional[str] = None
+    #: Redundancy spec string (``"r=2"`` / ``"k=4,n=6"``; ``None`` = the
+    #: scheme unwrapped).  A dataclass field for the same reason: an r=2
+    #: point can never alias an r=1 (or unwrapped) point in the cache.
+    redundancy: Optional[str] = None
 
     def group(self) -> Tuple[Any, ...]:
         return (
@@ -222,9 +226,19 @@ def evaluate_point(point: PointSpec, seed: int):
     run_kwargs = dict(point.run_kwargs)
 
     if point.kind == "incremental":
+        if point.redundancy:
+            raise ValueError(
+                "redundancy is not supported for incremental points (epoch "
+                "reveal already rewrites layouts; wrap the final placement "
+                "instead)"
+            )
         session = _incremental_session(point, workload, run_kwargs)
     else:
         scheme = make_scheme(point.scheme, **dict(point.scheme_kwargs))
+        if point.redundancy:
+            from ..redundancy import wrap_scheme
+
+            scheme = wrap_scheme(scheme, point.redundancy)
         session = SimulationSession(
             workload, point.spec, scheme=scheme, seek_planner=point.seek_planner
         )

@@ -57,6 +57,10 @@ class ExperimentSettings:
     #: Within-tape seek-planner registry name threaded into every sweep
     #: point (``None`` = the default ``greedy-sweep``).
     seek_planner: Optional[str] = None
+    #: Redundancy spec (``"r=2"`` / ``"k=4,n=6"``) wrapping every sweep
+    #: point's scheme (``None`` = no redundancy).  A2's incremental points
+    #: reject it — redundancy wraps static placements only.
+    redundancy: Optional[str] = None
 
     @property
     def workload_params(self) -> WorkloadParams:

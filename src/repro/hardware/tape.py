@@ -55,6 +55,13 @@ class ObjectExtent:
     completes only when *every* fragment has been read — the
     synchronization latency the paper cites against striping emerges from
     exactly this.
+
+    The cloud-archive redundancy layer (:mod:`repro.redundancy`) adds the
+    orthogonal *any-of* dimension: each fragment may exist as ``replicas``
+    redundancy-group members on distinct tapes, of which any ``needed``
+    suffice to reconstruct it — ``needed == 1`` is plain replication,
+    ``needed == k < replicas == n`` is a k-of-n erasure code.  Striping's
+    ``parts`` remain all-required; redundancy members are interchangeable.
     """
 
     object_id: int
@@ -64,6 +71,14 @@ class ObjectExtent:
     part: int = 0
     #: Total number of fragments the object was split into.
     parts: int = 1
+    #: Which redundancy-group member this is (0-based; 0 = primary).
+    replica: int = 0
+    #: Total members in this fragment's redundancy group (r copies, or the
+    #: n of a k-of-n code).
+    replicas: int = 1
+    #: How many members must be read to reconstruct the fragment (1 for
+    #: replication, k for erasure coding).
+    needed: int = 1
 
     def __post_init__(self) -> None:
         if self.start_mb < 0:
@@ -74,6 +89,16 @@ class ObjectExtent:
             raise ValueError(f"parts must be >= 1, got {self.parts}")
         if not 0 <= self.part < self.parts:
             raise ValueError(f"part {self.part} out of range for {self.parts} parts")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if not 0 <= self.replica < self.replicas:
+            raise ValueError(
+                f"replica {self.replica} out of range for {self.replicas} replicas"
+            )
+        if not 1 <= self.needed <= self.replicas:
+            raise ValueError(
+                f"needed must be in [1, {self.replicas}], got {self.needed}"
+            )
         # The extent end is read on every seek/transfer (head advance, sweep
         # planning, layout validation); computing it once here keeps the
         # property a plain attribute read.
@@ -82,6 +107,10 @@ class ObjectExtent:
     @property
     def is_fragment(self) -> bool:
         return self.parts > 1
+
+    @property
+    def is_redundant(self) -> bool:
+        return self.replicas > 1
 
     @property
     def end_mb(self) -> float:

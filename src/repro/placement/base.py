@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping
+from typing import Dict, FrozenSet, List, Mapping, Tuple
 
 import numpy as np
 
@@ -51,11 +51,30 @@ class PlacementResult:
         return sum(1 for extents in self.layouts.values() if extents)
 
     def tape_of(self, object_id: int) -> TapeId:
+        """The tape of a single-extent object; raises on ambiguity.
+
+        Striped or redundant objects span several tapes — use
+        :meth:`tapes_of` for the full tuple.
+        """
+        tapes = self.tapes_of(object_id)
+        if len(tapes) > 1:
+            raise ValueError(
+                f"object {object_id} has {len(tapes)} extents (striped or "
+                "replicated); use tapes_of()"
+            )
+        return tapes[0]
+
+    def tapes_of(self, object_id: int) -> Tuple[TapeId, ...]:
+        """Every tape holding an extent of the object, in (part, replica) order."""
+        found: List[Tuple[Tuple[int, int], TapeId]] = []
         for tape_id, extents in self.layouts.items():
             for extent in extents:
                 if extent.object_id == object_id:
-                    return tape_id
-        raise KeyError(f"object {object_id} not placed")
+                    found.append(((extent.part, extent.replica), tape_id))
+        if not found:
+            raise KeyError(f"object {object_id} not placed")
+        found.sort(key=lambda pair: pair[0])
+        return tuple(tape_id for _, tape_id in found)
 
     # -- validation ---------------------------------------------------------
     def validate(self, catalog: ObjectCatalog, spec: SystemSpec) -> None:
@@ -63,11 +82,18 @@ class PlacementResult:
 
         * every catalog object placed exactly once — whole, or as a complete,
           consistent set of stripe fragments whose sizes sum to the catalog
-          size;
+          size (:class:`~repro.redundancy.RedundantPlacementResult` replaces
+          this accounting with redundancy-group rules);
         * extents within tape capacity and non-overlapping;
         * initial mounts reference existing tapes/drives, one tape per drive;
         * pinned tapes are all initially mounted.
         """
+        fragments = self._check_geometry(spec)
+        self._check_objects(fragments, catalog, spec)
+        self._check_mounts(spec)
+
+    def _check_geometry(self, spec: SystemSpec) -> Dict[int, List]:
+        """Per-tape capacity/overlap checks; returns object -> extent entries."""
         fragments: Dict[int, List] = {}
         capacity = spec.library.tape.capacity_mb
         for tape_id, extents in self.layouts.items():
@@ -83,7 +109,12 @@ class PlacementResult:
                     raise PlacementError(f"tape {tape_id} overflows its capacity")
                 fragments.setdefault(extent.object_id, []).append((tape_id, extent))
                 prev_end = extent.end_mb
+        return fragments
 
+    def _check_objects(
+        self, fragments: Dict[int, List], catalog: ObjectCatalog, spec: SystemSpec
+    ) -> None:
+        """Exactly-once object accounting (the paper's non-redundant model)."""
         for object_id, entries in fragments.items():
             parts = entries[0][1].parts
             if any(e.parts != parts for _, e in entries):
@@ -108,6 +139,8 @@ class PlacementResult:
             missing = len(catalog) - len(fragments)
             raise PlacementError(f"{missing} objects were not placed")
 
+    def _check_mounts(self, spec: SystemSpec) -> None:
+        """Initial-mount / pinned-tape consistency checks."""
         mounted_tapes = set()
         for drive_id, tape_id in self.initial_mounts.items():
             if not (0 <= drive_id.library < spec.num_libraries):

@@ -45,3 +45,15 @@ register_scheme(ParallelBatchPlacement.name, ParallelBatchPlacement)
 register_scheme(ObjectProbabilityPlacement.name, ObjectProbabilityPlacement)
 register_scheme(ClusterProbabilityPlacement.name, ClusterProbabilityPlacement)
 register_scheme(StripedPlacement.name, StripedPlacement)
+
+
+def _register_redundancy() -> None:
+    # Deferred: repro.redundancy imports placement.base, so importing it at
+    # module top would cycle through this package's __init__.
+    from ..redundancy.placement import ErasureCodedPlacement, ReplicatedPlacement
+
+    register_scheme(ReplicatedPlacement.name, ReplicatedPlacement)
+    register_scheme(ErasureCodedPlacement.name, ErasureCodedPlacement)
+
+
+_register_redundancy()

@@ -1,0 +1,46 @@
+"""Cloud-archive redundancy: replication, erasure coding, and migration.
+
+The paper's placement schemes store every object exactly once; this
+package layers cloud-archive durability on top of them (cf. TALICS3,
+arXiv:2405.00003):
+
+* :mod:`~repro.redundancy.placement` — ``ReplicatedPlacement`` /
+  ``ErasureCodedPlacement`` wrappers and the redundancy-aware
+  ``RedundantPlacementResult.validate()``;
+* :mod:`~repro.redundancy.coding` — the actual GF(256) systematic
+  Reed-Solomon k-of-n code backing the erasure geometry;
+* :mod:`~repro.redundancy.dispatch` — choice-of-d member selection used
+  by the open-system engine to route around failed drives;
+* :mod:`~repro.redundancy.migration` — popularity-driven hot/cold
+  migration over reveal epochs.
+
+Registered scheme names: ``replicated`` and ``erasure`` (see
+:func:`repro.placement.make_scheme`); CLI spec strings like ``r=2`` or
+``k=4,n=6`` parse via :func:`parse_redundancy` / :func:`wrap_scheme`.
+"""
+
+from .coding import decode_stripes, encode_stripes, stripe_size
+from .dispatch import count_fallbacks, select_members
+from .migration import MigrationReport, migrate_by_popularity
+from .placement import (
+    ErasureCodedPlacement,
+    RedundantPlacementResult,
+    ReplicatedPlacement,
+    parse_redundancy,
+    wrap_scheme,
+)
+
+__all__ = [
+    "RedundantPlacementResult",
+    "ReplicatedPlacement",
+    "ErasureCodedPlacement",
+    "parse_redundancy",
+    "wrap_scheme",
+    "encode_stripes",
+    "decode_stripes",
+    "stripe_size",
+    "select_members",
+    "count_fallbacks",
+    "MigrationReport",
+    "migrate_by_popularity",
+]

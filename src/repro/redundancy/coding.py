@@ -1,0 +1,163 @@
+"""Systematic k-of-n Reed-Solomon coding over GF(256).
+
+The placement layer only needs the *geometry* of a k-of-n code (n stripes
+of ``size/k``, any k reconstruct), but the durability claims of the A12
+experiment rest on the code actually being MDS — so this module implements
+the real thing and the property tests decode from every k-subset.
+
+Construction: a Vandermonde matrix over GF(2^8) (any k rows independent)
+is normalized so its top k x k block is the identity, giving a systematic
+code — stripes ``0..k-1`` are the data split verbatim, stripes ``k..n-1``
+are parity.  Decoding from any k stripes inverts the corresponding k rows
+by Gaussian elimination.  Sizes are limited to ``n <= 255`` (the field's
+nonzero-element count), far beyond any realistic tape redundancy level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+__all__ = ["encode_stripes", "decode_stripes", "stripe_size"]
+
+#: GF(2^8) log/antilog tables for the AES-adjacent primitive polynomial
+#: x^8 + x^4 + x^3 + x^2 + 1 (0x11d), generator 2.
+_EXP = np.zeros(512, dtype=np.uint8)
+_LOG = np.zeros(256, dtype=np.int32)
+_x = 1
+for _i in range(255):
+    _EXP[_i] = _x
+    _LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= 0x11D
+_EXP[255:510] = _EXP[:255]
+
+
+def _gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[_LOG[a] + _LOG[b]])
+
+
+def _gf_inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("no inverse of 0 in GF(256)")
+    return int(_EXP[255 - _LOG[a]])
+
+
+def _gf_mul_vec(c: int, v: np.ndarray) -> np.ndarray:
+    """Scalar-by-vector product over GF(256)."""
+    if c == 0:
+        return np.zeros_like(v)
+    if c == 1:
+        return v.copy()
+    out = _EXP[_LOG[c] + _LOG[np.maximum(v, 1)]]
+    out[v == 0] = 0
+    return out
+
+
+def _matmul(matrix: List[List[int]], stripes: np.ndarray) -> np.ndarray:
+    """(rows x k) GF matrix applied to k byte-stripes; returns rows stripes."""
+    rows = len(matrix)
+    out = np.zeros((rows, stripes.shape[1]), dtype=np.uint8)
+    for i, row in enumerate(matrix):
+        acc = np.zeros(stripes.shape[1], dtype=np.uint8)
+        for j, coeff in enumerate(row):
+            if coeff:
+                acc ^= _gf_mul_vec(coeff, stripes[j])
+        out[i] = acc
+    return out
+
+
+def _invert(matrix: List[List[int]]) -> List[List[int]]:
+    """Invert a k x k GF(256) matrix by Gauss-Jordan elimination."""
+    k = len(matrix)
+    aug = [list(row) + [1 if i == j else 0 for j in range(k)] for i, row in enumerate(matrix)]
+    for col in range(k):
+        pivot = next((r for r in range(col, k) if aug[r][col]), None)
+        if pivot is None:
+            raise ValueError("singular matrix: stripes do not span the data")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv_p = _gf_inv(aug[col][col])
+        aug[col] = [_gf_mul(v, inv_p) for v in aug[col]]
+        for r in range(k):
+            if r != col and aug[r][col]:
+                factor = aug[r][col]
+                aug[r] = [v ^ _gf_mul(factor, p) for v, p in zip(aug[r], aug[col])]
+    return [row[k:] for row in aug]
+
+
+def _encoding_matrix(k: int, n: int) -> List[List[int]]:
+    """Systematic n x k generator: identity on top, MDS parity below."""
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if n > 255:
+        raise ValueError(f"n must be <= 255 over GF(256), got {n}")
+    vandermonde = [[_pow(i + 1, j) for j in range(k)] for i in range(n)]
+    top_inv = _invert([row[:] for row in vandermonde[:k]])
+    return [
+        [_dot(row, [top_inv[t][j] for t in range(k)]) for j in range(k)]
+        for row in vandermonde
+    ]
+
+
+def _pow(base: int, exp: int) -> int:
+    result = 1
+    for _ in range(exp):
+        result = _gf_mul(result, base)
+    return result
+
+
+def _dot(a: List[int], b: List[int]) -> int:
+    acc = 0
+    for x, y in zip(a, b):
+        acc ^= _gf_mul(x, y)
+    return acc
+
+
+def stripe_size(size: int, k: int) -> int:
+    """Bytes per stripe when ``size`` bytes are split k ways (zero-padded)."""
+    return (size + k - 1) // k if size else 0
+
+
+def encode_stripes(data: bytes, k: int, n: int) -> Dict[int, bytes]:
+    """Encode ``data`` into n stripes of which any k reconstruct it.
+
+    Stripes ``0..k-1`` carry the (zero-padded) data split verbatim;
+    ``k..n-1`` are Reed-Solomon parity.  Returns stripe index -> payload.
+    """
+    matrix = _encoding_matrix(k, n)
+    width = stripe_size(len(data), k)
+    padded = np.frombuffer(data.ljust(k * width, b"\0"), dtype=np.uint8)
+    source = padded.reshape(k, width) if width else np.zeros((k, 0), dtype=np.uint8)
+    encoded = _matmul(matrix, source)
+    return {i: encoded[i].tobytes() for i in range(n)}
+
+
+def decode_stripes(stripes: Mapping[int, bytes], k: int, n: int, size: int) -> bytes:
+    """Reconstruct the original ``size`` bytes from any k of the n stripes.
+
+    ``stripes`` maps stripe index -> payload; exactly k entries are used
+    (extras are ignored deterministically, lowest indices first).  Raises
+    ``ValueError`` when fewer than k distinct stripes are supplied.
+    """
+    if len(stripes) < k:
+        raise ValueError(f"need {k} stripes to decode, got {len(stripes)}")
+    matrix = _encoding_matrix(k, n)
+    chosen = sorted(stripes)[:k]
+    if any(not 0 <= i < n for i in chosen):
+        raise ValueError(f"stripe indices out of range for n={n}: {chosen}")
+    width = stripe_size(size, k)
+    rows = np.zeros((k, width), dtype=np.uint8)
+    for slot, index in enumerate(chosen):
+        payload = np.frombuffer(stripes[index], dtype=np.uint8)
+        if len(payload) != width:
+            raise ValueError(
+                f"stripe {index} holds {len(payload)} bytes, expected {width}"
+            )
+        rows[slot] = payload
+    inverse = _invert([matrix[i] for i in chosen])
+    data = _matmul(inverse, rows).reshape(-1)
+    return data.tobytes()[:size]

@@ -1,0 +1,56 @@
+"""Choice-of-d member selection for redundant requests.
+
+The open-system dispatcher resolves each request fragment to a
+:class:`~repro.catalog.RedundancyGroup` and must pick ``needed`` of its
+``replicas`` members to actually read.  The policy here is the classic
+power-of-d-choices rule restricted to *live* libraries: among members not
+yet excluded (tapes that already failed to serve this request), prefer
+live ones ordered by current dispatcher load, breaking ties by replica
+index for determinism.
+
+Dead members are deliberately *not* filtered out — when fewer than
+``needed`` live members remain, the selection is padded with dead ones so
+the submission flows into the failed library's dispatcher and triggers the
+exact abort bookkeeping a non-redundant run would produce.  The serve loop
+then excludes those tapes and retries, so a request only aborts once every
+member has been exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+from ..catalog import RedundancyGroup
+from ..hardware import TapeId, ObjectExtent
+
+__all__ = ["select_members", "count_fallbacks"]
+
+Member = Tuple[TapeId, ObjectExtent]
+
+
+def select_members(
+    group: RedundancyGroup,
+    excluded: Set[TapeId],
+    is_live: Callable[[TapeId], bool],
+    load_of: Callable[[TapeId], float],
+) -> Optional[List[Member]]:
+    """Pick ``group.needed`` members to read, or ``None`` if unservable.
+
+    ``excluded`` holds tapes that already failed this request (their
+    submissions aborted); ``is_live`` and ``load_of`` query the library
+    dispatchers.  Live members are preferred least-loaded-first; dead
+    members pad the tail only when live ones cannot cover ``needed``.
+    """
+    candidates = [m for m in group.members if m[0] not in excluded]
+    if len(candidates) < group.needed:
+        return None
+    live = [m for m in candidates if is_live(m[0])]
+    dead = [m for m in candidates if not is_live(m[0])]
+    live.sort(key=lambda m: (load_of(m[0]), m[1].replica))
+    dead.sort(key=lambda m: m[1].replica)
+    return (live + dead)[: group.needed]
+
+
+def count_fallbacks(chosen: List[Member], needed: int) -> int:
+    """Members read from outside the primary set (replica >= ``needed``)."""
+    return sum(1 for _, extent in chosen if extent.replica >= needed)

@@ -1,0 +1,215 @@
+"""Popularity-driven migration between the hot (batch-0) and cold tiers.
+
+Archive workloads drift: the objects worth keeping on always-mounted
+tapes in month one are not the ones worth keeping in month six.  This
+module replays that drift over the *reveal epochs* of
+:mod:`repro.placement.incremental`: the workload is split into epochs,
+and at each epoch boundary the hot tier (the placement's pinned batch-0
+tapes) is re-targeted at the objects most requested in that epoch —
+promoting newly hot objects in, demoting cooled-off ones out.
+
+The simulator runs a single static placement, so migration is applied as
+a *pre-pass*: the returned result is the layout the archive would hold
+after the final epoch's reshuffle, with promotion/demotion counts
+reported for diagnostics.  Only whole-object, non-redundant layouts are
+migrated (the redundancy wrappers replicate *after* migration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Set, Tuple
+
+from ..hardware import ObjectExtent, SystemSpec, TapeId
+from ..placement.base import PlacementError, PlacementResult
+from ..placement.incremental import split_into_epochs
+from ..workload import Workload
+
+__all__ = ["MigrationReport", "migrate_by_popularity"]
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What the epoch replay did to the hot tier."""
+
+    num_epochs: int
+    promotions: int
+    demotions: int
+    hot_tapes: Tuple[TapeId, ...]
+
+    @property
+    def churn(self) -> int:
+        return self.promotions + self.demotions
+
+
+def migrate_by_popularity(
+    result: PlacementResult,
+    workload: Workload,
+    spec: SystemSpec,
+    num_epochs: int,
+) -> Tuple[PlacementResult, MigrationReport]:
+    """Replay epoch-by-epoch hot/cold migration over ``result``.
+
+    Returns the post-migration placement and a :class:`MigrationReport`.
+    With fewer than two epochs (or a placement without a pinned hot tier)
+    the input is returned unchanged.
+    """
+    hot_tapes = tuple(sorted(result.pinned))
+    if num_epochs <= 1 or not hot_tapes:
+        return result, MigrationReport(num_epochs, 0, 0, hot_tapes)
+    for extents in result.layouts.values():
+        for extent in extents:
+            if extent.parts > 1 or extent.replicas > 1:
+                raise PlacementError(
+                    "popularity migration requires a whole-object, "
+                    "non-redundant base layout"
+                )
+
+    catalog = workload.catalog
+    tape_of: Dict[int, TapeId] = {}
+    for tape_id, extents in result.layouts.items():
+        for extent in extents:
+            tape_of[extent.object_id] = tape_id
+    hot_set: Set[int] = {
+        oid for oid, tid in tape_of.items() if tid in set(hot_tapes)
+    }
+    hot_capacity = len(hot_tapes) * spec.library.tape.capacity_mb
+
+    requests_by_id = {request.id: request for request in workload.requests}
+    epochs = split_into_epochs(workload, num_epochs)
+    promotions = demotions = 0
+    for epoch in epochs:
+        counts: Dict[int, int] = {}
+        for rid in epoch.new_request_ids:
+            for oid in requests_by_id[rid].object_ids:
+                counts[oid] = counts.get(oid, 0) + 1
+        if not counts:
+            continue
+        # Desired hot set: this epoch's most-requested objects, greedily
+        # packed into the hot tier's capacity (ties broken by global
+        # popularity, then id, for determinism).
+        ranked = sorted(
+            counts,
+            key=lambda oid: (-counts[oid], -catalog.probability_of(oid), oid),
+        )
+        desired: Set[int] = set()
+        used = 0.0
+        for oid in ranked:
+            size = catalog.size_of(oid)
+            if used + size <= hot_capacity + 1e-9:
+                desired.add(oid)
+                used += size
+        # Objects already hot but unseen this epoch keep their slot while
+        # space remains — migration evicts only to make room.
+        for oid in sorted(hot_set - set(counts), key=lambda o: (-catalog.probability_of(o), o)):
+            size = catalog.size_of(oid)
+            if used + size <= hot_capacity + 1e-9:
+                desired.add(oid)
+                used += size
+        promotions += len(desired - hot_set)
+        demotions += len(hot_set - desired)
+        hot_set = desired
+
+    new_layouts, spilled = _rebuild_layouts(
+        result, catalog, spec, hot_tapes, hot_set, tape_of
+    )
+    tape_priority = {
+        tid: float(sum(catalog.probability_of(e.object_id) for e in extents))
+        for tid, extents in new_layouts.items()
+        if extents
+    }
+    migrated = replace(
+        result,
+        layouts=new_layouts,
+        tape_priority=tape_priority,
+        metadata={
+            **result.metadata,
+            "migration": {
+                "num_epochs": num_epochs,
+                "promotions": promotions,
+                "demotions": demotions,
+                "spilled": spilled,
+            },
+        },
+    )
+    return migrated, MigrationReport(num_epochs, promotions, demotions, hot_tapes)
+
+
+def _rebuild_layouts(
+    result: PlacementResult,
+    catalog,
+    spec: SystemSpec,
+    hot_tapes: Tuple[TapeId, ...],
+    hot_set: Set[int],
+    tape_of: Dict[int, TapeId],
+) -> Tuple[Dict[TapeId, List[ObjectExtent]], int]:
+    """Re-pack every tape for the final hot set.
+
+    Hot objects fill the pinned tapes most-popular-first (least-used tape
+    each time); every other tape keeps its surviving objects in original
+    order, with demoted objects appended to the cold tape with most room.
+    The capacity-sum hot-set selection is not bin-aware, so hot objects
+    that fit no single pinned tape spill to the cold tier (counted in the
+    second return value) rather than failing the placement.
+    """
+    capacity = spec.library.tape.capacity_mb
+    extents_of = {
+        e.object_id: e for extents in result.layouts.values() for e in extents
+    }
+    hot_tape_set = set(hot_tapes)
+
+    placement: Dict[TapeId, List[int]] = {tid: [] for tid in result.layouts}
+    used: Dict[TapeId, float] = {tid: 0.0 for tid in result.layouts}
+    # Cold tapes keep their stayers in original extent order.
+    for tape_id, extents in result.layouts.items():
+        if tape_id in hot_tape_set:
+            continue
+        for extent in sorted(extents, key=lambda e: e.start_mb):
+            if extent.object_id not in hot_set:
+                placement[tape_id].append(extent.object_id)
+                used[tape_id] += extent.size_mb
+    # Hot objects pack the pinned tapes, most popular first (largest-first
+    # within equal popularity would over-complicate; spills handle misfits).
+    spilled: List[int] = []
+    for oid in sorted(hot_set, key=lambda o: (-catalog.probability_of(o), o)):
+        size = catalog.size_of(oid)
+        candidates = [
+            tid for tid in hot_tapes if used[tid] + size <= capacity + 1e-9
+        ]
+        if not candidates:
+            spilled.append(oid)
+            continue
+        target = min(candidates, key=lambda tid: (used[tid], tid.slot))
+        placement[target].append(oid)
+        used[target] += size
+    # Demoted objects (were hot, now cold) and spills go to the roomiest
+    # cold tape.
+    demoted = [
+        oid
+        for oid, tid in sorted(tape_of.items())
+        if tid in hot_tape_set and oid not in hot_set
+    ] + spilled
+    cold_tapes = [tid for tid in sorted(result.layouts) if tid not in hot_tape_set]
+    for oid in demoted:
+        size = catalog.size_of(oid)
+        candidates = [
+            tid for tid in cold_tapes if used[tid] + size <= capacity + 1e-9
+        ]
+        if not candidates:
+            raise PlacementError(
+                f"cold tier overflow migrating object {oid} ({size:.0f} MB)"
+            )
+        target = min(candidates, key=lambda tid: (used[tid], tid.slot))
+        placement[target].append(oid)
+        used[target] += size
+
+    new_layouts: Dict[TapeId, List[ObjectExtent]] = {}
+    for tape_id, object_ids in placement.items():
+        cursor = 0.0
+        extents: List[ObjectExtent] = []
+        for oid in object_ids:
+            extent = replace(extents_of[oid], start_mb=cursor)
+            extents.append(extent)
+            cursor = extent.end_mb
+        new_layouts[tape_id] = extents
+    return new_layouts, len(spilled)

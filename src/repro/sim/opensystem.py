@@ -31,15 +31,16 @@ from __future__ import annotations
 
 import gc
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
 from ..catalog import Request
 from ..des import Environment, Event, Interrupt, Resource, ResourceUsageMonitor, Trace
-from ..hardware import TapeDrive, TapeLibrary, TapeId
+from ..hardware import ObjectExtent, TapeDrive, TapeLibrary, TapeId
 from ..obs import MetricsRegistry
+from ..redundancy.dispatch import count_fallbacks, select_members
 from .engine import RequestExecution, _serve_job, _switch_to
 from .faults import FaultEscalation, FaultInjector, FaultSpec, failures_to_specs
 from .metrics import DriveServiceRecord, RequestMetrics, WindowStat, sliding_window_stats
@@ -275,24 +276,24 @@ class ConcurrentPolicy:
             library.id: _LibraryDispatcher(opensys, library)
             for library in opensys.system.libraries
         }
+        #: Redundancy instruments, created lazily on the first redundant
+        #: serve: non-redundant runs keep their registry content (and its
+        #: pinned digest) byte-identical to the pre-redundancy engine.
+        self._red_inst: Optional[Dict[str, object]] = None
 
-    def serve(
+    def _submit_tape_jobs(
         self,
-        request: Request,
-        arrival_s: float,
-        parent: Optional[int] = None,
-        token: Optional[int] = None,
-    ):
+        tape_extents: Dict[TapeId, List[ObjectExtent]],
+        trace_key: int,
+        parent: Optional[int],
+        records: Dict[str, DriveServiceRecord],
+    ) -> List[_DispatchedJob]:
+        """Fan per-tape extent lists out to the library dispatchers."""
         os = self.os
         env = os.env
-        trace_key = token if token is not None else request.id
-        jobs = os.index.group_by_tape(request.object_ids)
-        total_mb = sum(e.size_mb for extents in jobs.values() for e in extents)
-        records: Dict[str, DriveServiceRecord] = {}
         djobs: List[_DispatchedJob] = []
-
         by_library: Dict[int, List[TapeJob]] = {}
-        for tape_id, extents in jobs.items():
+        for tape_id, extents in tape_extents.items():
             by_library.setdefault(tape_id.library, []).append(
                 TapeJob(tape_id, sorted(extents, key=lambda e: e.start_mb))
             )
@@ -314,6 +315,27 @@ class ConcurrentPolicy:
                 )
                 djobs.append(djob)
                 self.dispatchers[library_id].submit(djob)
+        return djobs
+
+    def serve(
+        self,
+        request: Request,
+        arrival_s: float,
+        parent: Optional[int] = None,
+        token: Optional[int] = None,
+    ):
+        os = self.os
+        env = os.env
+        if os.index.has_redundancy:
+            outcome = yield from self._serve_redundant(
+                request, arrival_s, parent=parent, token=token
+            )
+            return outcome
+        trace_key = token if token is not None else request.id
+        jobs = os.index.group_by_tape(request.object_ids)
+        total_mb = sum(e.size_mb for extents in jobs.values() for e in extents)
+        records: Dict[str, DriveServiceRecord] = {}
+        djobs = self._submit_tape_jobs(jobs, trace_key, parent, records)
 
         yield env.all_of([dj.done for dj in djobs])
 
@@ -342,6 +364,154 @@ class ConcurrentPolicy:
                 aborted=True,
             )
         starts = [dj.started_at for dj in djobs if dj.started_at is not None]
+        started = min(starts) if starts else env.now
+        record = QueuedRequestRecord(
+            request_id=request.id,
+            arrival_s=arrival_s,
+            start_s=started,
+            finish_s=env.now,
+            size_mb=total_mb,
+            aborted=aborted,
+        )
+        return record, metrics
+
+    # -- choice-of-d replica dispatch ------------------------------------
+    def _redundancy_instruments(self) -> Dict[str, object]:
+        if self._red_inst is None:
+            registry = self.os.registry
+            self._red_inst = {
+                "requests": registry.counter("redundancy.requests", unit="requests"),
+                "fallbacks": registry.counter("redundancy.fallbacks", unit="members"),
+                "retries": registry.counter("redundancy.retries", unit="rounds"),
+                "unservable": registry.counter("redundancy.unservable", unit="groups"),
+                "digest": registry.digest("replica_fallbacks", unit="members"),
+            }
+        return self._red_inst
+
+    def _dispatcher_live(self, tape_id: TapeId) -> bool:
+        """A member is live when its library has a worker or a committed repair."""
+        dispatcher = self.dispatchers[tape_id.library]
+        if dispatcher.workers:
+            return True
+        injector = self.os.injector
+        return injector is not None and injector.will_recover(dispatcher.library)
+
+    def _dispatcher_load(self, tape_id: TapeId) -> int:
+        dispatcher = self.dispatchers[tape_id.library]
+        load = (
+            len(dispatcher.pending) + len(dispatcher.inbox) + len(dispatcher.busy)
+        )
+        if not dispatcher.workers:
+            # Down-but-recovering: counts as live (jobs wait for the repair)
+            # but any member with a working drive should win the choice.
+            load += 1_000_000
+        return load
+
+    def _serve_redundant(
+        self,
+        request: Request,
+        arrival_s: float,
+        parent: Optional[int] = None,
+        token: Optional[int] = None,
+    ):
+        """Serve via redundancy groups: route to least-loaded live members.
+
+        Each fragment resolves to a :class:`~repro.catalog.RedundancyGroup`
+        of which ``needed`` members must be read.  Selection is
+        choice-of-d (:func:`repro.redundancy.dispatch.select_members`);
+        jobs that abort on a failed library exclude their tape and the
+        shortfall re-dispatches to surviving members, so a request only
+        aborts once some group has no members left — at which point the
+        bookkeeping (counters, empty-record metrics) matches the
+        non-redundant abort path exactly.
+        """
+        os = self.os
+        env = os.env
+        trace_key = token if token is not None else request.id
+        inst = self._redundancy_instruments()
+        inst["requests"].inc()
+        groups = os.index.redundancy_groups(request.object_ids)
+        total_mb = sum(g.bytes_mb for g in groups)
+        records: Dict[str, DriveServiceRecord] = {}
+        all_djobs: List[_DispatchedJob] = []
+        submitted_tapes: Set[TapeId] = set()
+        #: Members still to read per group index.
+        remaining = {i: g.needed for i, g in enumerate(groups)}
+        #: Tapes already dispatched for a group (in flight or landed).
+        used: Dict[int, Set[TapeId]] = {i: set() for i in range(len(groups))}
+        #: Tapes that aborted a job of this request (never retried).
+        excluded: Set[TapeId] = set()
+        fallbacks = 0
+        rounds = 0
+        unservable = False
+
+        while True:
+            tape_extents: Dict[TapeId, List[ObjectExtent]] = {}
+            tape_groups: Dict[TapeId, List[int]] = {}
+            for i, group in enumerate(groups):
+                need = remaining[i]
+                if need <= 0:
+                    continue
+                chosen = select_members(
+                    _dc_replace(group, needed=need),
+                    excluded | used[i],
+                    self._dispatcher_live,
+                    self._dispatcher_load,
+                )
+                if chosen is None:
+                    # Every member exhausted: the group — and with it the
+                    # request — aborts, exactly as a non-redundant request
+                    # whose only tape's library died.
+                    unservable = True
+                    inst["unservable"].inc()
+                    remaining[i] = 0
+                    continue
+                fallbacks += count_fallbacks(chosen, group.needed)
+                for tape_id, extent in chosen:
+                    tape_extents.setdefault(tape_id, []).append(extent)
+                    tape_groups.setdefault(tape_id, []).append(i)
+                    used[i].add(tape_id)
+            if not tape_extents:
+                break
+            if rounds:
+                inst["retries"].inc()
+            rounds += 1
+            djobs = self._submit_tape_jobs(tape_extents, trace_key, parent, records)
+            all_djobs.extend(djobs)
+            submitted_tapes.update(tape_extents)
+            yield env.all_of([dj.done for dj in djobs])
+            for djob in djobs:
+                if djob.aborted:
+                    excluded.add(djob.job.tape_id)
+                else:
+                    for i in tape_groups.get(djob.job.tape_id, ()):
+                        remaining[i] -= 1
+
+        inst["fallbacks"].inc(fallbacks)
+        inst["digest"].record(float(fallbacks))
+        aborted = unservable
+        if records:
+            metrics = RequestMetrics.from_drive_records(
+                request_id=request.id,
+                size_mb=total_mb,
+                num_tapes=len(submitted_tapes),
+                records=list(records.values()),
+                start_s=arrival_s,
+                aborted=aborted,
+            )
+        else:
+            metrics = RequestMetrics(
+                request_id=request.id,
+                size_mb=total_mb,
+                response_s=env.now - arrival_s,
+                seek_s=0.0,
+                transfer_s=0.0,
+                num_tapes=len(submitted_tapes),
+                num_switches=0,
+                num_drives=0,
+                aborted=True,
+            )
+        starts = [dj.started_at for dj in all_djobs if dj.started_at is not None]
         started = min(starts) if starts else env.now
         record = QueuedRequestRecord(
             request_id=request.id,

@@ -16,8 +16,19 @@ def test_from_system_scans_all_layouts(system):
     system.tape(TapeId(1, 2)).append_object(2, 200)
     index = LocationIndex.from_system(system)
     assert len(index) == 2
+    assert index.tapes_of(1) == (TapeId(0, 0),)
+    assert index.tapes_of(2) == (TapeId(1, 2),)
+    # The single-extent convenience accessor still works where unambiguous.
     assert index.tape_of(1) == TapeId(0, 0)
-    assert index.tape_of(2) == TapeId(1, 2)
+
+
+def test_tape_of_raises_on_redundant_object():
+    index = LocationIndex()
+    index.add(1, TapeId(0, 0), ObjectExtent(1, 0, 10, replica=0, replicas=2))
+    index.add(1, TapeId(0, 1), ObjectExtent(1, 0, 10, replica=1, replicas=2))
+    assert index.tapes_of(1) == (TapeId(0, 0), TapeId(0, 1))
+    with pytest.raises(ValueError):
+        index.tape_of(1)
 
 
 def test_locate_returns_extent(system):

@@ -163,7 +163,7 @@ class TestRegistry:
             "table1", "fig5", "fig6", "fig7", "fig8", "fig9",
             "extreme", "tech", "sensitivity", "ablation",
             "incremental", "queueing", "disk", "striping", "robots", "degraded", "seek_model",
-            "open_system", "availability", "seekplan",
+            "open_system", "availability", "seekplan", "redundancy",
         }
 
     def test_tables_format_without_error(self, settings):

@@ -90,3 +90,26 @@ def test_seek_planning_small_scale_golden(update_golden):
     # The acceptance property behind E4: on at least one multi-object
     # batch cell the exact LTSP plan's mean sojourn is <= greedy-sweep's.
     assert any(gain >= 0.0 for gain in t.data["exact_gain_pct"][1:])
+
+
+def test_redundancy_small_scale_golden(update_golden):
+    from repro.experiments import redundancy
+
+    t = redundancy(SETTINGS, num_arrivals=20)
+    payload = {
+        "levels": t.data["levels"],
+        "overhead": t.data["overhead"],
+        "series": t.data["series"],
+        "request_availability": t.data["request_availability"],
+        "durability": t.data["durability"],
+        "aborted": t.data["aborted"],
+        "fallbacks": t.data["fallbacks"],
+    }
+    check_golden("a12_small", payload, update_golden)
+    # The acceptance property behind A12: under a fixed DriveFaultProcess
+    # spec, request availability never decreases with redundancy level,
+    # and the analytic durability strictly increases.
+    avail = t.data["request_availability"]
+    assert all(b >= a for a, b in zip(avail, avail[1:]))
+    durability = t.data["durability"]
+    assert all(b > a for a, b in zip(durability, durability[1:]))

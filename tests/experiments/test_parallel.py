@@ -354,3 +354,92 @@ class TestCrossProcessCacheCounters:
         # ...and the per-run fleet view agree on totals.
         assert res.fleet.counter("sweep.points") == n
         assert res.fleet.counter("sweep.cache_hits") == n
+
+
+class TestRedundancyPoints:
+    """Metamorphic coverage for `PointSpec.redundancy` (ISSUE 8).
+
+    The field participates in the cache key (an r=2 point can never alias
+    an r=1 or unwrapped point), degenerate r=1 evaluation is bit-identical
+    to the unwrapped point's, and redundant chaos sweeps stay bit-identical
+    across worker counts.
+    """
+
+    def _point(self, redundancy, value="r", seed_group=("red", 0)):
+        return PointSpec(
+            sweep="red",
+            axis="level",
+            value=value,
+            scheme="parallel_batch",
+            scheme_kwargs=(("m", 2),),
+            workload=TINY_WORKLOAD,
+            spec=TINY_SPEC,
+            kind="chaos",
+            run_kwargs=(
+                ("mtbf_h", 4.0),
+                ("mttr_h", 0.5),
+                ("num_arrivals", 10),
+                ("policy", "concurrent"),
+                ("rate_per_hour", 8.0),
+            ),
+            seed_group=seed_group,
+            redundancy=redundancy,
+        )
+
+    def test_redundancy_enters_the_cache_key(self):
+        keys = {
+            self._point(red).cache_key(seed=123)
+            for red in (None, "r=1", "r=2", "k=2,n=3")
+        }
+        assert len(keys) == 4
+
+    def test_degenerate_point_matches_unwrapped_bit_identically(self):
+        unwrapped = evaluate_point(self._point(None), seed=5)
+        degenerate = evaluate_point(self._point("r=1"), seed=5)
+        assert [r.sojourn_s for r in degenerate.records] == [
+            r.sojourn_s for r in unwrapped.records
+        ]
+        assert degenerate.mean_sojourn_s == unwrapped.mean_sojourn_s
+        assert degenerate.availability == unwrapped.availability
+
+    def test_r2_actually_takes_the_redundant_path(self):
+        """No r=1/r=2 aliasing in behavior either: the r=2 point runs the
+        redundant serve path (instruments registered, every request grouped)
+        while the unwrapped one never touches it."""
+        unwrapped = evaluate_point(self._point(None), seed=5)
+        redundant = evaluate_point(self._point("r=2"), seed=5)
+        assert redundant.registry.counters["redundancy.requests"].value == 10
+        assert not any(
+            name.startswith("redundancy.") for name in unwrapped.registry.counters
+        )
+
+    def test_redundant_sweep_bit_identical_across_worker_counts(self):
+        def sweep():
+            points = tuple(
+                self._point(red, value=red or "none", seed_group=("red", 0))
+                for red in (None, "r=1", "r=2")
+            )
+            return SweepSpec(name="red", points=points, root_seed=0)
+
+        def chaos_fingerprint(res):
+            return {
+                r.point.value: (
+                    r.result.mean_sojourn_s,
+                    r.result.availability,
+                    tuple(rec.sojourn_s for rec in r.result.records),
+                )
+                for r in res
+            }
+
+        serial = run_sweep(sweep(), EngineOptions(workers=1))
+        parallel = run_sweep(sweep(), EngineOptions(workers=4))
+        assert chaos_fingerprint(serial) == chaos_fingerprint(parallel)
+
+    def test_incremental_points_reject_redundancy(self):
+        point = dataclasses.replace(
+            self._point("r=2"),
+            kind="incremental",
+            run_kwargs=(("m", 2), ("num_epochs", 2), ("strategy", "naive")),
+        )
+        with pytest.raises(ValueError):
+            evaluate_point(point, seed=5)

@@ -157,7 +157,9 @@ class TestParallelBatch:
         probs = workload.requests.probabilities
         # The most popular request should touch at most 2 batches.
         hot = workload.requests[int(np.argmax(probs))]
-        batches_touched = {tape_batch[index.tape_of(o)] for o in hot.object_ids}
+        batches_touched = {
+            tape_batch[tid] for o in hot.object_ids for tid in index.tapes_of(o)
+        }
         assert len(batches_touched) <= 2
 
 
@@ -168,7 +170,7 @@ class TestObjectProbability:
         index = result.apply_to(system)
         probs = np.asarray(workload.catalog.probabilities)
         hottest = int(np.argmax(probs))
-        tid = index.tape_of(hottest)
+        (tid,) = index.tapes_of(hottest)
         assert tid.slot < spec.library.num_drives  # group 0 slots
 
     def test_group0_tapes_have_similar_priority(self, workload, spec):
@@ -200,7 +202,7 @@ class TestClusterProbability:
             workload, max_size_mb=0.9 * spec.library.tape.capacity_mb
         )
         for cluster in clustering.multi_object_clusters():
-            tapes = {index.tape_of(o) for o in cluster.objects}
+            tapes = {tid for o in cluster.objects for tid in index.tapes_of(o)}
             assert len(tapes) == 1
 
     def test_cluster_members_contiguous_on_tape(self, workload, spec):

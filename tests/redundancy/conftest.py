@@ -1,0 +1,36 @@
+"""Shared fixtures for the redundancy-layer tests.
+
+Same scaled-down configuration as ``tests/placement/test_schemes.py``
+(2 libraries x 4 drives x 10 tapes of 10 GB; ~90 GB of objects) so base
+placements leave enough slack for r=2 / n=3 overhead.
+"""
+
+import pytest
+
+from repro.hardware import LibrarySpec, SystemSpec, TapeSpec
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="package")
+def spec():
+    return SystemSpec(
+        num_libraries=2,
+        library=LibrarySpec(
+            num_drives=4,
+            num_tapes=10,
+            tape=TapeSpec(capacity_mb=10_000, max_rewind_s=10),
+        ),
+    )
+
+
+@pytest.fixture(scope="package")
+def workload():
+    return generate_workload(
+        num_objects=600,
+        num_requests=40,
+        request_size_bounds=(8, 20),
+        object_size_bounds_mb=(5.0, 500.0),
+        mean_object_size_mb=150.0,
+        zipf_alpha=0.3,
+        seed=42,
+    )

@@ -1,0 +1,74 @@
+"""Property tests for the GF(256) systematic Reed-Solomon codec.
+
+The central property (and the one the durability model leans on): the
+original data is recoverable from *any* k of the n stripes — not just
+the systematic ones.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.redundancy import decode_stripes, encode_stripes, stripe_size
+
+#: (k, n) pairs small enough to enumerate every k-subset exhaustively.
+KN_PAIRS = [(1, 1), (1, 3), (2, 3), (2, 4), (3, 5), (4, 6)]
+
+
+@st.composite
+def data_and_code(draw):
+    k, n = draw(st.sampled_from(KN_PAIRS))
+    data = draw(st.binary(min_size=1, max_size=256))
+    return data, k, n
+
+
+@given(data_and_code())
+@settings(max_examples=60, deadline=None)
+def test_decode_from_any_k_of_n(case):
+    data, k, n = case
+    stripes = encode_stripes(data, k, n)
+    assert set(stripes) == set(range(n))
+    assert all(len(s) == stripe_size(len(data), k) for s in stripes.values())
+    for subset in itertools.combinations(range(n), k):
+        chosen = {i: stripes[i] for i in subset}
+        assert decode_stripes(chosen, k, n, len(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=512))
+@settings(max_examples=30, deadline=None)
+def test_k_equals_n_equals_one_is_identity(data):
+    stripes = encode_stripes(data, 1, 1)
+    assert stripes == {0: data}
+    assert decode_stripes(stripes, 1, 1, len(data)) == data
+
+
+def test_systematic_prefix_is_the_data():
+    data = bytes(range(200))
+    k, n = 4, 6
+    stripes = encode_stripes(data, k, n)
+    width = stripe_size(len(data), k)
+    padded = data + b"\0" * (k * width - len(data))
+    for i in range(k):
+        assert stripes[i] == padded[i * width : (i + 1) * width]
+
+
+def test_decode_needs_at_least_k_stripes():
+    stripes = encode_stripes(b"hello world", 3, 5)
+    partial = {0: stripes[0], 4: stripes[4]}
+    with pytest.raises(ValueError):
+        decode_stripes(partial, 3, 5, 11)
+
+
+def test_decode_rejects_bad_stripe_index():
+    stripes = encode_stripes(b"hello world", 2, 3)
+    with pytest.raises(ValueError):
+        decode_stripes({0: stripes[0], 7: stripes[1]}, 2, 3, 11)
+
+
+def test_decode_rejects_mismatched_widths():
+    stripes = encode_stripes(b"hello world", 2, 3)
+    bad = {0: stripes[0], 1: stripes[1] + b"\0"}
+    with pytest.raises(ValueError):
+        decode_stripes(bad, 2, 3, 11)

@@ -1,0 +1,120 @@
+"""Property tests for choice-of-d member selection.
+
+The invariant from ISSUE 8: choice-of-d never routes to a failed replica
+*while a live one can cover the read* — dead members only pad the tail
+when live candidates alone cannot reach ``needed``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import RedundancyGroup
+from repro.hardware import ObjectExtent, TapeId
+from repro.redundancy import count_fallbacks, select_members
+
+
+def _group(n, needed):
+    members = tuple(
+        (
+            TapeId(i % 2, i // 2),
+            ObjectExtent(7, 0.0, 10.0, replica=i, replicas=n, needed=needed),
+        )
+        for i in range(n)
+    )
+    return RedundancyGroup(object_id=7, part=0, needed=needed, members=members)
+
+
+@st.composite
+def dispatch_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    needed = draw(st.integers(min_value=1, max_value=n))
+    dead = draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n))
+    excluded = draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n))
+    loads = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=50), min_size=n, max_size=n
+        )
+    )
+    return n, needed, dead, excluded, loads
+
+
+@given(dispatch_cases())
+@settings(max_examples=300, deadline=None)
+def test_never_routes_dead_while_live_can_cover(case):
+    n, needed, dead_replicas, excluded_replicas, loads = case
+    group = _group(n, needed)
+    tape_of = {e.replica: tid for tid, e in group.members}
+    dead_tapes = {tape_of[i] for i in dead_replicas}
+    excluded = {tape_of[i] for i in excluded_replicas}
+    load_of = {tape_of[i]: float(loads[i]) for i in range(n)}
+
+    chosen = select_members(
+        group, excluded, lambda t: t not in dead_tapes, lambda t: load_of[t]
+    )
+
+    candidates = [m for m in group.members if m[0] not in excluded]
+    if len(candidates) < needed:
+        assert chosen is None
+        return
+    assert chosen is not None
+    assert len(chosen) == needed
+    # No excluded tape is ever selected, and no member repeats.
+    chosen_tapes = [tid for tid, _ in chosen]
+    assert len(set(chosen_tapes)) == needed
+    assert not (set(chosen_tapes) & excluded)
+    # Dead members appear only when live candidates cannot cover the read.
+    live_candidates = [m for m in candidates if m[0] not in dead_tapes]
+    n_dead_chosen = sum(1 for t in chosen_tapes if t in dead_tapes)
+    assert n_dead_chosen == max(0, needed - len(live_candidates))
+    # Among live members, selection is least-loaded-first: every chosen
+    # live member's load is <= every skipped live member's load (with
+    # replica index breaking exact ties deterministically).
+    skipped_live = [
+        m for m in live_candidates if m[0] not in set(chosen_tapes)
+    ]
+    for tid, e in chosen:
+        if tid in dead_tapes:
+            continue
+        for s_tid, s_e in skipped_live:
+            assert (load_of[tid], e.replica) <= (load_of[s_tid], s_e.replica)
+
+
+@given(dispatch_cases())
+@settings(max_examples=100, deadline=None)
+def test_fallback_count_matches_non_primary_reads(case):
+    n, needed, dead_replicas, excluded_replicas, loads = case
+    group = _group(n, needed)
+    tape_of = {e.replica: tid for tid, e in group.members}
+    dead_tapes = {tape_of[i] for i in dead_replicas}
+    excluded = {tape_of[i] for i in excluded_replicas}
+    load_of = {tape_of[i]: float(loads[i]) for i in range(n)}
+    chosen = select_members(
+        group, excluded, lambda t: t not in dead_tapes, lambda t: load_of[t]
+    )
+    if chosen is None:
+        return
+    expected = sum(1 for _, e in chosen if e.replica >= needed)
+    assert count_fallbacks(chosen, needed) == expected
+    assert 0 <= count_fallbacks(chosen, needed) <= needed
+
+
+def test_all_excluded_is_unservable():
+    group = _group(3, 2)
+    excluded = {tid for tid, _ in group.members}
+    assert select_members(group, excluded, lambda t: True, lambda t: 0.0) is None
+
+
+def test_prefers_least_loaded_live_member():
+    group = _group(3, 1)
+    tapes = [tid for tid, _ in group.members]
+    loads = {tapes[0]: 5.0, tapes[1]: 1.0, tapes[2]: 3.0}
+    chosen = select_members(group, set(), lambda t: True, lambda t: loads[t])
+    assert [tid for tid, _ in chosen] == [tapes[1]]
+
+
+def test_degenerate_single_member_group():
+    group = _group(1, 1)
+    chosen = select_members(group, set(), lambda t: False, lambda t: 0.0)
+    # The lone (dead) member is still returned: submission into the dead
+    # dispatcher reproduces the non-redundant abort path.
+    assert chosen == list(group.members)

@@ -1,0 +1,183 @@
+"""Property and integration tests for the redundancy placement wrappers.
+
+The layer's contract, from ISSUE 8:
+
+* every object has exactly ``r`` (or ``n``) members, on distinct tapes,
+  spanning ``min(r, num_libraries)`` libraries;
+* ``validate()`` enforces those invariants (a corrupted layout fails);
+* ``r=1`` / ``k=n=1`` degenerate to an exact pass-through of the base
+  scheme's result.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import LibrarySpec, SystemSpec, TapeSpec
+from repro.placement import PlacementError, available_schemes, make_scheme
+from repro.redundancy import (
+    ErasureCodedPlacement,
+    ReplicatedPlacement,
+    parse_redundancy,
+    wrap_scheme,
+)
+from repro.workload import generate_workload
+
+
+def _small_spec(num_libraries=2):
+    return SystemSpec(
+        num_libraries=num_libraries,
+        library=LibrarySpec(
+            num_drives=4,
+            num_tapes=10,
+            tape=TapeSpec(capacity_mb=10_000, max_rewind_s=10),
+        ),
+    )
+
+
+def _small_workload(seed, num_objects=120):
+    return generate_workload(
+        num_objects=num_objects,
+        num_requests=15,
+        request_size_bounds=(4, 10),
+        object_size_bounds_mb=(5.0, 400.0),
+        mean_object_size_mb=100.0,
+        zipf_alpha=0.3,
+        seed=seed,
+    )
+
+
+def _members_by_object(result):
+    groups = {}
+    for tape_id, extents in result.layouts.items():
+        for e in extents:
+            groups.setdefault((e.object_id, e.part), []).append((tape_id, e))
+    return groups
+
+
+class TestReplicatedProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**16), r=st.sampled_from([1, 2, 3]))
+    @settings(max_examples=12, deadline=None)
+    def test_exactly_r_members_on_distinct_tapes(self, seed, r):
+        workload = _small_workload(seed)
+        spec = _small_spec()
+        result = ReplicatedPlacement(base="parallel_batch", r=r, m=2).place(
+            workload, spec
+        )
+        result.validate(workload.catalog, spec)
+        groups = _members_by_object(result)
+        placed_objects = {oid for oid, _ in groups}
+        assert placed_objects == set(range(len(workload.catalog)))
+        for (oid, part), members in groups.items():
+            assert len(members) == r
+            tapes = {tid for tid, _ in members}
+            assert len(tapes) == r, f"object {oid} part {part} shares a tape"
+            libraries = {tid.library for tid in tapes}
+            assert len(libraries) >= min(r, spec.num_libraries)
+            assert sorted(e.replica for _, e in members) == list(range(r))
+            for _, e in members:
+                assert e.replicas == r
+                assert e.needed == 1
+
+    @pytest.mark.parametrize("base", sorted(set(available_schemes()) - {"replicated", "erasure"}))
+    def test_r1_is_exact_passthrough(self, base, workload, spec):
+        kwargs = {"m": 2} if base == "parallel_batch" else {}
+        base_result = make_scheme(base, **kwargs).place(workload, spec)
+        wrapped = ReplicatedPlacement(base=base, r=1, **kwargs).place(workload, spec)
+        assert wrapped.layouts == base_result.layouts
+        assert wrapped.initial_mounts == base_result.initial_mounts
+        assert wrapped.pinned == base_result.pinned
+        assert wrapped.tape_priority == base_result.tape_priority
+
+    def test_capacity_violation_raises(self, workload, spec):
+        # ~90 GB of objects x r=3 does not fit the 200 GB system.
+        with pytest.raises(PlacementError):
+            ReplicatedPlacement(base="parallel_batch", r=3, m=2).place(workload, spec)
+
+    def test_validate_rejects_coresident_replicas(self, workload, spec):
+        result = ReplicatedPlacement(base="parallel_batch", r=2, m=2).place(
+            workload, spec
+        )
+        # Move every extent of some tape onto the tape holding its peer
+        # replica: distinct-tape anti-affinity must fail validation.
+        groups = _members_by_object(result)
+        (first_tape, first), (second_tape, second) = next(
+            members for members in groups.values() if len(members) == 2
+        )
+        layouts = {tid: list(extents) for tid, extents in result.layouts.items()}
+        layouts[second_tape].remove(second)
+        moved = dataclasses.replace(
+            second, start_mb=max((e.end_mb for e in layouts[first_tape]), default=0.0)
+        )
+        layouts[first_tape].append(moved)
+        corrupted = dataclasses.replace(result, layouts=layouts)
+        with pytest.raises(PlacementError):
+            corrupted.validate(workload.catalog, spec)
+
+
+class TestErasureProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        kn=st.sampled_from([(2, 3), (2, 4), (4, 6)]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_n_stripes_of_size_over_k(self, seed, kn):
+        k, n = kn
+        workload = _small_workload(seed)
+        spec = _small_spec()
+        result = ErasureCodedPlacement(base="parallel_batch", k=k, n=n, m=2).place(
+            workload, spec
+        )
+        result.validate(workload.catalog, spec)
+        groups = _members_by_object(result)
+        for (oid, part), members in groups.items():
+            assert part == 0
+            assert len(members) == n
+            assert len({tid for tid, _ in members}) == n
+            size = workload.catalog.size_of(oid)
+            for _, e in members:
+                assert e.size_mb == pytest.approx(size / k)
+                assert e.needed == k
+                assert e.replicas == n
+
+    def test_k1_n1_is_exact_passthrough(self, workload, spec):
+        base_result = make_scheme("parallel_batch", m=2).place(workload, spec)
+        wrapped = ErasureCodedPlacement(base="parallel_batch", k=1, n=1, m=2).place(
+            workload, spec
+        )
+        assert wrapped.layouts == base_result.layouts
+        assert wrapped.initial_mounts == base_result.initial_mounts
+
+    def test_striped_base_rejected(self, workload, spec):
+        with pytest.raises(PlacementError):
+            ErasureCodedPlacement(base="striped", k=2, n=3).place(workload, spec)
+
+
+class TestSpecParsing:
+    def test_replicated(self):
+        assert parse_redundancy("r=2") == {"mode": "replicated", "r": 2}
+
+    def test_erasure(self):
+        assert parse_redundancy("k=4,n=6") == {"mode": "erasure", "k": 4, "n": 6}
+        assert parse_redundancy(" n=6 , k=4 ") == {"mode": "erasure", "k": 4, "n": 6}
+
+    @pytest.mark.parametrize(
+        "bad", ["", "r=0", "k=3,n=2", "k=4", "n=6", "r=2,k=3", "x=1", "r=two"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_redundancy(bad)
+
+    def test_gf256_width_limit(self):
+        with pytest.raises(ValueError):
+            ErasureCodedPlacement(k=1, n=300)
+
+    def test_wrap_scheme_dispatches(self):
+        base = make_scheme("parallel_batch", m=2)
+        assert isinstance(wrap_scheme(base, "r=2"), ReplicatedPlacement)
+        assert isinstance(wrap_scheme(base, "k=2,n=3"), ErasureCodedPlacement)
+
+    def test_registry_exposes_wrappers(self):
+        assert {"replicated", "erasure"} <= set(available_schemes())

@@ -686,3 +686,83 @@ class TestInjectorAccounting:
         down = [s for s in result.spans() if s.name == "fault_drive_down"]
         assert len(down) == 1
         assert down[0].attrs.get("open") is True
+
+
+# ---------------------------------------------------------------------------
+# Redundancy x faults: choice-of-d fallback across failed drives
+# ---------------------------------------------------------------------------
+
+
+class TestRedundantFaultInteraction:
+    """r=2 turns whole-library outages into fallbacks, not aborts.
+
+    With one replica's library dead, every request must complete via the
+    surviving copy; with *every* member dead, the request aborts exactly
+    as a non-redundant run would.
+    """
+
+    def _session(self, workload, redundancy=None):
+        from repro.redundancy import wrap_scheme
+
+        scheme = ObjectProbabilityPlacement()
+        if redundancy:
+            scheme = wrap_scheme(scheme, redundancy)
+        return SimulationSession(workload, _spec(num_drives=2), scheme=scheme)
+
+    def _kill_library(self, session, library, at_s=1.0):
+        return tuple(
+            DriveFailure(str(d.id), at_s=at_s)
+            for d in session.system.libraries[library].drives
+        )
+
+    def test_one_dead_replica_library_completes_unaborted(self, workload):
+        session = self._session(workload, "r=2")
+        faults = self._kill_library(session, 0)
+        result = session.open(faults=faults).run(60.0, num_arrivals=15, seed=3)
+        assert len(result) == 15
+        assert result.aborted_requests == 0
+        counters = result.registry.counters
+        assert counters["redundancy.requests"].value == 15
+        assert counters["redundancy.fallbacks"].value > 0
+        assert counters["redundancy.unservable"].value == 0
+
+    def test_same_outage_aborts_without_redundancy(self, workload):
+        """The control: the base scheme under the identical outage loses
+        requests — completing them above is the redundancy layer's doing."""
+        session = self._session(workload)
+        faults = self._kill_library(session, 0)
+        result = session.open(faults=faults).run(60.0, num_arrivals=15, seed=3)
+        assert result.aborted_requests > 0
+
+    def test_all_replicas_dead_aborts_like_today(self, workload):
+        base = self._session(workload)
+        base_result = base.open(
+            faults=self._kill_library(base, 0) + self._kill_library(base, 1)
+        ).run(60.0, num_arrivals=15, seed=3)
+
+        session = self._session(workload, "r=2")
+        faults = self._kill_library(session, 0) + self._kill_library(session, 1)
+        result = session.open(faults=faults).run(60.0, num_arrivals=15, seed=3)
+        assert len(result) == 15
+        assert result.aborted_requests == base_result.aborted_requests
+        assert result.aborted_requests == 15
+        assert result.registry.counters["redundancy.unservable"].value > 0
+
+    def test_fallback_digest_records_served_requests(self, workload):
+        session = self._session(workload, "r=2")
+        faults = self._kill_library(session, 0)
+        result = session.open(faults=faults).run(60.0, num_arrivals=15, seed=3)
+        digest = result.registry.digests["replica_fallbacks"]
+        assert digest.count == 15
+
+    def test_repaired_replica_rejoins_dispatch(self, workload):
+        """A failed-then-repaired library is routable again: the run still
+        completes everything with both member sets exercised."""
+        session = self._session(workload, "r=2")
+        faults = tuple(
+            DriveFailure(str(d.id), at_s=50.0, repair_after_s=400.0)
+            for d in session.system.libraries[0].drives
+        )
+        result = session.open(faults=faults).run(60.0, num_arrivals=15, seed=3)
+        assert len(result) == 15
+        assert result.aborted_requests == 0

@@ -572,3 +572,83 @@ class TestKernelFastPathParity:
         assert faults["retries"] == 5.0
         assert faults["escalations"] == 0.0
         assert faults["degraded_time_s"] == 324.9362915363114
+
+
+class TestRedundancyDegenerateParity:
+    """r=1 / k=n=1 wrappers are exact pass-throughs of the base scheme.
+
+    The redundancy serve path only activates when the location index holds
+    redundant extents; a degenerate wrapper must therefore reproduce the
+    base run bit for bit — same records, same metrics, and *no*
+    ``redundancy.*`` instruments (whose mere registration would move the
+    pinned ``metrics_digest`` goldens above).
+    """
+
+    SPECS = {"replicated-r1": "r=1", "erasure-k1n1": "k=1,n=1"}
+
+    def _wrapped_session(self, redundancy):
+        from repro.redundancy import wrap_scheme
+
+        workload = _workload(
+            num_objects=600, request_size_bounds=(8, 16), mean_object_size_mb=None
+        )
+        spec = _spec(
+            num_drives=2, num_tapes=40, disk_bandwidth_mb_s=20.0,
+            tape_capacity_mb=2_000.0,
+        )
+        scheme = wrap_scheme(ObjectProbabilityPlacement(), redundancy)
+        return SimulationSession(workload, spec, scheme=scheme)
+
+    @pytest.mark.parametrize("redundancy", sorted(SPECS.values()))
+    def test_degenerate_run_is_bit_identical(self, redundancy):
+        base = _starved_session().open(policy="concurrent")
+        base_result = base.run(240.0, num_arrivals=30, seed=11)
+        wrapped = self._wrapped_session(redundancy).open(policy="concurrent")
+        result = wrapped.run(240.0, num_arrivals=30, seed=11)
+
+        assert not wrapped.index.has_redundancy
+        assert [r.sojourn_s for r in result.records] == [
+            r.sojourn_s for r in base_result.records
+        ]
+        assert [m.response_s for m in result.metrics] == [
+            m.response_s for m in base_result.metrics
+        ]
+        assert result.horizon_s == base_result.horizon_s
+        assert sum(m.num_switches for m in result.metrics) == sum(
+            m.num_switches for m in base_result.metrics
+        )
+        assert not any(
+            name.startswith("redundancy.") for name in result.registry.counters
+        )
+        assert "replica_fallbacks" not in result.registry.digests
+
+    @pytest.mark.skipif(
+        not trace_enabled_by_env(), reason="parity goldens include span digests"
+    )
+    @pytest.mark.parametrize("redundancy", sorted(SPECS.values()))
+    def test_degenerate_run_matches_pinned_goldens(self, redundancy):
+        """The wrapped run hits the *same* goldens as the kernel fast path."""
+        golden = TestKernelFastPathParity.GOLDEN["concurrent"]
+        opensys = self._wrapped_session(redundancy).open(policy="concurrent")
+        result = opensys.run(240.0, num_arrivals=30, seed=11)
+
+        assert result.mean_sojourn_s == golden["mean_sojourn_s"]
+        assert result.horizon_s == golden["horizon_s"]
+        assert _digest(r.sojourn_s for r in result.records) == golden["sojourn_digest"]
+        assert (
+            _digest(
+                (m.response_s, m.seek_s, m.transfer_s, m.num_switches)
+                for m in result.metrics
+            )
+            == golden["metrics_digest"]
+        )
+        spans = result.spans()
+        assert len(spans) == golden["span_count"]
+        assert (
+            _digest(
+                (s.name, s.start, s.end, s.span_id, s.parent_id, s.request_id)
+                for s in spans
+            )
+            == golden["span_digest"]
+        )
+        assert opensys.env.events_processed == golden["events_processed"]
