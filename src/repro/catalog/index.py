@@ -126,6 +126,26 @@ class LocationIndex:
             self._redundant = True
         entries.append((tape_id, extent))
 
+    def remove_member(
+        self, object_id: int, tape_id: TapeId, part: int, replica: int
+    ) -> ObjectExtent:
+        """Remove one redundancy-group member entry (media loss / rollback).
+
+        The object's other members stay indexed; raises ``KeyError`` when no
+        matching entry exists.  Used by the repair manager: the lost member
+        is dropped so degraded reads stop routing to the dead cartridge, and
+        re-added via :meth:`add` once rebuilt elsewhere.
+        """
+        entries = self._entries(object_id)
+        for i, (tid, extent) in enumerate(entries):
+            if tid == tape_id and extent.part == part and extent.replica == replica:
+                del entries[i]
+                return extent
+        raise KeyError(
+            f"object {object_id} part {part} replica {replica} "
+            f"is not indexed on {tape_id}"
+        )
+
     @property
     def has_redundancy(self) -> bool:
         """True when any indexed extent belongs to a redundancy group."""

@@ -54,6 +54,8 @@ from .experiments import (
 )
 from .placement import available_schemes, make_scheme
 from .sim import (
+    READ_SELECTIONS,
+    REPAIR_POLICIES,
     SimulationSession,
     available_scheduling_policies,
     available_seek_planners,
@@ -233,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail a drive permanently at an absolute time in seconds, e.g. "
         "--fail L0.D0=1800 (repeatable; requires --policy concurrent)",
     )
+    _add_media_fault_args(op)
     _add_seek_planner_arg(op)
     _add_redundancy_arg(op)
     _add_settings_args(op)
@@ -300,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally fail a drive permanently at an absolute time "
         "in seconds (repeatable)",
     )
+    _add_media_fault_args(ch)
     ch.add_argument(
         "--out-dir", default=None, metavar="DIR",
         help="also export trace.json + metrics.jsonl telemetry artifacts",
@@ -519,6 +523,34 @@ def _add_seek_planner_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_media_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fail-tape",
+        action="append",
+        default=None,
+        metavar="TAPE=TIME",
+        help="destroy a cartridge (whole-tape media loss) at an absolute "
+        "time in seconds, e.g. --fail-tape L0.T3=1800 (repeatable; the "
+        "repair manager re-replicates redundant data, see "
+        "docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--repair-policy",
+        default=None,
+        choices=sorted(REPAIR_POLICIES),
+        help="how media-loss repair traffic competes with user restores "
+        "(default: user-first)",
+    )
+    parser.add_argument(
+        "--read-selection",
+        default=None,
+        choices=sorted(READ_SELECTIONS),
+        help="redundant-read member ordering: least-loaded library "
+        "(default) or cheapest member (mounted tape first, then lowest "
+        "estimated drive time)",
+    )
+
+
 def _add_redundancy_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--redundancy",
@@ -714,22 +746,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_fail_args(pairs: Optional[List[str]]) -> dict:
+def _parse_fail_args(
+    pairs: Optional[List[str]], flag: str = "--fail", what: str = "DRIVE"
+) -> dict:
     """``["L0.D0=1800", ...]`` -> ``{"L0.D0": 1800.0, ...}``."""
     failures = {}
     for pair in pairs or []:
         name, sep, at_s = pair.partition("=")
         if not sep or not name:
             raise SystemExit(
-                f"error: --fail expects DRIVE=TIME, got {pair!r}"
+                f"error: {flag} expects {what}=TIME, got {pair!r}"
             )
         try:
             failures[name] = float(at_s)
         except ValueError:
             raise SystemExit(
-                f"error: --fail time must be a number, got {pair!r}"
+                f"error: {flag} time must be a number, got {pair!r}"
             ) from None
     return failures
+
+
+def _check_fault_ids(session, drive_failures: dict, tape_failures: dict) -> None:
+    """Validate ``--fail`` / ``--fail-tape`` ids against the configuration.
+
+    An unknown id exits 2 (usage error) with the known-id list, *before*
+    any simulation starts — a typo'd drive or tape name must not silently
+    run a fault-free experiment.
+    """
+    from .sim import known_drive_names, known_tape_names
+
+    known_drives = known_drive_names(session.system)
+    bad = sorted(set(drive_failures) - set(known_drives))
+    if bad:
+        print(
+            f"error: --fail: unknown drive id(s): {', '.join(bad)}\n"
+            f"known drives: {', '.join(known_drives)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    known_tapes = known_tape_names(session.system)
+    bad = sorted(set(tape_failures) - set(known_tapes))
+    if bad:
+        print(
+            f"error: --fail-tape: unknown tape id(s): {', '.join(bad)}\n"
+            f"known tapes: {', '.join(known_tapes)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
 
 
 def _cmd_open(args: argparse.Namespace) -> int:
@@ -746,10 +809,25 @@ def _cmd_open(args: argparse.Namespace) -> int:
         scheme = wrap_scheme(scheme, args.redundancy)
     session = SimulationSession(workload, spec, scheme=scheme)
     failures = _parse_fail_args(getattr(args, "fail", None))
+    tape_failures = _parse_fail_args(
+        getattr(args, "fail_tape", None), flag="--fail-tape", what="TAPE"
+    )
+    _check_fault_ids(session, failures, tape_failures)
+    faults = None
+    if tape_failures:
+        from .sim import TapeFailure
+
+        faults = tuple(
+            TapeFailure(tape, at_s=at_s)
+            for tape, at_s in sorted(tape_failures.items())
+        )
     opensys = session.open(
         policy=args.policy,
         failures=failures or None,
+        faults=faults,
         seek_planner=args.seek_planner,
+        repair_policy=args.repair_policy,
+        read_selection=args.read_selection or "least-loaded",
     )
     result = opensys.run(args.rate, num_arrivals=args.arrivals, seed=args.seed)
     print(f"policy:            {result.policy}")
@@ -757,9 +835,16 @@ def _cmd_open(args: argparse.Namespace) -> int:
     print(f"scheme:            {result.scheme}")
     print(f"arrival rate:      {result.arrival_rate_per_hour:10.1f} /h")
     print(f"arrivals served:   {len(result):10d}")
-    if failures:
+    if failures or tape_failures:
         print(f"  aborted:         {result.aborted_requests:10d}")
         print(f"availability:      {result.availability:10.2%}")
+    if tape_failures:
+        repair_summary = result.repair
+        print(f"tape losses:       {result.faults.get('tape_losses', 0):10.0f}")
+        print(f"objects lost:      {result.objects_lost:10d}")
+        print(f"durability:        {result.durability:10.4%}")
+        print(f"members rebuilt:   {repair_summary.get('members_rebuilt', 0):10.0f}")
+        print(f"repair backlog:    {result.repair_backlog_seconds:10.1f} s")
     print(f"horizon:           {result.horizon_s:10.1f} s")
     print(f"mean sojourn:      {result.mean_sojourn_s:10.1f} s")
     print(f"  mean wait:       {result.mean_wait_s:10.1f} s")
@@ -789,7 +874,7 @@ def _cmd_open(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .experiments import paper_workload
-    from .sim import DriveFaultProcess, RetryPolicy, TransientFaults
+    from .sim import DriveFaultProcess, RetryPolicy, TapeFailure, TransientFaults
 
     settings = _settings(args)
     workload = paper_workload(settings)
@@ -817,15 +902,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 retry=RetryPolicy(max_retries=args.retries),
             )
         )
+    failures = _parse_fail_args(getattr(args, "fail", None))
+    tape_failures = _parse_fail_args(
+        getattr(args, "fail_tape", None), flag="--fail-tape", what="TAPE"
+    )
+    _check_fault_ids(session, failures, tape_failures)
+    for tape, at_s in sorted(tape_failures.items()):
+        faults.append(TapeFailure(tape, at_s=at_s))
     fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
     sample_period = args.sample_period
     if sample_period is None and args.report:
         sample_period = 300.0
     result = session.open(
         policy="concurrent",
-        failures=_parse_fail_args(getattr(args, "fail", None)) or None,
+        failures=failures or None,
         faults=tuple(faults),
         fault_seed=fault_seed,
+        repair_policy=args.repair_policy,
+        read_selection=args.read_selection or "least-loaded",
     ).run(
         args.rate,
         num_arrivals=args.arrivals,
@@ -849,6 +943,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"transient errors:  {faults_summary['transient_errors']:10.0f}")
     print(f"  retries:         {faults_summary['retries']:10.0f}")
     print(f"  escalations:     {faults_summary['escalations']:10.0f}")
+    if tape_failures:
+        repair_summary = result.repair
+        print(f"tape losses:       {faults_summary.get('tape_losses', 0):10.0f}")
+        print(f"repair policy:     {repair_summary.get('policy', 'user-first'):>10s}")
+        print(f"objects lost:      {result.objects_lost:10d}")
+        print(f"durability:        {result.durability:10.4%}")
+        print(f"members rebuilt:   {repair_summary.get('members_rebuilt', 0):10.0f}")
+        print(f"groups degraded:   {repair_summary.get('groups_degraded', 0):10.0f}")
+        print(f"repair backlog:    {result.repair_backlog_seconds:10.1f} s")
     if args.redundancy and result.registry is not None:
         counters = result.registry.counters
         fallbacks = counters.get("redundancy.fallbacks")

@@ -33,6 +33,7 @@ from .parallel import (
 from .extensions import (
     availability,
     redundancy,
+    repair,
     degraded,
     disk_stage,
     incremental,
@@ -97,6 +98,7 @@ __all__ = [
     "open_system",
     "availability",
     "redundancy",
+    "repair",
     "seek_planning",
     "run_open_comparison",
 ]

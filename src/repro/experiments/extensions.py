@@ -41,6 +41,7 @@ __all__ = [
     "availability",
     "seek_planning",
     "redundancy",
+    "repair",
 ]
 
 
@@ -833,6 +834,218 @@ def redundancy(
         "parallel-batch point seed-for-seed); request availability = "
         "1 - aborted/served; durability = P(>=k of n members up) at "
         "member availability MTBF/(MTBF+MTTR)"
+    )
+    if skipped:
+        table.notes.append(
+            "skipped (storage overhead exceeds capacity at this scale): "
+            + ", ".join(skipped)
+        )
+    return table
+
+
+def repair(
+    settings: Optional[ExperimentSettings] = None,
+    levels: Sequence[str] = ("r=1", "k=2,n=3", "r=2"),
+    policies: Sequence[str] = ("user-first", "repair-first", "fair-share"),
+    mtbf_hours: float = 4.0,
+    mttr_hours: float = 0.5,
+    arrival_rate_per_hour: float = 8.0,
+    num_arrivals: int = 60,
+    fail_tape_at_hours: float = 0.25,
+    engine: Optional[EngineOptions] = None,
+) -> ExperimentTable:
+    """A13 — simulated MTTDL and sojourn inflation vs repair policy.
+
+    Each redundancy level's *busiest* tape (most bytes placed) is
+    destroyed early in the run (:class:`~repro.sim.faults.TapeFailure`),
+    on top of A12's per-drive fail/repair churn, and the repair manager
+    re-replicates the lost members through the same drives that serve
+    user restores — once per :data:`~repro.sim.repair.REPAIR_POLICIES`
+    entry.  Reported per (level, policy):
+
+    * simulated MTTDL — horizon x objects / objects lost (infinite when
+      the level rebuilds everything, as r>=2 should);
+    * restore-sojourn inflation — mean sojourn over the same level's
+      *no-media-fault* baseline, which shares A12's
+      ``("mtbf_h", mtbf, 0)`` seed group and run parameters, so the
+      baseline rows are A12's rows seed-for-seed (and cache-hit
+      identical: the PointSpecs are byte-equal);
+    * repair backlog — at-risk x seconds integrated over the run.
+
+    ``r=1`` is the control: no survivors to rebuild from, so its media
+    loss lands entirely in ``objects_lost`` and finite MTTDL.
+    """
+    import math
+
+    from ..placement import ParallelBatchPlacement
+    from ..redundancy import parse_redundancy, wrap_scheme
+    from ..sim import SimulationSession
+    from ..workload import generate_workload
+
+    settings = settings or default_settings()
+    spec = settings.spec()
+    capacity_mb = (
+        spec.num_libraries * spec.library.num_tapes * spec.library.tape.capacity_mb
+    )
+    workload = generate_workload(settings.workload_params)
+    data_mb = float(sum(workload.catalog.sizes_mb))
+
+    def overhead_of(level: str) -> float:
+        parsed = parse_redundancy(level)
+        if parsed["mode"] == "replicated":
+            return float(parsed["r"])
+        return parsed["n"] / parsed["k"]
+
+    skipped: List[str] = []
+    feasible: List[str] = []
+    for level in levels:
+        if data_mb * overhead_of(level) <= capacity_mb:
+            feasible.append(level)
+        else:
+            skipped.append(level)
+
+    # The doomed cartridge, per level: the placement is deterministic, so
+    # picking the max-bytes tape here matches what every worker will build.
+    def busiest_tape(level: str) -> str:
+        scheme = wrap_scheme(ParallelBatchPlacement(m=settings.m), level)
+        session = SimulationSession(workload, spec, scheme=scheme)
+        return str(max(session.system.all_tapes(), key=lambda t: (t.used_mb, t.id)).id)
+
+    doomed = {level: busiest_tape(level) for level in feasible}
+
+    base_run_kwargs = (
+        ("mtbf_h", mtbf_hours),
+        ("mttr_h", mttr_hours),
+        ("num_arrivals", num_arrivals),
+        ("policy", "concurrent"),
+        ("rate_per_hour", arrival_rate_per_hour),
+    )
+    common = dict(
+        scheme="parallel_batch",
+        scheme_kwargs=(("m", settings.m),),
+        workload=settings.workload_params,
+        spec=spec,
+        kind="chaos",
+        seed_group=("mtbf_h", mtbf_hours, 0),
+        seek_planner=settings.seek_planner,
+    )
+    # Baseline points are byte-identical to A12's (same sweep/axis/labels),
+    # so a cached A12 run is reused outright and the inflation denominator
+    # is exactly A12's sojourn column.
+    baselines = tuple(
+        PointSpec(
+            sweep="redundancy",
+            axis="redundancy",
+            value=level,
+            run_kwargs=base_run_kwargs,
+            label=level,
+            redundancy=level,
+            **common,
+        )
+        for level in feasible
+    )
+    fault_points = tuple(
+        PointSpec(
+            sweep="repair",
+            axis="repair",
+            value=f"{level}|{policy}",
+            run_kwargs=base_run_kwargs
+            + (
+                ("fail_tape", doomed[level]),
+                ("fail_tape_at_s", fail_tape_at_hours * 3600.0),
+                ("repair_policy", policy),
+            ),
+            label=policy,
+            redundancy=level,
+            **common,
+        )
+        for level in feasible
+        for policy in policies
+    )
+    res = run_sweep(
+        SweepSpec(
+            name="repair",
+            points=baselines + fault_points,
+            root_seed=settings.eval_seed,
+        ),
+        engine,
+    )
+
+    def mttdl_hours(result) -> float:
+        lost = result.objects_lost
+        if lost <= 0:
+            return math.inf
+        total = float(result.repair.get("objects_total", 0.0))
+        return result.horizon_s / 3600.0 * total / lost
+
+    table = ExperimentTable(
+        "A13",
+        "Simulated MTTDL, durability, and sojourn inflation vs repair "
+        f"policy (busiest tape lost at {fail_tape_at_hours} h, MTBF "
+        f"{mtbf_hours} h churn, {arrival_rate_per_hour}/h arrivals)",
+        [
+            "level",
+            "policy",
+            "sojourn (s)",
+            "inflation",
+            "durability",
+            "objects lost",
+            "rebuilt",
+            "backlog (h)",
+            "MTTDL (h)",
+        ],
+    )
+    series: Dict[str, Dict[str, float]] = {}
+    durabilities: Dict[str, Dict[str, float]] = {}
+    mttdl: Dict[str, Dict[str, float]] = {}
+    inflation: Dict[str, Dict[str, float]] = {}
+    for level in feasible:
+        base = res.one(value=level, label=level)
+        table.add_row(
+            level, "none", base.mean_sojourn_s, 1.0, base.durability,
+            base.objects_lost, 0, 0.0, mttdl_hours(base),
+        )
+        series[level] = {"none": base.mean_sojourn_s}
+        durabilities[level] = {"none": base.durability}
+        mttdl[level] = {"none": mttdl_hours(base)}
+        inflation[level] = {"none": 1.0}
+        for policy in policies:
+            result = res.one(value=f"{level}|{policy}", label=policy)
+            ratio = (
+                result.mean_sojourn_s / base.mean_sojourn_s
+                if base.mean_sojourn_s
+                else math.inf
+            )
+            backlog_h = result.repair_backlog_seconds / 3600.0
+            table.add_row(
+                level,
+                policy,
+                result.mean_sojourn_s,
+                ratio,
+                result.durability,
+                result.objects_lost,
+                int(result.repair.get("members_rebuilt", 0)),
+                backlog_h,
+                mttdl_hours(result),
+            )
+            series[level][policy] = result.mean_sojourn_s
+            durabilities[level][policy] = result.durability
+            mttdl[level][policy] = mttdl_hours(result)
+            inflation[level][policy] = ratio
+    table.data["levels"] = feasible
+    table.data["policies"] = list(policies)
+    table.data["doomed"] = doomed
+    table.data["series"] = series
+    table.data["durability"] = durabilities
+    table.data["mttdl_h"] = mttdl
+    table.data["inflation"] = inflation
+    table.data["sweep"] = res.stats
+    table.data["fleet"] = res.fleet
+    table.notes.append(
+        "beyond-paper extension: media-loss repair (repro.sim.repair); "
+        "baseline rows share A12's seed group and PointSpecs (cache-hit "
+        "identical); MTTDL = horizon x objects / objects_lost; backlog "
+        "integrates group-at-risk seconds until each member is rebuilt"
     )
     if skipped:
         table.notes.append(

@@ -644,6 +644,7 @@ def _extension_experiments():
         open_system,
         queueing,
         redundancy,
+        repair,
         robots,
         seek_model,
         seek_planning,
@@ -662,6 +663,7 @@ def _extension_experiments():
         "availability": availability,
         "seekplan": seek_planning,
         "redundancy": redundancy,
+        "repair": repair,
     }
 
 

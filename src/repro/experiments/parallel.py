@@ -263,7 +263,7 @@ def evaluate_point(point: PointSpec, seed: int):
             seed=seed,
         )
     if point.kind == "chaos":
-        from ..sim import DriveFaultProcess
+        from ..sim import DriveFaultProcess, TapeFailure
 
         # The fault streams get their own root derived from the point seed,
         # so arrival sampling stays paired with the non-chaos twin of this
@@ -277,8 +277,22 @@ def evaluate_point(point: PointSpec, seed: int):
                 shape=run_kwargs.get("shape", 1.0),
             ),
         )
+        # Media faults (A13): optional keys read with .get so every
+        # pre-existing chaos point keeps its cache key AND its exact code
+        # path — absent keys arm nothing and pass the historical kwargs.
+        fail_tape = run_kwargs.get("fail_tape")
+        if fail_tape is not None:
+            faults = faults + (
+                TapeFailure(fail_tape, at_s=run_kwargs.get("fail_tape_at_s", 0.0)),
+            )
+        open_kwargs: Dict[str, Any] = {}
+        if run_kwargs.get("repair_policy") is not None:
+            open_kwargs["repair_policy"] = run_kwargs["repair_policy"]
+        if run_kwargs.get("read_selection") is not None:
+            open_kwargs["read_selection"] = run_kwargs["read_selection"]
         opensys = session.open(
-            policy=run_kwargs["policy"], faults=faults, fault_seed=fault_seed
+            policy=run_kwargs["policy"], faults=faults, fault_seed=fault_seed,
+            **open_kwargs,
         )
         _wire_progress(opensys, point)
         return opensys.run(

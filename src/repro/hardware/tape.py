@@ -136,6 +136,11 @@ class Tape:
         self._by_object: Dict[int, ObjectExtent] = {}
         #: Current head position in MB (meaningful while mounted).
         self.head_mb: float = 0.0
+        #: Whole-cartridge media loss: every extent is unreadable.  Set by
+        #: the fault layer (``TapeFailure`` / ``TapeWearProcess``); the
+        #: layout is kept as-is so the repair manager can enumerate what
+        #: was on the dead cartridge.
+        self.lost: bool = False
 
     # -- layout -----------------------------------------------------------
     def write_layout(self, extents: Iterable[ObjectExtent]) -> None:
@@ -171,6 +176,45 @@ class Tape:
             )
         self._extents.append(extent)
         self._by_object[object_id] = extent
+        return extent
+
+    def append_extent(self, extent: ObjectExtent) -> ObjectExtent:
+        """Append a fully-specified extent (a rebuilt redundancy member).
+
+        Unlike :meth:`append_object` the extent keeps its part/replica
+        coordinates; it must start at the current end of data.
+        """
+        if self.lost:
+            raise ValueError(f"cannot write to lost tape {self.id}")
+        if extent.object_id in self._by_object:
+            raise ValueError(f"object {extent.object_id} placed twice on {self.id}")
+        if abs(extent.start_mb - self.used_mb) > 1e-6:
+            raise ValueError(
+                f"extent must append at {self.used_mb} MB on {self.id}, "
+                f"got {extent.start_mb} MB"
+            )
+        if extent.end_mb > self.spec.capacity_mb + 1e-6:
+            raise ValueError(
+                f"object {extent.object_id} ({extent.size_mb} MB) does not fit "
+                f"on {self.id} ({self.free_mb} MB free)"
+            )
+        self._extents.append(extent)
+        self._by_object[extent.object_id] = extent
+        return extent
+
+    def remove_object(self, object_id: int) -> ObjectExtent:
+        """Remove an object's extent (rollback of an aborted repair write).
+
+        Only the *last* extent can be removed, keeping the layout a dense
+        append-only log — which is all the rollback path needs.
+        """
+        extent = self.extent_of(object_id)
+        if not self._extents or self._extents[-1] is not extent:
+            raise ValueError(
+                f"object {object_id} is not the last extent on {self.id}"
+            )
+        self._extents.pop()
+        del self._by_object[object_id]
         return extent
 
     # -- queries ----------------------------------------------------------

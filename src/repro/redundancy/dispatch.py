@@ -33,6 +33,7 @@ def select_members(
     excluded: Set[TapeId],
     is_live: Callable[[TapeId], bool],
     load_of: Callable[[TapeId], float],
+    cost_of: Optional[Callable[[TapeId, ObjectExtent], Tuple[float, ...]]] = None,
 ) -> Optional[List[Member]]:
     """Pick ``group.needed`` members to read, or ``None`` if unservable.
 
@@ -40,13 +41,23 @@ def select_members(
     submissions aborted); ``is_live`` and ``load_of`` query the library
     dispatchers.  Live members are preferred least-loaded-first; dead
     members pad the tail only when live ones cannot cover ``needed``.
+
+    When ``cost_of`` is given (the ``cheapest`` read-selection mode),
+    live members are instead ordered by its per-member cost key —
+    typically (is-the-tape-mounted, estimated drive seconds) — so
+    degraded reads pick the cheapest live members rather than merely the
+    least-loaded libraries.  The default ``cost_of=None`` path is
+    byte-identical to the historical behavior.
     """
     candidates = [m for m in group.members if m[0] not in excluded]
     if len(candidates) < group.needed:
         return None
     live = [m for m in candidates if is_live(m[0])]
     dead = [m for m in candidates if not is_live(m[0])]
-    live.sort(key=lambda m: (load_of(m[0]), m[1].replica))
+    if cost_of is None:
+        live.sort(key=lambda m: (load_of(m[0]), m[1].replica))
+    else:
+        live.sort(key=lambda m: (cost_of(m[0], m[1]), m[1].replica))
     dead.sort(key=lambda m: m[1].replica)
     return (live + dead)[: group.needed]
 

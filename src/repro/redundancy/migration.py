@@ -18,7 +18,7 @@ migrated (the redundancy wrappers replicate *after* migration).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..hardware import ObjectExtent, SystemSpec, TapeId
 from ..placement.base import PlacementError, PlacementResult
@@ -47,14 +47,22 @@ def migrate_by_popularity(
     workload: Workload,
     spec: SystemSpec,
     num_epochs: int,
+    lost_tapes: Optional[Set[TapeId]] = None,
 ) -> Tuple[PlacementResult, MigrationReport]:
     """Replay epoch-by-epoch hot/cold migration over ``result``.
 
     Returns the post-migration placement and a :class:`MigrationReport`.
     With fewer than two epochs (or a placement without a pinned hot tier)
     the input is returned unchanged.
+
+    ``lost_tapes`` marks cartridges destroyed by media failure: they are
+    never a migration target (neither for promoted hot objects nor for
+    demotions/spills), their capacity is excluded from the hot tier, and
+    objects whose only extent sat on one are dropped from the migrated
+    layout — migrating data *onto* dead media would silently un-lose it.
     """
-    hot_tapes = tuple(sorted(result.pinned))
+    lost_tapes = set(lost_tapes or ())
+    hot_tapes = tuple(sorted(t for t in result.pinned if t not in lost_tapes))
     if num_epochs <= 1 or not hot_tapes:
         return result, MigrationReport(num_epochs, 0, 0, hot_tapes)
     for extents in result.layouts.values():
@@ -68,6 +76,8 @@ def migrate_by_popularity(
     catalog = workload.catalog
     tape_of: Dict[int, TapeId] = {}
     for tape_id, extents in result.layouts.items():
+        if tape_id in lost_tapes:
+            continue
         for extent in extents:
             tape_of[extent.object_id] = tape_id
     hot_set: Set[int] = {
@@ -82,7 +92,8 @@ def migrate_by_popularity(
         counts: Dict[int, int] = {}
         for rid in epoch.new_request_ids:
             for oid in requests_by_id[rid].object_ids:
-                counts[oid] = counts.get(oid, 0) + 1
+                if oid in tape_of:  # objects on lost media cannot migrate
+                    counts[oid] = counts.get(oid, 0) + 1
         if not counts:
             continue
         # Desired hot set: this epoch's most-requested objects, greedily
@@ -111,7 +122,7 @@ def migrate_by_popularity(
         hot_set = desired
 
     new_layouts, spilled = _rebuild_layouts(
-        result, catalog, spec, hot_tapes, hot_set, tape_of
+        result, catalog, spec, hot_tapes, hot_set, tape_of, lost_tapes
     )
     tape_priority = {
         tid: float(sum(catalog.probability_of(e.object_id) for e in extents))
@@ -142,6 +153,7 @@ def _rebuild_layouts(
     hot_tapes: Tuple[TapeId, ...],
     hot_set: Set[int],
     tape_of: Dict[int, TapeId],
+    lost_tapes: Set[TapeId],
 ) -> Tuple[Dict[TapeId, List[ObjectExtent]], int]:
     """Re-pack every tape for the final hot set.
 
@@ -160,9 +172,11 @@ def _rebuild_layouts(
 
     placement: Dict[TapeId, List[int]] = {tid: [] for tid in result.layouts}
     used: Dict[TapeId, float] = {tid: 0.0 for tid in result.layouts}
-    # Cold tapes keep their stayers in original extent order.
+    # Cold tapes keep their stayers in original extent order.  Lost tapes
+    # contribute nothing and receive nothing: their migrated layout is
+    # empty.
     for tape_id, extents in result.layouts.items():
-        if tape_id in hot_tape_set:
+        if tape_id in hot_tape_set or tape_id in lost_tapes:
             continue
         for extent in sorted(extents, key=lambda e: e.start_mb):
             if extent.object_id not in hot_set:
@@ -189,7 +203,11 @@ def _rebuild_layouts(
         for oid, tid in sorted(tape_of.items())
         if tid in hot_tape_set and oid not in hot_set
     ] + spilled
-    cold_tapes = [tid for tid in sorted(result.layouts) if tid not in hot_tape_set]
+    cold_tapes = [
+        tid
+        for tid in sorted(result.layouts)
+        if tid not in hot_tape_set and tid not in lost_tapes
+    ]
     for oid in demoted:
         size = catalog.size_of(oid)
         candidates = [

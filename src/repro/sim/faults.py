@@ -70,10 +70,14 @@ __all__ = [
     "DriveFaultProcess",
     "RobotOutage",
     "TransientFaults",
+    "TapeFailure",
+    "TapeWearProcess",
     "RetryPolicy",
     "FaultEscalation",
     "FaultInjector",
     "failures_to_specs",
+    "known_drive_names",
+    "known_tape_names",
 ]
 
 #: Supported time-to-failure / time-to-repair distributions.
@@ -154,6 +158,30 @@ def _check_drive_names(system, names: Iterable[str]) -> None:
         if name not in known:
             raise ValueError(
                 f"unknown drive name {name!r}; known: {', '.join(sorted(known))}"
+            )
+
+
+def known_drive_names(system) -> List[str]:
+    """Sorted drive names of the system (for CLI-side id validation)."""
+    return sorted(_known_drives(system))
+
+
+def _known_tapes(system) -> Dict[str, object]:
+    """Tape name (``L0.T3``) -> :class:`~repro.hardware.tape.Tape`."""
+    return {str(tape.id): tape for tape in system.all_tapes()}
+
+
+def known_tape_names(system) -> List[str]:
+    """Sorted tape names of the system (for CLI-side id validation)."""
+    return sorted(_known_tapes(system))
+
+
+def _check_tape_names(system, names: Iterable[str]) -> None:
+    known = _known_tapes(system)
+    for name in names:
+        if name not in known:
+            raise ValueError(
+                f"unknown tape name {name!r}; known: {', '.join(sorted(known))}"
             )
 
 
@@ -281,6 +309,56 @@ class TransientFaults(FaultSpec):
             _check_drive_names(system, self.drives)
 
 
+@dataclass(frozen=True)
+class TapeFailure(FaultSpec):
+    """One-shot whole-tape media loss at ``at_s``.
+
+    Every extent on the cartridge becomes permanently unreadable: queued
+    and future jobs targeting it abort, redundant reads fail over to the
+    surviving members, and the repair manager (when redundancy allows)
+    re-replicates the lost members onto fresh tapes.  Unlike drives, lost
+    media is never auto-repaired — data comes back only through rebuild.
+    """
+
+    tape: str
+    at_s: float
+
+    def validate(self, system) -> None:
+        if self.at_s < 0:
+            raise ValueError(f"failure time must be >= 0, got {self.at_s}")
+        _check_tape_names(system, [self.tape])
+
+
+@dataclass(frozen=True)
+class TapeWearProcess(FaultSpec):
+    """Recurring media wear-out: Weibull threshold on mount/seek cycles.
+
+    Each targeted tape draws a lifetime threshold (in *cycles*: one per
+    mount, one per extent seek) from a Weibull with the configured mean
+    and shape, using the same per-``(spec, tape)`` ``SeedSequence``
+    substream construction as :class:`DriveFaultProcess` — wear deaths
+    are bit-reproducible for a fixed ``fault_seed`` regardless of which
+    other specs are armed.  The process is recurring in the fleet sense:
+    any number of tapes can wear out over one run, whenever their
+    accumulated cycles cross their drawn threshold.  ``tapes=None``
+    targets every tape in the system.
+    """
+
+    mean_cycles: float
+    shape: float = 2.0
+    tapes: Optional[Tuple[str, ...]] = None
+
+    def validate(self, system) -> None:
+        if self.mean_cycles <= 0:
+            raise ValueError(
+                f"mean_cycles must be positive, got {self.mean_cycles}"
+            )
+        if self.shape <= 0:
+            raise ValueError(f"weibull shape must be positive, got {self.shape}")
+        if self.tapes is not None:
+            _check_tape_names(system, self.tapes)
+
+
 def failures_to_specs(failures: Dict[str, float]) -> Tuple[DriveFailure, ...]:
     """The legacy ``failures=`` mapping as one-shot permanent specs."""
     return tuple(
@@ -305,6 +383,24 @@ class _TransientStream:
     def __init__(self, spec: TransientFaults, rng: np.random.Generator) -> None:
         self.spec = spec
         self.rng = rng
+
+
+class _WearState:
+    """One targeted tape's media-wear odometer.
+
+    ``threshold`` is drawn once per tape at injector bind time (the first
+    draw of the tape's content-derived substream), so the serve-path hook
+    ``note_tape_cycles`` is just an add-and-compare.
+    """
+
+    __slots__ = ("spec_index", "spec", "threshold", "cycles", "dead")
+
+    def __init__(self, spec_index: int, spec: TapeWearProcess) -> None:
+        self.spec_index = spec_index
+        self.spec = spec
+        self.threshold: Optional[float] = None
+        self.cycles = 0.0
+        self.dead = False
 
 
 class _RecurringHandle:
@@ -376,8 +472,44 @@ class FaultInjector:
                 stream = _TransientStream(spec, self._rng(spec_index, name))
                 for operation in spec.operations:
                     self._gates.setdefault((name, operation), []).append(stream)
+
+        #: tape id -> wear odometer, first targeting spec wins.  Media
+        #: instruments are created only when a media spec is armed, so
+        #: drive-only chaos runs keep their registry (and fleet snapshots)
+        #: bit-identical to PR 8.
+        self._wear: Dict[object, _WearState] = {}
+        if self.has_media_faults:
+            self._tape_losses = registry.counter("faults.tape_losses", unit="tapes")
+            known_tapes = _known_tapes(opensys.system)
+            for spec_index, spec in enumerate(self.specs):
+                if not isinstance(spec, TapeWearProcess):
+                    continue
+                names = spec.tapes if spec.tapes is not None else sorted(known_tapes)
+                for name in names:
+                    tape_id = known_tapes[name].id
+                    if tape_id not in self._wear:
+                        state = _WearState(spec_index, spec)
+                        # Draw the wear-out threshold now, at bind time: it
+                        # is the first (and only) draw of this tape's
+                        # substream either way, and paying ~fleet x rng
+                        # setup here keeps it off the serve path that
+                        # ``note_tape_cycles`` sits on.
+                        state.threshold = _draw(
+                            self._rng(spec_index, str(tape_id)),
+                            "weibull",
+                            spec.mean_cycles,
+                            spec.shape,
+                        )
+                        self._wear[tape_id] = state
         self._bound = True
         return self
+
+    @property
+    def has_media_faults(self) -> bool:
+        """True when any spec can destroy tape media (loss or wear)."""
+        return any(
+            isinstance(spec, (TapeFailure, TapeWearProcess)) for spec in self.specs
+        )
 
     def _target_drive_names(self, names: Optional[Tuple[str, ...]]) -> List[str]:
         known = _known_drives(self.os.system)
@@ -429,12 +561,19 @@ class FaultInjector:
                 for library in self.os.system.libraries:
                     if spec.library is None or spec.library == library.id:
                         env.process(self._robot_outage_process(spec, library))
+            elif isinstance(spec, TapeFailure) and not self._one_shots_armed:
+                env.process(self._tape_failure_process(spec))
         self._one_shots_armed = True
+        media = self.has_media_faults
         for dispatcher in self.os.policy.dispatchers.values():
             dispatcher.transients_armed = any(
                 (str(drive.id), operation) in self._gates
                 for drive in dispatcher.library.drives
                 for operation in OPERATIONS
+            )
+            dispatcher.media_armed = media
+            dispatcher.wear_armed = any(
+                tape_id.library == dispatcher.library.id for tape_id in self._wear
             )
 
     def stand_down(self) -> None:
@@ -509,6 +648,45 @@ class FaultInjector:
         if not self._down_since and self._degraded_since is not None:
             self._degraded_s += now - self._degraded_since
             self._degraded_since = None
+
+    # -- media loss --------------------------------------------------------
+    def lose_tape(self, tape_id, cause: str = "media-loss") -> bool:
+        """Destroy a cartridge: mark lost, purge its jobs, trigger repair.
+
+        Idempotent (the first loss wins).  Queued and in-flight-but-not-
+        started jobs targeting the tape abort immediately; a transfer
+        already streaming finishes (the loss manifests at the next mount).
+        The repair manager — when the open system has one — is notified
+        last, so its rebuild reads never race the purge.
+        """
+        tape = self.os.system.tape(tape_id)
+        if tape.lost:
+            return False
+        now = self.env.now
+        tape.lost = True
+        self._tape_losses.inc()
+        self.trace.record(
+            "fault_tape_loss", now, now, tape=str(tape_id), cause=cause
+        )
+        self.os.policy.dispatchers[tape_id.library].purge_lost_tape(tape_id)
+        repair = getattr(self.os, "repair", None)
+        if repair is not None:
+            repair.on_tape_lost(tape_id)
+        return True
+
+    def note_tape_cycles(self, tape_id, cycles: float) -> None:
+        """Advance a tape's wear odometer (called at job boundaries).
+
+        Only invoked by dispatchers with ``wear_armed`` set, so the
+        no-media-fault hot path never reaches this.
+        """
+        state = self._wear.get(tape_id)
+        if state is None or state.dead:
+            return
+        state.cycles += cycles
+        if state.cycles >= state.threshold:
+            state.dead = True
+            self.lose_tape(tape_id, cause="wear")
 
     # -- the transient-error gate ----------------------------------------
     def transient_gate(self, name: str, operation: str, parent=None, request=None):
@@ -586,6 +764,14 @@ class FaultInjector:
             self._pending_repairs.discard(spec.drive)
             dispatcher.repair_drive(drive)
 
+    def _tape_failure_process(self, spec: TapeFailure):
+        env = self.env
+        delay = spec.at_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        tape = _known_tapes(self.os.system)[spec.tape]
+        self.lose_tape(tape.id, cause=f"one-shot:{spec.tape}")
+
     def _robot_outage_process(self, spec: RobotOutage, library):
         env = self.env
         delay = spec.at_s - env.now
@@ -611,7 +797,7 @@ class FaultInjector:
         total_down = sum(self._downtime_s.values())
         denominator = horizon_s * num_drives
         availability = 1.0 - total_down / denominator if denominator > 0 else 1.0
-        return {
+        summary = {
             "availability": availability,
             "degraded_time_s": self._degraded_s,
             "downtime_s": total_down,
@@ -622,3 +808,6 @@ class FaultInjector:
             "retries": self._retries.value,
             "escalations": self._escalations.value,
         }
+        if self.has_media_faults:
+            summary["tape_losses"] = self._tape_losses.value
+        return summary

@@ -54,6 +54,7 @@ __all__ = [
     "OpenSystemResult",
     "simulate_open_system",
     "SCHEDULING_POLICIES",
+    "READ_SELECTIONS",
     "available_scheduling_policies",
 ]
 
@@ -88,6 +89,10 @@ class OpenSystemResult(QueueingResult):
     #: Fault-layer summary (availability, degraded time, counters) from the
     #: run's :class:`~repro.sim.faults.FaultInjector`; empty when none armed.
     faults: Dict[str, float] = field(default_factory=dict)
+    #: Repair-layer summary (tape losses, rebuilds, objects lost, backlog)
+    #: from the run's :class:`~repro.sim.repair.RepairManager`; empty when
+    #: no media faults were configured.
+    repair: Dict[str, float] = field(default_factory=dict)
 
     # -- fault/availability views -----------------------------------------
     @property
@@ -104,6 +109,29 @@ class OpenSystemResult(QueueingResult):
     def aborted_requests(self) -> int:
         """Requests that completed as aborted (every candidate drive down)."""
         return sum(1 for record in self.records if record.aborted)
+
+    # -- durability views --------------------------------------------------
+    @property
+    def objects_lost(self) -> int:
+        """Objects with a fragment below ``needed`` survivors (unrecoverable)."""
+        repair = getattr(self, "repair", None) or {}
+        return int(repair.get("objects_lost", 0))
+
+    @property
+    def durability(self) -> float:
+        """Fraction of cataloged objects still recoverable at the horizon."""
+        repair = getattr(self, "repair", None) or {}
+        total = repair.get("objects_total", 0)
+        if not total:
+            return 1.0
+        return 1.0 - float(repair.get("objects_lost", 0)) / float(total)
+
+    @property
+    def repair_backlog_seconds(self) -> float:
+        """Summed loss-detection-to-rebuilt time over all repaired members
+        (open repairs are charged up to the horizon)."""
+        repair = getattr(self, "repair", None) or {}
+        return float(repair.get("backlog_s", 0.0))
 
     # -- telemetry views -------------------------------------------------
     def spans(self) -> list:
@@ -257,6 +285,10 @@ class _DispatchedJob:
     #: left and no repair pending); the owning request completes aborted.
     aborted: bool = False
     error: str = ""
+    #: True for rebuild traffic submitted by the repair manager; repair
+    #: jobs share the dispatcher/worker machinery with user restores but
+    #: are ordered by the configured repair-priority policy.
+    repair: bool = False
 
 
 class ConcurrentPolicy:
@@ -287,6 +319,7 @@ class ConcurrentPolicy:
         trace_key: int,
         parent: Optional[int],
         records: Dict[str, DriveServiceRecord],
+        repair: bool = False,
     ) -> List[_DispatchedJob]:
         """Fan per-tape extent lists out to the library dispatchers."""
         os = self.os
@@ -311,7 +344,7 @@ class ConcurrentPolicy:
                 djob = _DispatchedJob(
                     job=job, request_id=trace_key, records=records, done=env.event(),
                     submitted_at=env.now, span_id=os.trace.reserve_id(),
-                    parent_id=parent,
+                    parent_id=parent, repair=repair,
                 )
                 djobs.append(djob)
                 self.dispatchers[library_id].submit(djob)
@@ -407,6 +440,23 @@ class ConcurrentPolicy:
             load += 1_000_000
         return load
 
+    def _member_cost(self, tape_id: TapeId, extent: ObjectExtent):
+        """Estimated cost of reading one member (``read_selection=cheapest``).
+
+        Mounted tapes win outright (no robot exchange), then the lowest
+        single-extent :func:`~repro.sim.scheduling.estimate_job_time`;
+        down-but-recovering libraries are a last resort.
+        """
+        dispatcher = self.dispatchers[tape_id.library]
+        library = dispatcher.library
+        if not dispatcher.workers:
+            return (2, 0.0)
+        mounted = 0 if library.drive_holding(tape_id) is not None else 1
+        estimate = estimate_job_time(
+            TapeJob(tape_id, [extent]), library, planner=self.os.seek_planner
+        )
+        return (mounted, estimate)
+
     def _serve_redundant(
         self,
         request: Request,
@@ -444,6 +494,7 @@ class ConcurrentPolicy:
         fallbacks = 0
         rounds = 0
         unservable = False
+        cost_of = self._member_cost if os.read_selection == "cheapest" else None
 
         while True:
             tape_extents: Dict[TapeId, List[ObjectExtent]] = {}
@@ -457,6 +508,7 @@ class ConcurrentPolicy:
                     excluded | used[i],
                     self._dispatcher_live,
                     self._dispatcher_load,
+                    cost_of=cost_of,
                 )
                 if chosen is None:
                     # Every member exhausted: the group — and with it the
@@ -583,6 +635,25 @@ class _LibraryDispatcher:
         #: one of this library's drives (keeps the no-faults path branch-free
         #: beyond one attribute test).
         self.transients_armed = False
+        #: Set by :meth:`FaultInjector.arm` when media faults are configured
+        #: (gates the lost-tape admission check) / when a wear process
+        #: targets one of this library's tapes (gates cycle accounting).
+        #: Both keep the no-media-fault hot path to one attribute test.
+        self.media_armed = False
+        self.wear_armed = False
+        #: Repair-priority policy, configured by the RepairManager when
+        #: media faults are armed; ``None`` keeps plain FIFO admission.
+        self.repair_policy: Optional[str] = None
+        #: Fair-share token bucket (drive-seconds): accrues at
+        #: ``share x live drives`` and is spent per admitted repair job.
+        self._repair_share = 0.0
+        self._repair_burst_s = 0.0
+        self._repair_tokens = 0.0
+        self._repair_tokens_at = 0.0
+        #: Count of repair jobs currently in ``pending``: with zero, the
+        #: dispatch loop skips policy ordering entirely, so an armed but
+        #: fault-free run pays nothing per round.
+        self._repair_pending = 0
         #: Batch-0 home tape of each pinned drive, captured at construction;
         #: repaired pinned drives restore this mount when feasible.
         self.pinned_home: Dict[int, TapeId] = {
@@ -598,12 +669,67 @@ class _LibraryDispatcher:
 
     # -- admission ------------------------------------------------------
     def submit(self, djob: _DispatchedJob) -> None:
+        if self.media_armed and self.library.tapes[djob.job.tape_id].lost:
+            # The cartridge is destroyed: fail fast so redundant serves
+            # fail over (and non-redundant requests abort) immediately.
+            djob.aborted = True
+            djob.error = f"tape {djob.job.tape_id} lost (media failure)"
+            self._close_job_span(djob, drive_name="", aborted=True)
+            djob.done.succeed()
+            return
         self.pending.append(djob)
+        if djob.repair:
+            self._repair_pending += 1
         self._dispatch()
         if not self.workers:
             # No live drive at submit time: abort now unless a committed
             # repair will resurrect one (the job then waits for it).
             self._abort_unservable()
+
+    def configure_repair(
+        self, policy: str, share: float, burst_s: float
+    ) -> None:
+        """Arm the repair-priority policy (called by the RepairManager)."""
+        self.repair_policy = policy
+        self._repair_share = share
+        self._repair_burst_s = burst_s
+        self._repair_tokens = 0.0
+        self._repair_tokens_at = self.env.now
+
+    def _repair_order(self) -> List[_DispatchedJob]:
+        """Pending queue in policy order (stable within each class)."""
+        if self.repair_policy == "user-first":
+            return sorted(self.pending, key=lambda dj: dj.repair)
+        if self.repair_policy == "repair-first":
+            return sorted(self.pending, key=lambda dj: not dj.repair)
+        return list(self.pending)  # fair-share keeps FIFO order
+
+    def _admit_repair(self, djob: _DispatchedJob) -> Optional[float]:
+        """Token cost (drive-seconds) to run this repair job now, or ``None``.
+
+        Only ``fair-share`` meters admission; the bucket accrues
+        ``share x live drives`` drive-seconds per second (capped at the
+        burst).  Work-conserving override: with no user job waiting, repair
+        runs regardless of tokens — idle drives are never held back, and
+        the environment can always drain (a token-starved repair job with
+        user work pending always has a future completion event to wake it).
+        """
+        if self.repair_policy != "fair-share":
+            return 0.0
+        if not any(not dj.repair for dj in self.pending):
+            return 0.0
+        now = self.env.now
+        if now > self._repair_tokens_at:
+            rate = self._repair_share * max(1, len(self.workers))
+            self._repair_tokens = min(
+                self._repair_burst_s,
+                self._repair_tokens + rate * (now - self._repair_tokens_at),
+            )
+            self._repair_tokens_at = now
+        cost = estimate_job_time(djob.job, self.library, planner=self.seek_planner)
+        if self._repair_tokens >= cost:
+            return cost
+        return None
 
     def _dispatch(self) -> None:
         if self.pending:
@@ -644,7 +770,16 @@ class _LibraryDispatcher:
             return False
         committed = self.committed
         workers = self.workers
-        for djob in self.pending:
+        pending = (
+            self._repair_order() if self._repair_pending else self.pending
+        )
+        for djob in pending:
+            repair_cost = 0.0
+            if djob.repair:
+                cost = self._admit_repair(djob)
+                if cost is None:
+                    continue  # fair-share: not enough drive-second tokens yet
+                repair_cost = cost
             tape_id = djob.job.tape_id
             holder_idx = committed.get(tape_id)
             if holder_idx is None:
@@ -673,6 +808,10 @@ class _LibraryDispatcher:
                         ),
                     )
             self.pending.remove(djob)
+            if djob.repair:
+                self._repair_pending -= 1
+            if repair_cost:
+                self._repair_tokens -= repair_cost
             self._assign(djob, chosen)
             return True
         return False
@@ -687,6 +826,33 @@ class _LibraryDispatcher:
             wake.succeed()
 
     # -- failure / repair hooks (driven by the FaultInjector) ------------
+    def purge_lost_tape(self, tape_id: TapeId) -> None:
+        """Abort queued / handed-over jobs targeting a destroyed cartridge.
+
+        A job a worker is *already serving* completes (bytes were streaming
+        before the loss; the loss manifests at the next mount attempt).
+        Everything still queued or parked in a drive inbox fails now, so
+        redundant requests fail over within the same dispatch round.
+        """
+        doomed = [dj for dj in self.pending if dj.job.tape_id == tape_id]
+        for djob in doomed:
+            self.pending.remove(djob)
+            if djob.repair:
+                self._repair_pending -= 1
+        for idx in [
+            i for i, dj in self.inbox.items() if dj.job.tape_id == tape_id
+        ]:
+            doomed.append(self.inbox.pop(idx))
+            self.busy.discard(idx)
+        self.committed.pop(tape_id, None)
+        for djob in doomed:
+            djob.aborted = True
+            djob.error = f"tape {tape_id} lost (media failure)"
+            self._close_job_span(djob, drive_name="", aborted=True)
+            djob.done.succeed()
+        if doomed:
+            self._dispatch()
+
     def fail_drive(self, drive: TapeDrive, cause: str = "drive-failure") -> bool:
         """Interrupt the drive's worker (and any restore in flight).
 
@@ -830,6 +996,7 @@ class _LibraryDispatcher:
         doomed = list(self.inbox.values()) + list(self.pending)
         self.inbox.clear()
         self.pending.clear()
+        self._repair_pending = 0
         for djob in doomed:
             self.committed.pop(djob.job.tape_id, None)
             djob.aborted = True
@@ -874,7 +1041,9 @@ class _LibraryDispatcher:
                         drive=drive_name,
                     )
                 injector = self.opensys.injector
+                mounted_cycle = 0.0
                 if drive.mounted is None or drive.mounted.id != job.tape_id:
+                    mounted_cycle = 1.0
                     if self.transients_armed:
                         yield from injector.transient_gate(
                             drive_name, "mount",
@@ -900,6 +1069,14 @@ class _LibraryDispatcher:
                 finished, djob = djob, None
                 self._close_job_span(finished, drive_name)
                 finished.done.succeed()
+                if self.wear_armed:
+                    # Media wear is charged at job boundaries: one cycle per
+                    # mount plus one per extent seek.  A wear death here
+                    # purges queued jobs and wakes the repair manager before
+                    # the next dispatch round.
+                    injector.note_tape_cycles(
+                        job.tape_id, mounted_cycle + float(len(job.extents))
+                    )
                 self._dispatch()
         except (Interrupt, FaultEscalation) as cause:
             drive.failed = True
@@ -934,6 +1111,8 @@ class _LibraryDispatcher:
                     # span still closes exactly once — when the job lands.
                     orphan.job = orphan.job.split_remaining()
                     self.pending.appendleft(orphan)
+                    if orphan.repair:
+                        self._repair_pending += 1
             self._dispatch()
             # If this was the library's last drive and no repair is
             # committed, the queue can never drain: fail it now.
@@ -963,6 +1142,9 @@ SCHEDULING_POLICIES: Dict[str, Callable[[], object]] = {
     SerialFCFSPolicy.name: SerialFCFSPolicy,
     ConcurrentPolicy.name: ConcurrentPolicy,
 }
+
+#: Degraded-read member-selection strategies (``read_selection=``).
+READ_SELECTIONS = ("least-loaded", "cheapest")
 
 
 def available_scheduling_policies() -> Tuple[str, ...]:
@@ -1003,6 +1185,15 @@ class OpenSystem:
         :class:`~repro.sim.seekplanner.SeekPlanner` instance, or ``None``
         to inherit the session's planner (itself defaulting to
         ``greedy-sweep``).
+    repair_policy:
+        How rebuild traffic competes with user restores when media faults
+        are armed — a name from
+        :data:`repro.sim.repair.REPAIR_POLICIES` (default ``user-first``).
+        Validated even without media faults; only armed with them.
+    read_selection:
+        How degraded reads pick their ``needed`` members: ``least-loaded``
+        (the PR 8 default, bit-identical) or ``cheapest`` (mounted tape
+        first, then lowest estimated job time).
     """
 
     def __init__(
@@ -1013,6 +1204,8 @@ class OpenSystem:
         faults: Optional[Tuple[FaultSpec, ...]] = None,
         fault_seed: int = 0,
         seek_planner: Union[None, str, SeekPlanner] = None,
+        repair_policy: Optional[str] = None,
+        read_selection: str = "least-loaded",
     ) -> None:
         self.session = session
         self.system = session.system
@@ -1086,12 +1279,33 @@ class OpenSystem:
                 "disk", registry=self.registry
             ).attach(self.disk)
 
+        if read_selection not in READ_SELECTIONS:
+            raise ValueError(
+                f"unknown read selection {read_selection!r}; known: "
+                + ", ".join(READ_SELECTIONS)
+            )
+        self.read_selection = read_selection
+
         self.policy_name = policy
         self.injector: Optional[FaultInjector] = None
         self.policy = factory()
         self.policy.bind(self)
         if self.fault_specs:
             self.injector = FaultInjector(self.fault_specs, seed=fault_seed).bind(self)
+
+        # The repair manager exists only when media can actually be lost:
+        # its repair.* instruments and groups_at_risk gauge then never
+        # appear in drive-fault-only or fault-free runs (registry parity).
+        from .repair import REPAIR_POLICIES, RepairManager
+
+        if repair_policy is not None and repair_policy not in REPAIR_POLICIES:
+            raise ValueError(
+                f"unknown repair policy {repair_policy!r}; known: "
+                + ", ".join(REPAIR_POLICIES)
+            )
+        self.repair: Optional[RepairManager] = None
+        if self.injector is not None and self.injector.has_media_faults:
+            self.repair = RepairManager(self, policy=repair_policy or "user-first")
 
     @property
     def index(self):
@@ -1194,6 +1408,11 @@ class OpenSystem:
                 if self.injector is not None
                 else {}
             ),
+            repair=(
+                self.repair.summary(self.env.now)
+                if self.repair is not None
+                else {}
+            ),
         )
         # Publish availability in its horizon-weighted mergeable form so a
         # registry export (metrics JSONL) alone can reconstruct fleet
@@ -1258,11 +1477,14 @@ def simulate_open_system(
     fault_seed: int = 0,
     sample_period_s: Optional[float] = None,
     seek_planner: Union[None, str, SeekPlanner] = None,
+    repair_policy: Optional[str] = None,
+    read_selection: str = "least-loaded",
 ) -> OpenSystemResult:
     """One-shot convenience: build an :class:`OpenSystem`, run one stream."""
     return OpenSystem(
         session, policy=policy, failures=failures, faults=faults,
         fault_seed=fault_seed, seek_planner=seek_planner,
+        repair_policy=repair_policy, read_selection=read_selection,
     ).run(
         arrival_rate_per_hour,
         num_arrivals=num_arrivals,

@@ -91,6 +91,8 @@ class SimulationSession:
         faults: Optional[tuple] = None,
         fault_seed: int = 0,
         seek_planner=None,
+        repair_policy: Optional[str] = None,
+        read_selection: str = "least-loaded",
     ):
         """Open-system serving: concurrent in-flight requests on one clock.
 
@@ -106,13 +108,18 @@ class SimulationSession:
         ``failures`` is the legacy one-shot map (drive name -> failure
         time).  Both validate here, before any simulation starts.
         ``seek_planner`` overrides the session's planner for this open
-        system only.
+        system only.  ``repair_policy`` selects how media-loss repair
+        traffic competes with user restores (see
+        :data:`~repro.sim.repair.REPAIR_POLICIES`); ``read_selection``
+        switches redundant reads between ``"least-loaded"`` (default)
+        and ``"cheapest"`` member ordering.
         """
         from .opensystem import OpenSystem
 
         return OpenSystem(
             self, policy=policy, failures=failures, faults=faults,
             fault_seed=fault_seed, seek_planner=seek_planner,
+            repair_policy=repair_policy, read_selection=read_selection,
         )
 
     def serve(self, request: Request, failures: Optional[dict] = None) -> RequestMetrics:

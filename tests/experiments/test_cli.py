@@ -151,9 +151,49 @@ class TestFaultCommands:
         with pytest.raises(SystemExit, match="must be a number"):
             main(["open", "--scale", "small", "--fail", "L0.D0=soon"])
 
-    def test_open_fail_rejects_unknown_drive(self):
-        with pytest.raises(ValueError, match="unknown drive"):
+    def test_open_fail_rejects_unknown_drive(self, capsys):
+        # Unknown ids are a usage error: exit 2 with the known-id list,
+        # before any simulation starts (ISSUE 9 satellite).
+        with pytest.raises(SystemExit) as exc:
             main(["open", "--scale", "small", "--fail", "L9.D9=10"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown drive" in err
+        assert "L0.D0" in err  # the known-id list is printed
+
+    def test_fail_tape_rejects_unknown_tape(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "--scale", "small", "--fail-tape", "L9.T99=10"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown tape" in err
+        assert "L0.T0" in err
+
+    def test_open_tape_loss_prints_repair_summary(self, capsys):
+        rc = main(
+            ["open", "--scale", "small", "--arrivals", "10",
+             "--redundancy", "r=2", "--fail-tape", "L0.T1=600",
+             "--repair-policy", "fair-share"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tape losses:" in out
+        assert "members rebuilt:" in out
+        assert "objects lost:" in out
+
+    def test_chaos_tape_loss_with_repair_policy(self, capsys):
+        rc = main(
+            ["chaos", "--scale", "small", "--arrivals", "10",
+             "--mtbf", "100.0", "--mttr", "0.1",
+             "--redundancy", "r=2", "--fail-tape", "L0.T1=600",
+             "--repair-policy", "repair-first",
+             "--read-selection", "cheapest"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repair policy:" in out
+        assert "repair-first" in out
+        assert "durability:" in out
 
     def test_chaos_prints_fault_summary(self, capsys):
         rc = main(

@@ -164,6 +164,7 @@ class TestRegistry:
             "extreme", "tech", "sensitivity", "ablation",
             "incremental", "queueing", "disk", "striping", "robots", "degraded", "seek_model",
             "open_system", "availability", "seekplan", "redundancy",
+            "repair",
         }
 
     def test_tables_format_without_error(self, settings):

@@ -118,3 +118,46 @@ def test_degenerate_single_member_group():
     # The lone (dead) member is still returned: submission into the dead
     # dispatcher reproduces the non-redundant abort path.
     assert chosen == list(group.members)
+
+
+class TestCostOfOrdering:
+    """The ``cheapest`` read-selection hook (ISSUE 9 satellite)."""
+
+    def test_cost_of_overrides_load_order(self):
+        group = _group(3, 1)
+        tapes = [tid for tid, _ in group.members]
+        loads = {tapes[0]: 1.0, tapes[1]: 5.0, tapes[2]: 9.0}
+        # Load order would pick tapes[0]; cost order (mounted-first, then
+        # drive seconds) must pick the mounted tapes[2] instead.
+        costs = {tapes[0]: (1, 40.0), tapes[1]: (1, 30.0), tapes[2]: (0, 80.0)}
+        chosen = select_members(
+            group,
+            set(),
+            lambda t: True,
+            lambda t: loads[t],
+            cost_of=lambda t, e: costs[t],
+        )
+        assert [tid for tid, _ in chosen] == [tapes[2]]
+
+    def test_cost_of_none_is_the_default_order(self):
+        group = _group(4, 2)
+        tapes = [tid for tid, _ in group.members]
+        loads = {t: float(i) for i, t in enumerate(tapes)}
+        default = select_members(group, set(), lambda t: True, lambda t: loads[t])
+        explicit = select_members(
+            group, set(), lambda t: True, lambda t: loads[t], cost_of=None
+        )
+        assert default == explicit
+
+    def test_dead_members_still_pad_tail_under_cost_order(self):
+        group = _group(3, 2)
+        tapes = [tid for tid, _ in group.members]
+        chosen = select_members(
+            group,
+            set(),
+            lambda t: t != tapes[0],
+            lambda t: 0.0,
+            cost_of=lambda t, e: (0, 1.0),
+        )
+        # Two live members cover the read; the dead one is not chosen.
+        assert tapes[0] not in [tid for tid, _ in chosen]
