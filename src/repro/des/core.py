@@ -29,6 +29,7 @@ from typing import Any, Iterable, List, Optional, Tuple
 from .events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
 from .exceptions import EmptySchedule, SimulationError, StopSimulation
 from .process import Process, ProcessGenerator
+from .scheduler import EventScheduler, HeapScheduler, resolve_scheduler
 
 __all__ = ["Environment", "Infinity"]
 
@@ -42,11 +43,31 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock (default 0).
+    scheduler:
+        Event-scheduler selection: a name from
+        :data:`repro.des.scheduler.SCHEDULERS` (``"heapq"``,
+        ``"calendar"``), an :class:`EventScheduler` instance, or ``None``
+        to consult ``REPRO_SCHEDULER`` (default ``heapq``).  Every
+        scheduler pops in the same (time, priority, eid) order, so the
+        choice affects throughput only — results are bit-identical.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        scheduler: "str | EventScheduler | None" = None,
+    ) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        sched = resolve_scheduler(scheduler)
+        self.scheduler = sched
+        #: The heap scheduler is special-cased: the environment operates on
+        #: its raw ``items`` list with inline ``heappush``/``heappop``,
+        #: preserving the pre-pluggable fast path byte for byte.  Any other
+        #: scheduler goes through the :class:`EventScheduler` interface.
+        self._heapmode = type(sched) is HeapScheduler
+        self._queue: List[Tuple[float, int, int, Event]] = (
+            sched.items if self._heapmode else None  # type: ignore[assignment]
+        )
         #: Monotonic schedule tiebreaker.  A plain int incremented inline is
         #: measurably cheaper than ``next(itertools.count())`` on the hot
         #: path while producing the exact same (time, priority, eid) order.
@@ -68,10 +89,12 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else Infinity
+        if self._heapmode:
+            return self._queue[0][0] if self._queue else Infinity
+        return self.scheduler.peek_time()
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._queue) if self._heapmode else len(self.scheduler)
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -98,7 +121,10 @@ class Environment:
         t._delay = delay
         eid = self._eid
         self._eid = eid + 1
-        heappush(self._queue, (self._now + delay, NORMAL, eid, t))
+        if self._heapmode:
+            heappush(self._queue, (self._now + delay, NORMAL, eid, t))
+        else:
+            self.scheduler.push((self._now + delay, NORMAL, eid, t))
         return t
 
     def process(self, generator: ProcessGenerator) -> Process:
@@ -115,10 +141,13 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        """Put ``event`` on the heap ``delay`` time units from now."""
+        """Put ``event`` on the schedule ``delay`` time units from now."""
         eid = self._eid
         self._eid = eid + 1
-        heappush(self._queue, (self._now + delay, priority, eid, event))
+        if self._heapmode:
+            heappush(self._queue, (self._now + delay, priority, eid, event))
+        else:
+            self.scheduler.push((self._now + delay, priority, eid, event))
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -129,7 +158,10 @@ class Environment:
             If no events remain.
         """
         try:
-            self._now, _, _, event = heappop(self._queue)
+            if self._heapmode:
+                self._now, _, _, event = heappop(self._queue)
+            else:
+                self._now, _, _, event = self.scheduler.pop()
         except IndexError:
             raise EmptySchedule("no scheduled events left") from None
 
@@ -172,7 +204,10 @@ class Environment:
             stop.callbacks = [_stop_simulation]
             eid = self._eid
             self._eid = eid + 1
-            heappush(self._queue, (at, URGENT, eid, stop))
+            if self._heapmode:
+                heappush(self._queue, (at, URGENT, eid, stop))
+            else:
+                self.scheduler.push((at, URGENT, eid, stop))
 
         # Inlined event loop: ``step()`` stays the single-step public API,
         # but calling it per event costs a method dispatch plus an
@@ -191,8 +226,15 @@ class Environment:
         # paper scale with tracing enabled.  Collection is re-enabled (and
         # the deferred work happens on CPython's own schedule) on every exit
         # path; a caller that already disabled GC keeps it disabled.
-        queue = self._queue
-        pop = heappop
+        # Either way the loop body below is ``pop(queue)``: in heap mode the
+        # queue is the raw list and pop is C ``heappop``; otherwise the
+        # queue is the scheduler instance and pop its unbound ``pop``.
+        if self._heapmode:
+            queue = self._queue
+            pop = heappop
+        else:
+            queue = self.scheduler
+            pop = type(self.scheduler).pop
         processed = 0
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:

@@ -1,0 +1,427 @@
+"""Per-library DES shards: conservative parallel runs of one open system.
+
+Under the ``concurrent`` policy — and only there — libraries are
+pairwise independent: a request fans per-tape jobs out to per-library
+dispatchers whose decisions (drive choice, LPT order, replacement,
+robot contention) read nothing but library-local state, and the only
+cross-library join is the ``all_of`` barrier that completes a request
+when its last job lands.  That join never feeds back into any library's
+state, so the per-library event streams of a single-environment run and
+of per-library runs are *identical*, event for event.
+
+This module exploits that: it runs one :class:`~repro.des.Environment`
+per library shard (a round-robin group of libraries, see
+:func:`repro.sim.scheduling.partition_libraries`) in worker processes
+and barrier-merges the results.  Formally this is conservative
+time-window synchronization where the lookahead is the minimum
+cross-shard latency; because shardable configurations have **no**
+cross-shard coupling the lookahead is unbounded and the whole run is a
+single window — no mid-run barriers at all.  The moment coupling exists
+the lookahead collapses and sharding stops being a win:
+
+* a **disk-stream cap** makes every job contend on one shared resource
+  (zero lookahead — shards would have to synchronize on every grant);
+* **fault injection** arms a global stand-down clock at the last
+  arrival, and media repair couples libraries through the catalog;
+* **redundancy** routes choice-of-d decisions over live cross-library
+  load;
+* ``serial-fcfs`` is inherently a single global queue.
+
+Those configurations are *refused* (with a ``RuntimeWarning``) and the
+run falls back to today's single-environment path, which stays
+bit-identical.  ``shard_workers=1`` never enters this module.
+
+Every shard simulates the **full** arrival stream — arrival times,
+request sample, and per-arrival tokens are re-derived identically from
+the seed — but only submits jobs for its own libraries, so tokens,
+sizes, and tape counts agree across shards by construction and the
+merge is a per-token union of disjoint drive-record sets.  Workers are
+forked (never spawned): the placed session holds env-bound generators
+that cannot pickle, but a forked child inherits them and only the
+compact :class:`ShardOutcome` payload crosses back.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..des.monitor import Span
+from ..des.scheduler import EventScheduler
+from ..obs.fleet import export_registry
+from .metrics import RequestMetrics
+from .queueing import QueuedRequestRecord
+from .scheduling import partition_libraries
+
+__all__ = ["ShardOutcome", "shard_blockers", "maybe_run_sharded"]
+
+#: Registry instruments owned by exactly one library (and therefore by
+#: exactly one shard): per-library robot resources and dispatcher depth.
+_LIBRARY_INSTRUMENT = re.compile(r"^(?:resource|dispatch)\.L(\d+)\.")
+
+
+@dataclass
+class ShardOutcome:
+    """Everything one shard ships back to the coordinator.
+
+    ``tokens`` maps each arrival token to
+    ``(catalog_id, arrival_s, total_mb, num_tapes, records, started_s,
+    finish_s, aborted)`` where ``records`` / ``started_s`` / ``finish_s``
+    cover only the shard's own libraries (``None`` when the request
+    touched none of them); the first four fields are re-derived from the
+    seed and agree across shards by construction.
+    """
+
+    shard_id: int
+    library_ids: Tuple[int, ...]
+    horizon_s: float
+    events_processed: int
+    tokens: Dict[int, tuple] = field(default_factory=dict)
+    registry_export: Dict[str, Any] = field(default_factory=dict)
+    monitors: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Raw span tuples ``(name, start, end, attrs, span_id, parent_id,
+    #: request_id)``; empty when tracing is disabled.
+    spans: List[tuple] = field(default_factory=list)
+    next_span_id: int = 1
+
+
+def shard_blockers(opensys, reset: bool, sample_period_s: Optional[float]) -> List[str]:
+    """Why this run cannot shard (empty list = shardable).
+
+    Each entry names a coupling that would collapse the conservative
+    lookahead to zero (or break seed-for-seed parity outright); see the
+    module docstring for the derivation.
+    """
+    blockers: List[str] = []
+    if opensys.policy_name != "concurrent":
+        blockers.append(
+            f"policy {opensys.policy_name!r} serializes requests on one global queue"
+        )
+    if opensys.fault_specs:
+        blockers.append("fault injection arms global stand-down/repair clocks")
+    if opensys.index.has_redundancy:
+        blockers.append("redundant dispatch routes on live cross-library load")
+    if opensys.disk is not None:
+        blockers.append("the disk-stream cap couples all shards (zero lookahead)")
+    if sample_period_s is not None:
+        blockers.append("periodic registry sampling needs the single shared clock")
+    if not reset or opensys._ran:
+        blockers.append("continuing an advanced stream (reset=False) keeps one clock")
+    if opensys.on_complete is not None:
+        blockers.append("a per-completion hook is installed (fires in-order on one clock)")
+    return blockers
+
+
+# -- worker side -----------------------------------------------------------
+
+#: Fork-inherited coordinator state.  Set immediately before the pool is
+#: created so children see it; holds live (unpicklable) objects on purpose.
+_FORK_STATE: Dict[str, Any] = {}
+
+
+def _run_shard(shard_id: int) -> ShardOutcome:
+    """Child entry point: run one shard's libraries over the full stream."""
+    from .opensystem import OpenSystem
+
+    state = _FORK_STATE
+    parent = state["opensys"]
+    library_ids: Tuple[int, ...] = tuple(state["assignments"][shard_id])
+    scheduler = parent.scheduler_spec
+    if isinstance(scheduler, EventScheduler):
+        # The coordinator's instance already backs its own environment;
+        # give each shard a fresh scheduler of the same kind.
+        scheduler = type(scheduler)()
+    shard = OpenSystem(
+        parent.session,
+        policy=parent.policy_name,
+        seek_planner=parent.seek_planner,
+        read_selection=parent.read_selection,
+        scheduler=scheduler,
+        shard_filter=library_ids,
+    )
+    capture: Dict[int, tuple] = {}
+    shard._shard_capture = capture
+    shard.run(
+        state["arrival_rate_per_hour"],
+        num_arrivals=state["num_arrivals"],
+        seed=state["seed"],
+    )
+
+    spans: List[tuple] = []
+    next_span_id = 1
+    if shard.trace.enabled:
+        for s in shard.trace._all():
+            spans.append(
+                (s.name, s.start, s.end, dict(s.attrs), s.span_id, s.parent_id, s.request_id)
+            )
+        next_span_id = shard.trace._next_id
+
+    prefixes = tuple(f"L{lib}." for lib in library_ids)
+    return ShardOutcome(
+        shard_id=shard_id,
+        library_ids=library_ids,
+        horizon_s=shard.env.now,
+        events_processed=shard.env.events_processed,
+        tokens=capture,
+        registry_export=export_registry(shard.registry),
+        monitors={
+            name: mon.summary()
+            for name, mon in shard.monitors.items()
+            if name.startswith(prefixes)
+        },
+        spans=spans,
+        next_span_id=next_span_id,
+    )
+
+
+def _execute_shards(num_shards: int) -> List[ShardOutcome]:
+    """Fan shard runs out to forked workers; degrade to in-process serial.
+
+    The serial fallback (no ``fork`` start method, pool failure) is still
+    *correct* — each shard builds a fresh environment against its own
+    ``session.reset()`` — it just forfeits the wall-clock win.
+    """
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        context = None
+    if context is not None:
+        try:
+            with ProcessPoolExecutor(max_workers=num_shards, mp_context=context) as pool:
+                return list(pool.map(_run_shard, range(num_shards)))
+        except (BrokenProcessPool, OSError) as exc:  # pragma: no cover - host-specific
+            warnings.warn(
+                f"shard worker pool failed ({exc!r}); running shards serially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return [_run_shard(i) for i in range(num_shards)]
+
+
+# -- coordinator side ------------------------------------------------------
+
+
+def maybe_run_sharded(
+    opensys,
+    arrival_rate_per_hour: float,
+    num_arrivals: int,
+    seed: int,
+    reset: bool,
+    sample_period_s: Optional[float],
+):
+    """Run sharded if the configuration allows it; ``None`` to fall back.
+
+    Called by :meth:`OpenSystem.run` when ``shard_workers > 1``.  A
+    refusal warns once (``RuntimeWarning``) and returns ``None`` so the
+    caller proceeds on the single-environment path with identical results.
+    """
+    blockers = shard_blockers(opensys, reset=reset, sample_period_s=sample_period_s)
+    if blockers:
+        warnings.warn(
+            f"shard_workers={opensys.shard_workers} requested but "
+            + "; ".join(blockers)
+            + " — falling back to a single environment",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    num_libraries = len(opensys.system.libraries)
+    num_shards = min(opensys.shard_workers, num_libraries)
+    if num_shards < 2:
+        return None
+
+    _FORK_STATE.clear()
+    _FORK_STATE.update(
+        opensys=opensys,
+        assignments=partition_libraries(num_libraries, num_shards),
+        arrival_rate_per_hour=arrival_rate_per_hour,
+        num_arrivals=num_arrivals,
+        seed=seed,
+    )
+    try:
+        outcomes = _execute_shards(num_shards)
+    finally:
+        _FORK_STATE.clear()
+    opensys._ran = True
+    opensys._expected = num_arrivals
+    return _merge_shards(opensys, outcomes, arrival_rate_per_hour, num_arrivals)
+
+
+def _merge_shards(
+    opensys,
+    shards: List[ShardOutcome],
+    arrival_rate_per_hour: float,
+    num_arrivals: int,
+):
+    """Barrier-merge shard outcomes into one :class:`OpenSystemResult`.
+
+    Produces the same observable surfaces as a single-environment run:
+    per-request records/metrics rebuilt from the union of each token's
+    (disjoint) drive records, latency digests re-recorded in completion
+    order (the single-clock recording order), the in-flight gauge
+    replayed on the merged arrival/finish timeline, library-owned
+    resource instruments transplanted from their owning shard, and one
+    synthesized request root span per token adopting the shards'
+    job-span subtrees.
+    """
+    from .opensystem import OpenSystemResult
+
+    merged: List[tuple] = []  # (record, metrics) per token, token order
+    for token in range(num_arrivals):
+        catalog_id = arrival_s = total_mb = num_tapes = None
+        records: List[Any] = []
+        starts: List[float] = []
+        finishes: List[float] = []
+        aborted = False
+        for shard in shards:
+            payload = shard.tokens.get(token)
+            if payload is None:
+                raise RuntimeError(
+                    f"shard {shard.shard_id} never completed token {token}"
+                )
+            (catalog_id, arrival_s, total_mb, num_tapes,
+             s_records, s_started, s_finish, s_aborted) = payload
+            records.extend(s_records)
+            if s_started is not None:
+                starts.append(s_started)
+            if s_finish is not None:
+                finishes.append(s_finish)
+            aborted = aborted or s_aborted
+        if not records:
+            raise RuntimeError(
+                f"token {token} produced no drive records in any shard"
+            )
+        # Deterministic aggregation order; drive names are globally unique.
+        records.sort(key=lambda r: r.drive)
+        finish_s = max(finishes)
+        metrics = RequestMetrics.from_drive_records(
+            request_id=catalog_id,
+            size_mb=total_mb,
+            num_tapes=num_tapes,
+            records=records,
+            start_s=arrival_s,
+            aborted=aborted,
+        )
+        record = QueuedRequestRecord(
+            request_id=catalog_id,
+            arrival_s=arrival_s,
+            start_s=min(starts) if starts else finish_s,
+            finish_s=finish_s,
+            size_mb=total_mb,
+            aborted=aborted,
+        )
+        merged.append((record, metrics))
+
+    horizon_s = max(shard.horizon_s for shard in shards)
+
+    # -- registry: replay the merged stream on the coordinator's pinned
+    # instruments.  Counters are order-free totals; digests are recorded in
+    # finish order (the order one clock would have recorded them); the
+    # in-flight gauge replays the +1/-1 timeline.
+    registry = opensys.registry
+    timeline: List[Tuple[float, int]] = []
+    for record, _ in merged:
+        timeline.append((record.arrival_s, 1))
+        timeline.append((record.finish_s, -1))
+    timeline.sort(key=lambda step: (step[0], -step[1]))
+    for at, delta in timeline:
+        opensys._in_flight.add(delta, at)
+    opensys._arrived.inc(len(merged))
+    opensys._completed.inc(len(merged))
+    for record, metrics in sorted(merged, key=lambda pair: pair[0].finish_s):
+        if record.aborted:
+            opensys._aborted.inc()
+        opensys._switches.inc(metrics.num_switches)
+        opensys._d_sojourn.record(max(0.0, metrics.response_s))
+        opensys._d_seek.record(max(0.0, metrics.seek_s))
+        opensys._d_switch.record(max(0.0, metrics.switch_s))
+        opensys._d_transfer.record(max(0.0, metrics.transfer_s))
+
+    for shard in shards:
+        owned = set(shard.library_ids)
+        export = shard.registry_export
+        units = export.get("units", {})
+        for name, value in export.get("counters", {}).items():
+            match = _LIBRARY_INSTRUMENT.match(name)
+            if match and int(match.group(1)) in owned:
+                counter = registry.counter(name, unit=units.get(name, ""))
+                counter.inc(value - counter.value)
+        for name, state in export.get("gauges", {}).items():
+            match = _LIBRARY_INSTRUMENT.match(name)
+            if match and int(match.group(1)) in owned:
+                gauge = registry.gauge(name, unit=units.get(name, ""))
+                gauge.value = state["value"]
+                gauge.min = state["min"]
+                gauge.max = state["max"]
+                gauge._integral = state["integral"]
+                gauge._t0 = 0.0
+                gauge._since = state["elapsed_s"]
+    registry.snapshot(horizon_s)
+
+    # -- trace: synthesize one request root per token, then graft each
+    # shard's non-root spans with remapped ids under it.
+    trace = opensys.trace
+    if trace.enabled:
+        root_ids: Dict[int, int] = {}
+        for token, (record, _) in enumerate(merged):
+            span = trace.record(
+                "request",
+                record.arrival_s,
+                record.finish_s,
+                request=token,
+                catalog_id=record.request_id,
+                policy=opensys.policy_name,
+            )
+            root_ids[token] = span.span_id
+        for shard in shards:
+            base = trace._next_id - 1
+            shard_roots = {
+                entry[4]: entry[6]  # span_id -> token
+                for entry in shard.spans
+                if entry[0] == "request" and entry[5] is None
+            }
+            for name, start, end, attrs, span_id, parent_id, request_id in shard.spans:
+                if span_id in shard_roots:
+                    continue
+                if parent_id in shard_roots:
+                    parent_id = root_ids[shard_roots[parent_id]]
+                elif parent_id is not None:
+                    parent_id = base + parent_id
+                trace._spans.append(
+                    Span(name, start, end, attrs, base + span_id, parent_id, request_id)
+                )
+            trace._next_id = base + shard.next_span_id
+
+    resources = {}
+    for shard in shards:
+        resources.update(shard.monitors)
+
+    #: The coordinator environment never ran; publish the fleet-wide event
+    #: total on it so throughput telemetry (benchmarks, ``--profile``)
+    #: reads the same counter either way.
+    opensys.env.events_processed = sum(shard.events_processed for shard in shards)
+
+    result = OpenSystemResult(
+        scheme=opensys.session.scheme_name,
+        arrival_rate_per_hour=arrival_rate_per_hour,
+        records=[record for record, _ in merged],
+        policy=opensys.policy_name,
+        metrics=[metrics for _, metrics in merged],
+        resources=resources,
+        horizon_s=horizon_s,
+        trace=trace,
+        registry=registry,
+        faults={},
+        repair={},
+    )
+    horizon_c = registry.counter("fleet.horizon_s", unit="s")
+    horizon_c.inc(result.horizon_s - horizon_c.value)
+    avail_c = registry.counter("fleet.availability_weighted_s", unit="s")
+    avail_c.inc(result.horizon_s * result.availability - avail_c.value)
+    return result

@@ -1,0 +1,200 @@
+"""Property suite for pluggable event schedulers.
+
+The scheduler contract is total-order equivalence with the binary heap:
+every implementation must pop ``(time, priority, eid, event)`` entries in
+identical order, including the FIFO event-id tie-break.  Hypothesis
+drives the calendar queue against ``HeapScheduler`` with adversarial tie
+patterns, interleaved push/pop, and full environment runs (timeouts,
+cancellation via process interrupts, schedule-during-pop callbacks).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import CalendarQueue, Environment, HeapScheduler, Interrupt, resolve_scheduler
+from repro.des.scheduler import SCHEDULERS
+
+# -- strategies -------------------------------------------------------------
+
+# Times drawn from a tiny pool maximize ties; mixed magnitudes stress the
+# calendar queue's bucket-width estimate and far-future clamping.
+_tie_times = st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.0])
+_wide_times = st.one_of(
+    st.sampled_from([0.0, 1e-12, 0.5, 1.0, 1e6, 1e300, math.inf]),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+)
+
+
+def _ops(times):
+    """A push/pop program: floats are pushes (time), None is a pop."""
+    return st.lists(st.one_of(times, st.none()), min_size=1, max_size=200)
+
+
+def _run_program(ops):
+    heap, calendar = HeapScheduler(), CalendarQueue()
+    eid = 0
+    popped = []
+    for op in ops:
+        if op is None:
+            if not len(heap):
+                continue
+            a, b = heap.pop(), calendar.pop()
+            assert a == b
+            popped.append(a)
+        else:
+            entry = (op, eid % 2, eid, None)
+            eid += 1
+            heap.push(entry)
+            calendar.push(entry)
+    while len(heap):
+        a, b = heap.pop(), calendar.pop()
+        assert a == b
+        popped.append(a)
+    assert len(calendar) == 0
+    return popped
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ops(_tie_times))
+def test_calendar_matches_heap_under_adversarial_ties(ops):
+    # The heap is the oracle: with interleaved pops the popped sequence as
+    # a whole need not be sorted (later pushes may precede earlier pops),
+    # but a pop-only suffix must be, ids breaking ties FIFO.
+    popped = _run_program([op for op in ops if op is not None])
+    assert popped == sorted(popped, key=lambda e: e[:3])
+    _run_program(ops)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ops(_wide_times))
+def test_calendar_matches_heap_across_magnitudes(ops):
+    _run_program(ops)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=60),
+    st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=4),
+)
+def test_schedule_during_pop(times, reschedules):
+    """Pops that trigger pushes (the run loop's shape) stay in lockstep."""
+    heap, calendar = HeapScheduler(), CalendarQueue()
+    eid = 0
+    for t in times:
+        entry = (t, 1, eid, None)
+        eid += 1
+        heap.push(entry)
+        calendar.push(entry)
+    while len(heap):
+        a, b = heap.pop(), calendar.pop()
+        assert a == b
+        # Imitate event callbacks scheduling relative to the popped time.
+        for delay in reschedules:
+            if eid >= 200:
+                break
+            entry = (a[0] + delay, 1, eid, None)
+            eid += 1
+            heap.push(entry)
+            calendar.push(entry)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=20.0, allow_nan=False), st.booleans()),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_environment_runs_identically_with_timeout_cancellation(spec):
+    """Full-kernel oracle: waiters interrupted mid-timeout leave cancelled
+    entries in the schedule; both schedulers must drain them identically."""
+
+    def run(scheduler):
+        env = Environment(scheduler=scheduler)
+        log = []
+
+        def waiter(name, delay):
+            try:
+                yield env.timeout(delay)
+                log.append((name, env.now, "fired"))
+            except Interrupt:
+                log.append((name, env.now, "cancelled"))
+                yield env.timeout(0.25)
+                log.append((name, env.now, "requeued"))
+
+        procs = []
+        for i, (delay, _cancel) in enumerate(spec):
+            procs.append(env.process(waiter(i, delay)))
+
+        def canceller():
+            yield env.timeout(5.0)
+            for proc, (_delay, cancel) in zip(procs, spec):
+                if cancel and proc.is_alive:
+                    proc.interrupt("cancelled")
+
+        env.process(canceller())
+        env.run()
+        return log, env.now, env.events_processed
+
+    assert run("heapq") == run("calendar")
+
+
+# -- unit behaviour ---------------------------------------------------------
+
+
+def test_resize_grows_and_shrinks_through_thresholds():
+    q = CalendarQueue()
+    for i in range(500):
+        q.push((float(i % 7), 1, i, None))
+    assert q._nbuckets >= 256
+    out = [q.pop() for _ in range(500)]
+    assert out == sorted(out, key=lambda e: e[:3])
+    assert q._nbuckets <= CalendarQueue.MIN_BUCKETS * 2
+
+
+def test_empty_pop_raises_indexerror_like_heappop():
+    for factory in SCHEDULERS.values():
+        with pytest.raises(IndexError):
+            factory().pop()
+
+
+def test_peek_time_matches_heap():
+    heap, calendar = HeapScheduler(), CalendarQueue()
+    assert heap.peek_time() == calendar.peek_time() == math.inf
+    for eid, t in enumerate([5.0, 2.0, 8.0, 2.0]):
+        heap.push((t, 1, eid, None))
+        calendar.push((t, 1, eid, None))
+        assert heap.peek_time() == calendar.peek_time()
+
+
+def test_resolve_scheduler_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        resolve_scheduler("fibonacci")
+
+
+def test_resolve_scheduler_reads_environment_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+    assert isinstance(resolve_scheduler(), CalendarQueue)
+    assert isinstance(Environment().scheduler, CalendarQueue)
+    monkeypatch.delenv("REPRO_SCHEDULER")
+    assert isinstance(resolve_scheduler(), HeapScheduler)
+
+
+def test_environment_accepts_scheduler_instance():
+    sched = CalendarQueue()
+    env = Environment(scheduler=sched)
+    assert env.scheduler is sched
+    assert not env._heapmode
+
+
+def test_calendar_queue_validates_construction():
+    with pytest.raises(ValueError):
+        CalendarQueue(nbuckets=0)
+    with pytest.raises(ValueError):
+        CalendarQueue(width=0.0)
+    with pytest.raises(ValueError):
+        CalendarQueue(width=math.inf)
